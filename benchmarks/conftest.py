@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Every module in this directory regenerates one artifact of the paper (a
+figure, a table, or an Appendix A scenario) — see the experiment index in
+DESIGN.md.  Each test asserts the paper's *shape* (who wins, by what kind
+of factor, which lattice values come out) and times the underlying
+operation with pytest-benchmark.  Run with ``-s`` to see the regenerated
+tables alongside the timings::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks double as shape-assertions; keep rounds small so the whole
+    # harness regenerates every artifact in minutes.
+    config.option.benchmark_min_rounds = min(
+        getattr(config.option, "benchmark_min_rounds", 5) or 5, 3
+    )

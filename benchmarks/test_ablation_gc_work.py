@@ -1,0 +1,88 @@
+"""AB2 — ablation: storage behaviour with each optimization toggled.
+
+One workload (partition sort of a 48-element list), five configurations:
+baseline, stack allocation only, reuse (PS') only, reuse (PS'') and the
+block-allocation producer/consumer variant.  The design claims each
+optimization shifts cells out of the GC-managed heap in its own way.
+"""
+
+from repro.bench.tables import print_table
+from repro.bench.workloads import literal, ps_create_list_program, random_int_list
+from repro.lang.prelude import prelude_program
+from repro.opt.pipeline import (
+    paper_block_allocated,
+    paper_ps_double_prime,
+    paper_ps_prime,
+)
+from repro.opt.stack_alloc import stack_allocate_body
+from repro.semantics.interp import Interpreter
+
+N = 48
+VALUES = random_int_list(N, seed=99)
+SOURCE = f"ps {literal(VALUES)}"
+GC_THRESHOLD = 64
+
+
+def profile(program):
+    interp = Interpreter(auto_gc=True, gc_threshold=GC_THRESHOLD)
+    result = interp.run(program)
+    return interp.to_python(result), interp.metrics
+
+
+def test_ab2_optimization_matrix(benchmark):
+    def run_matrix():
+        matrix = {}
+        matrix["baseline"] = profile(prelude_program(["ps"], SOURCE))
+        matrix["stack"] = profile(stack_allocate_body(prelude_program(["ps"], SOURCE)).program)
+        matrix["reuse PS'"] = profile(paper_ps_prime(SOURCE).program)
+        matrix["reuse PS''"] = profile(paper_ps_double_prime(SOURCE).program)
+        return matrix
+
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    expected = sorted(VALUES)
+    base = matrix["baseline"][1]
+    rows = []
+    for name, (result, metrics) in matrix.items():
+        assert result == expected, name
+        rows.append(
+            [name, metrics.heap_allocs, metrics.reused, metrics.stack_reclaimed,
+             metrics.gc_swept]
+        )
+
+    # each optimization reduces GC-managed allocation its own way
+    assert matrix["stack"][1].heap_allocs == base.heap_allocs - N
+    assert matrix["reuse PS'"][1].heap_allocs < base.heap_allocs
+    assert matrix["reuse PS''"][1].heap_allocs < matrix["reuse PS'"][1].heap_allocs
+    assert matrix["reuse PS''"][1].reused > matrix["reuse PS'"][1].reused
+
+    print_table(
+        ["configuration", "heap cells", "reused", "stack-freed", "gc swept"],
+        rows,
+        title=f"AB2: partition sort of {N} elements (gc threshold {GC_THRESHOLD})",
+    )
+
+
+def test_ab2_block_variant(benchmark):
+    n = N
+
+    def run_pair():
+        base = profile(ps_create_list_program(n))
+        block = profile(paper_block_allocated(n).program)
+        return base, block
+
+    (base_result, base), (block_result, block) = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert base_result == block_result == list(range(1, n + 1))
+    assert block.block_reclaimed == n
+    assert block.heap_allocs == base.heap_allocs - n
+
+    print_table(
+        ["configuration", "heap cells", "block-freed", "gc swept"],
+        [
+            ["producer on heap", base.heap_allocs, 0, base.gc_swept],
+            ["producer in block", block.heap_allocs, block.block_reclaimed, block.gc_swept],
+        ],
+        title=f"AB2: ps (create_list {n})",
+    )

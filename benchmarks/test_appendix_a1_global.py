@@ -1,0 +1,76 @@
+"""A1b — Appendix A.1: the global escape table for the partition sort.
+
+The paper's computed values, regenerated exactly:
+
+    G(APPEND, 1) = <1,0>   G(APPEND, 2) = <1,1>
+    G(SPLIT, 1)  = <0,0>   G(SPLIT, 2)  = <1,0>
+    G(SPLIT, 3)  = <1,1>   G(SPLIT, 4)  = <1,1>
+    G(PS, 1)     = <1,0>
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.report import global_table
+from repro.lang.prelude import paper_partition_sort
+
+PAPER_TABLE = {
+    ("append", 1): "<1,0>",
+    ("append", 2): "<1,1>",
+    ("split", 1): "<0,0>",
+    ("split", 2): "<1,0>",
+    ("split", 3): "<1,1>",
+    ("split", 4): "<1,1>",
+    ("ps", 1): "<1,0>",
+}
+
+
+def test_a1_global_table(benchmark):
+    program = paper_partition_sort()
+    rows = benchmark(global_table, program)
+
+    computed = {(r.function, r.param_index): str(r.result) for r in rows}
+    assert computed == PAPER_TABLE
+
+    print_table(
+        ["G(f, i)", "paper", "computed", "interpretation"],
+        [
+            [
+                f"G({fn}, {i})",
+                PAPER_TABLE[(fn, i)],
+                computed[(fn, i)],
+                next(r for r in rows if (r.function, r.param_index) == (fn, i)).describe(),
+            ]
+            for (fn, i) in sorted(PAPER_TABLE)
+        ],
+        title="Appendix A.1 global escape table",
+    )
+
+
+def test_a1_single_query_latency(benchmark):
+    program = paper_partition_sort()
+    analysis = EscapeAnalysis(program)
+    result = benchmark(analysis.global_test, "ps", 1)
+    assert str(result.result) == "<1,0>"
+
+
+def test_a1_conclusions(benchmark):
+    program = paper_partition_sort()
+
+    def conclusions():
+        analysis = EscapeAnalysis(program)
+        return {
+            "append_keeps_top_spine": analysis.global_test("append", 1).non_escaping_spines,
+            "append_y_all_escapes": analysis.global_test("append", 2).escaping_spines,
+            "split_p_none": analysis.global_test("split", 1).nothing_escapes,
+            "ps_keeps_top_spine": analysis.global_test("ps", 1).non_escaping_spines,
+        }
+
+    result = benchmark(conclusions)
+    # "APPEND returns all of its second argument y, and all but the top
+    # spine of the first argument x" / "PS returns all but the top spine".
+    assert result == {
+        "append_keeps_top_spine": 1,
+        "append_y_all_escapes": 1,
+        "split_p_none": True,
+        "ps_keeps_top_spine": 1,
+    }

@@ -1,0 +1,81 @@
+"""A2 — Appendix A.2: sharing information from escape analysis.
+
+The paper's facts: the top spine of (PS e) is unshared for any one-spine e,
+and the top spine of (SPLIT e1 e2 e3 e4) is unshared for any arguments.
+Both are Theorem 2 clause 2; the bench also validates them against the
+measured heap.
+"""
+
+from repro.analysis.sharing import (
+    observed_unshared_spines,
+    sharing_global,
+    sharing_local,
+)
+from repro.bench.tables import print_table
+from repro.bench.workloads import random_int_list
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.prelude import paper_partition_sort
+
+
+def test_a2_sharing_facts(benchmark):
+    program = paper_partition_sort()
+
+    def facts():
+        analysis = EscapeAnalysis(program)
+        return {
+            name: sharing_global(analysis, name)
+            for name in ("ps", "split", "append")
+        }
+
+    infos = benchmark(facts)
+    # The paper's two facts:
+    assert infos["ps"].unshared_top_spines == 1
+    assert infos["split"].unshared_top_spines == 1
+    # append promises nothing (its second argument escapes fully):
+    assert infos["append"].unshared_top_spines == 0
+
+    print_table(
+        ["function", "d_f", "esc_i", "unshared top spines"],
+        [
+            [name, info.result_spines, list(info.escaping), info.unshared_top_spines]
+            for name, info in infos.items()
+        ],
+        title="Appendix A.2 sharing facts (Theorem 2, clause 2)",
+    )
+
+
+def test_a2_clause1_improves_with_unshared_args(benchmark):
+    program = paper_partition_sort()
+    analysis = EscapeAnalysis(program)
+
+    def both():
+        return (
+            sharing_local(analysis, "append", [1, 1]).unshared_top_spines,
+            sharing_global(analysis, "append").unshared_top_spines,
+        )
+
+    with_u, without_u = benchmark(both)
+    assert with_u == 1 and without_u == 0  # clause 1 strictly refines clause 2
+
+
+def test_a2_measured_validation(benchmark):
+    program = paper_partition_sort()
+    values = random_int_list(40, seed=11)
+
+    measured = benchmark(observed_unshared_spines, program, "ps", [values])
+    analysis = EscapeAnalysis(program)
+    predicted = sharing_global(analysis, "ps").unshared_top_spines
+    assert measured >= predicted
+
+    split_measured = observed_unshared_spines(program, "split", [50, values, [], []])
+    split_predicted = sharing_global(analysis, "split").unshared_top_spines
+    assert split_measured >= split_predicted
+
+    print_table(
+        ["call", "Theorem 2 lower bound", "measured unshared spines"],
+        [
+            ["ps <random 40>", predicted, measured],
+            ["split 50 <random 40> nil nil", split_predicted, split_measured],
+        ],
+        title="Theorem 2 vs the instrumented heap",
+    )

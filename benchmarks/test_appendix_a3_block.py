@@ -1,0 +1,84 @@
+"""A3c — §A.3.3: block allocation / reclamation for PS (create_list i).
+
+The produced spine cannot live in PS's activation (it exists before the
+activation does); it goes into a block — the paper's "local heap" — freed
+all at once when PS returns.  Shape to reproduce: every produced spine cell
+is reclaimed without the GC sweeping it individually, and the GC has fewer
+cells to manage.
+"""
+
+from repro.bench.tables import print_table
+from repro.bench.workloads import ps_create_list_program
+from repro.opt.pipeline import paper_block_allocated
+from repro.semantics.interp import Interpreter, run_program
+
+
+def test_a3c_block_reclamation(benchmark):
+    n = 40
+    base_result, base = run_program(ps_create_list_program(n))
+    optimized = paper_block_allocated(n)
+    result, metrics = benchmark(run_program, optimized.program)
+
+    assert result == base_result == list(range(1, n + 1))
+    assert metrics.block_reclaimed == n  # the whole block, at once
+    assert metrics.region_allocs == n
+    assert metrics.heap_allocs == base.heap_allocs - n
+
+    print_table(
+        ["variant", "heap cells", "block cells", "block-freed at once"],
+        [
+            [f"ps (create_list {n})", base.heap_allocs, 0, 0],
+            ["block-allocated", metrics.heap_allocs, metrics.region_allocs,
+             metrics.block_reclaimed],
+        ],
+        title="§A.3.3 block allocation",
+    )
+
+
+def test_a3c_gc_sweep_work_avoided(benchmark):
+    # With the collector running, the block's cells are never swept
+    # individually — the free happens with no traversal of those cells.
+    n = 60
+    threshold = 64
+
+    def profile(program):
+        interp = Interpreter(auto_gc=True, gc_threshold=threshold)
+        interp.run(program)
+        return interp.metrics
+
+    base = profile(ps_create_list_program(n))
+    optimized = paper_block_allocated(n)
+    metrics = benchmark(profile, optimized.program)
+
+    assert metrics.block_reclaimed == n
+    assert metrics.heap_allocs < base.heap_allocs
+    # fewer GC-managed allocations => no more sweep work than baseline
+    assert metrics.gc_swept <= base.gc_swept
+
+    print_table(
+        ["variant", "heap allocs", "gc swept", "gc mark work", "block-freed"],
+        [
+            ["baseline", base.heap_allocs, base.gc_swept, base.gc_marked, 0],
+            ["block", metrics.heap_allocs, metrics.gc_swept, metrics.gc_marked,
+             metrics.block_reclaimed],
+        ],
+        title=f"GC work with auto-GC (threshold {threshold})",
+    )
+
+
+def test_a3c_sweep_sizes(benchmark):
+    rows = []
+    for n in (20, 40, 80):
+        optimized = paper_block_allocated(n)
+        result, metrics = run_program(optimized.program)
+        assert result == list(range(1, n + 1))
+        assert metrics.block_reclaimed == n
+        rows.append([n, metrics.heap_allocs, metrics.block_reclaimed])
+
+    print_table(
+        ["n", "heap cells", "block-freed"],
+        rows,
+        title="block reclamation across producer sizes",
+    )
+
+    benchmark(run_program, paper_block_allocated(40).program)

@@ -1,0 +1,67 @@
+"""A3a — §A.3.1: stack allocation of the non-escaping literal spine.
+
+The spine of [5,2,7,1,3,4] does not escape PS, so its cells live in the
+activation and vanish on return: zero GC-managed cells for the argument,
+same program result.
+"""
+
+from repro.bench.tables import print_table
+from repro.bench.workloads import literal, random_int_list
+from repro.lang.prelude import prelude_program
+from repro.opt.stack_alloc import stack_allocate_body
+from repro.semantics.interp import run_program
+
+
+def test_a3a_paper_list(benchmark):
+    program = prelude_program(["ps"], "ps [5, 2, 7, 1, 3, 4]")
+    optimized = stack_allocate_body(program)
+
+    result, metrics = benchmark(run_program, optimized.program)
+    base_result, base_metrics = run_program(program)
+
+    assert result == base_result == [1, 2, 3, 4, 5, 7]
+    assert metrics.stack_reclaimed == 6  # the literal's whole spine
+    assert metrics.heap_allocs == base_metrics.heap_allocs - 6
+
+    print_table(
+        ["variant", "heap cells", "stack cells", "stack-reclaimed"],
+        [
+            ["PS [5,2,7,1,3,4]", base_metrics.heap_allocs, 0, 0],
+            ["stack-allocated", metrics.heap_allocs, metrics.region_allocs, metrics.stack_reclaimed],
+        ],
+        title="§A.3.1 stack allocation",
+    )
+
+
+def test_a3a_scales_with_list_size(benchmark):
+    rows = []
+    for n in (8, 16, 32, 64):
+        values = random_int_list(n, seed=n)
+        program = prelude_program(["ps"], f"ps {literal(values)}")
+        optimized = stack_allocate_body(program)
+        _, base = run_program(program)
+        result, metrics = run_program(optimized.program)
+        assert result == sorted(values)
+        assert metrics.stack_reclaimed == n
+        rows.append([n, base.heap_allocs, metrics.heap_allocs, metrics.stack_reclaimed])
+
+    print_table(
+        ["n", "baseline heap cells", "optimized heap cells", "stack-reclaimed"],
+        rows,
+        title="stack allocation vs input size",
+    )
+
+    values = random_int_list(32, seed=3)
+    optimized = stack_allocate_body(prelude_program(["ps"], f"ps {literal(values)}"))
+    benchmark(run_program, optimized.program)
+
+
+def test_a3a_map_pair_two_spines(benchmark):
+    # §1's stronger claim: BOTH spines of the nested literal are
+    # stack-allocatable in the map call.
+    from repro.lang.prelude import paper_map_pair
+
+    optimized = stack_allocate_body(paper_map_pair())
+    result, metrics = benchmark(run_program, optimized.program)
+    assert result == [3, 7, 11]
+    assert metrics.stack_reclaimed == 9  # 3 outer + 6 inner cells

@@ -1,0 +1,71 @@
+"""EXT1 — the §7 extension: escape analysis over tuples.
+
+The paper closes by noting the approach "could be applied to other data
+structures such as tuples".  This bench validates the extension two ways:
+
+* the tuple-returning ``split_pair``/``ps_pair`` reproduce the exact escape
+  table of the paper's two-spine-list encoding (Appendix A.1);
+* a golden table over the tuple prelude, with ground-truth agreement.
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import observe_escape
+from repro.lang.prelude import prelude_program
+from repro.semantics.interp import run_program
+
+TUPLE_GOLDEN = [
+    ("swap", ["<1,0>"]),
+    ("dup", ["<1,0>"]),
+    ("zip", ["<1,0>", "<1,0>"]),
+    ("unzip", ["<1,0>"]),
+    ("split_pair", ["<0,0>", "<1,0>", "<1,1>", "<1,1>"]),
+    ("ps_pair", ["<1,0>"]),
+]
+
+
+def test_ext1_tuple_split_matches_paper(benchmark):
+    def both_tables():
+        pair_rows = EscapeAnalysis(prelude_program(["split_pair"])).global_all("split_pair")
+        list_rows = EscapeAnalysis(prelude_program(["split"])).global_all("split")
+        return pair_rows, list_rows
+
+    pair_rows, list_rows = benchmark.pedantic(both_tables, rounds=1, iterations=1)
+    assert [str(r.result) for r in pair_rows] == [str(r.result) for r in list_rows]
+
+    print_table(
+        ["param", "split (paper, 2-spine list)", "split_pair (tuple result)"],
+        [
+            [i + 1, str(list_rows[i].result), str(pair_rows[i].result)]
+            for i in range(4)
+        ],
+        title="EXT1: the tuple encoding reproduces Appendix A.1's SPLIT column",
+    )
+
+
+def test_ext1_golden_table(benchmark):
+    def compute():
+        table = {}
+        for name, _ in TUPLE_GOLDEN:
+            analysis = EscapeAnalysis(prelude_program([name]))
+            table[name] = [str(r.result) for r in analysis.global_all(name)]
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for name, expected in TUPLE_GOLDEN:
+        assert table[name] == expected
+
+    print_table(
+        ["function", "G(f, i) per parameter"],
+        [[name, " ".join(values)] for name, values in table.items()],
+        title="EXT1: global escape table over the tuple prelude",
+    )
+
+
+def test_ext1_ps_pair_runs_and_observer_agrees(benchmark):
+    program = prelude_program(["ps_pair"], "ps_pair [5, 2, 7, 1, 3, 4]")
+    result, metrics = benchmark(run_program, program)
+    assert result == [1, 2, 3, 4, 5, 7]
+
+    observed = observe_escape(prelude_program(["ps_pair"]), "ps_pair", [[5, 2, 7, 1]], 1)
+    assert not observed.escaped  # abstract says <1,0>: the spine stays home

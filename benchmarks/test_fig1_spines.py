@@ -1,0 +1,44 @@
+"""F1 — Figure 1: the spines of a list.
+
+Regenerates the spine decomposition for the paper's nested list and checks
+Definition 1 quantitatively on random nested lists.
+"""
+
+from repro.bench.figures import spine_census, spine_figure
+from repro.bench.workloads import random_nested_list
+from repro.semantics.interp import Interpreter
+
+PAPER_LIST = [[1, 2], [3, 4], [5, 6]]
+
+
+def test_fig1_paper_list(benchmark):
+    figure = benchmark(spine_figure, PAPER_LIST)
+    print("\n" + figure)
+    interp = Interpreter()
+    census = spine_census(interp, interp.from_python(PAPER_LIST))
+    # Figure 1: three cells on the top spine, six on the second.
+    assert census == {1: 3, 2: 6}
+
+
+def test_fig1_census_matches_structure(benchmark):
+    rows, row_len = 8, 5
+    values = random_nested_list(rows, row_len, seed=7)
+
+    def census():
+        interp = Interpreter()
+        return spine_census(interp, interp.from_python(values))
+
+    result = benchmark(census)
+    assert result == {1: rows, 2: rows * row_len}
+
+
+def test_fig1_three_level_list(benchmark):
+    values = [[[1], [2, 3]], [[4]]]
+
+    def census():
+        interp = Interpreter()
+        return spine_census(interp, interp.from_python(values))
+
+    result = benchmark(census)
+    assert result == {1: 2, 2: 3, 3: 4}
+    print("\n" + spine_figure(values))

@@ -1,0 +1,77 @@
+"""M1 — the operational layer (§3.3): machine ≡ interpreter.
+
+§3.3: "it is an operational semantics … of which our escape semantics can
+be considered an abstraction.  Although we do not have space … we can give
+such a definition."  This bench gives it: the compiled stack machine and
+the tree-walking interpreter must agree on results *and on every storage
+event* — allocations, reuses, applications, region reclamation — across the
+paper's programs and their optimized variants.
+"""
+
+from repro.bench.tables import print_table
+from repro.bench.workloads import literal, random_int_list
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.machine.machine import run_compiled
+from repro.opt.pipeline import (
+    paper_block_allocated,
+    paper_ps_double_prime,
+    paper_stack_allocated,
+)
+from repro.semantics.interp import run_program
+
+
+def test_m1_equivalence_matrix(benchmark):
+    cases = {
+        "PS (paper input)": paper_partition_sort(),
+        "PS'' (reuse)": paper_ps_double_prime().program,
+        "PS stack-allocated": paper_stack_allocated().program,
+        "PS block-allocated": paper_block_allocated(15).program,
+        "PS (random 40)": prelude_program(
+            ["ps"], f"ps {literal(random_int_list(40, seed=8))}"
+        ),
+    }
+
+    def run_matrix():
+        rows = []
+        for name, program in cases.items():
+            interp_result, im = run_program(program)
+            machine_result, mm = run_compiled(program)
+            rows.append((name, interp_result, machine_result, im, mm))
+        return rows
+
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    table = []
+    for name, interp_result, machine_result, im, mm in rows:
+        assert machine_result == interp_result, name
+        for counter in ("heap_allocs", "reused", "stack_reclaimed", "block_reclaimed", "applications"):
+            assert getattr(im, counter) == getattr(mm, counter), (name, counter)
+        table.append(
+            [name, im.heap_allocs, mm.heap_allocs, im.reused, mm.reused, "="]
+        )
+
+    print_table(
+        ["program", "interp allocs", "machine allocs", "interp reused", "machine reused", "agree"],
+        table,
+        title="M1: interpreter vs abstract machine (results and storage events)",
+    )
+
+
+def test_m1_machine_latency(benchmark):
+    program = paper_partition_sort()
+    result, _ = benchmark(run_compiled, program)
+    assert result == [1, 2, 3, 4, 5, 7]
+
+
+def test_m1_interpreter_latency(benchmark):
+    program = paper_partition_sort()
+    result, _ = benchmark(run_program, program)
+    assert result == [1, 2, 3, 4, 5, 7]
+
+
+def test_m1_deep_recursion_headroom(benchmark):
+    # The machine's frames live on the Python heap: list length 50k is
+    # routine where the interpreter would need a 100k recursion limit.
+    program = prelude_program(["create_list", "sum"], "sum (create_list 20000)")
+    result, _ = benchmark.pedantic(run_compiled, args=(program,), rounds=1, iterations=1)
+    assert result == 20000 * 20001 // 2

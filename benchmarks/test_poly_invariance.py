@@ -1,0 +1,58 @@
+"""P1 — §5, Theorem 1: polymorphic invariance across instances.
+
+For each polymorphic prelude function, the non-escaping spine prefix
+``s_i − k`` must be identical at every monomorphic instance (spine counts
+0, 1, 2 and a function type).
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.poly import check_invariance
+from repro.lang.prelude import prelude_program
+
+FUNCTIONS = ["append", "rev", "map", "take", "drop", "copy", "length", "concat"]
+
+
+def test_p1_invariance_table(benchmark):
+    def run_all():
+        reports = {}
+        for name in FUNCTIONS:
+            analysis = EscapeAnalysis(prelude_program([name]))
+            reports[name] = check_invariance(analysis, name)
+        return reports
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, report in reports.items():
+        n_instances = len({str(row.instance) for row in report.rows})
+        params = max(row.param_index for row in report.rows)
+        summaries = {}
+        for i in range(1, params + 1):
+            observations = report.rows_for_param(i)
+            if all(row.nothing_escapes for row in observations):
+                # Theorem 1's first disjunct: <0,0> at every instance.
+                summaries[i] = "<0,0> everywhere"
+            else:
+                values = sorted({row.non_escaping for row in observations})
+                # second disjunct: one prefix value across all instances
+                assert len(values) == 1, (name, i, values)
+                summaries[i] = f"prefix {values[0]}"
+        rows.append(
+            [name, n_instances, params,
+             "; ".join(f"i={i}: {v}" for i, v in summaries.items()),
+             "holds" if report.holds else "VIOLATED"]
+        )
+        assert report.holds, name
+
+    print_table(
+        ["function", "instances", "params", "non-escaping prefix per param", "Theorem 1"],
+        rows,
+        title="§5 polymorphic invariance",
+    )
+
+
+def test_p1_single_function_latency(benchmark):
+    analysis = EscapeAnalysis(prelude_program(["append"]))
+    report = benchmark(check_invariance, analysis, "append")
+    assert report.holds

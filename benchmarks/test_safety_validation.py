@@ -1,0 +1,65 @@
+"""S1 — §3.5 safety: abstract escapement dominates ground truth.
+
+Runs the dynamic observer and the exact (oracle) semantics over a function
+corpus and checks  observed ⊑ exact-consistent ⊑ abstract  throughout.
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import exact_escape, observe_escape
+from repro.lang.prelude import prelude_program
+
+CASES = [
+    (["append"], "append", [[1, 2, 3], [4, 5]], 1),
+    (["append"], "append", [[1, 2, 3], [4, 5]], 2),
+    (["rev"], "rev", [[1, 2, 3, 4]], 1),
+    (["take"], "take", [2, [1, 2, 3, 4]], 2),
+    (["drop"], "drop", [2, [1, 2, 3, 4]], 2),
+    (["copy"], "copy", [[1, 2, 3]], 1),
+    (["interleave"], "interleave", [[1, 2], [3, 4, 5]], 1),
+    (["snoc"], "snoc", [[1, 2], 9], 1),
+    (["isort"], "isort", [[3, 1, 2]], 1),
+    (["concat"], "concat", [[[1, 2], [3], []]], 1),
+    (["tails_tops"], "tails_tops", [[[1, 2], [3, 4]]], 1),
+    (["ps"], "ps", [[5, 2, 7, 1, 3, 4]], 1),
+]
+
+
+def test_s1_safety_table(benchmark):
+    def validate():
+        rows = []
+        for names, function, args, i in CASES:
+            program = prelude_program(names)
+            observed = observe_escape(program, function, args, i)
+            exact = exact_escape(program, function, args, i)
+            abstract = EscapeAnalysis(program).global_test(function, i)
+            rows.append((function, i, observed, exact, abstract))
+        return rows
+
+    rows = benchmark.pedantic(validate, rounds=1, iterations=1)
+
+    table = []
+    for function, i, observed, exact, abstract in rows:
+        # the two ground-truth formulations agree
+        assert observed.escaped_levels == exact.escaped_levels
+        # and the abstract result dominates them (§3.5 safety)
+        if observed.escaped:
+            assert not abstract.nothing_escapes
+            assert observed.escaping_spines <= abstract.escaping_spines
+        table.append(
+            [f"{function}@{i}", str(observed.as_escapement()),
+             str(exact.as_escapement()), str(abstract.result),
+             "ok"]
+        )
+
+    print_table(
+        ["call", "observed", "exact (oracle)", "abstract G", "observed ⊑ abstract"],
+        table,
+        title="§3.5 safety validation",
+    )
+
+
+def test_s1_observer_latency(benchmark):
+    program = prelude_program(["ps"])
+    observed = benchmark(observe_escape, program, "ps", [[5, 2, 7, 1, 3, 4]], 1)
+    assert not observed.escaped

@@ -1,0 +1,41 @@
+"""E1 — the Section 1 example: the three escape properties of map/pair.
+
+1. pair's top spine does not escape pair;
+2. map's list parameter's top spine does not escape map;
+3. in (map pair [[1,2],[3,4],[5,6]]), the top two spines of the literal do
+   not escape.
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.prelude import paper_map_pair
+
+CALL = "map pair [[1, 2], [3, 4], [5, 6]]"
+
+
+def test_sec1_property1_pair(benchmark):
+    program = paper_map_pair()
+    result = benchmark(lambda: EscapeAnalysis(program).global_test("pair", 1))
+    assert result.non_escaping_spines >= 1
+
+
+def test_sec1_property2_map(benchmark):
+    program = paper_map_pair()
+    result = benchmark(lambda: EscapeAnalysis(program).global_test("map", 2))
+    assert str(result.result) == "<1,0>"
+    assert result.non_escaping_spines == 1
+
+
+def test_sec1_property3_local_call(benchmark):
+    program = paper_map_pair()
+    result = benchmark(lambda: EscapeAnalysis(program).local_test(CALL, i=2))
+    assert result.param_spines == 2
+    assert result.non_escaping_spines == 2
+
+    analysis = EscapeAnalysis(program)
+    rows = [
+        ["1 (pair)", str(analysis.global_test("pair", 1).result), "property 1"],
+        ["2 (map, global)", str(analysis.global_test("map", 2).result), "property 2"],
+        ["2 (map, local)", str(analysis.local_test(CALL, i=2).result), "property 3"],
+    ]
+    print_table(["test", "escape value", "paper claim"], rows, title=f"Section 1: {CALL}")

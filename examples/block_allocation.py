@@ -1,0 +1,61 @@
+"""Block allocation / reclamation (§A.3.3): the "local heap".
+
+``ps (create_list n)``: the produced list cannot live in ps's activation
+record (it exists before the activation does), but its spine can go into a
+block freed all at once — without the GC ever traversing those cells.
+
+Run with:  python examples/block_allocation.py
+"""
+
+from repro import prelude_program
+from repro.bench.tables import render_table
+from repro.opt.pipeline import paper_block_allocated
+from repro.semantics.interp import Interpreter
+
+
+def gc_profile(program, threshold):
+    interp = Interpreter(auto_gc=True, gc_threshold=threshold)
+    interp.run(program)
+    return interp.metrics
+
+
+def main() -> None:
+    rows = []
+    for n in (25, 50, 100, 200):
+        threshold = 64
+        base = prelude_program(["ps", "create_list"], f"ps (create_list {n})")
+        base_metrics = gc_profile(base, threshold)
+
+        optimized = paper_block_allocated(n)
+        opt_metrics = gc_profile(optimized.program, threshold)
+
+        rows.append(
+            [
+                n,
+                base_metrics.gc_marked,
+                opt_metrics.gc_marked,
+                opt_metrics.block_reclaimed,
+                base_metrics.heap_allocs - opt_metrics.heap_allocs,
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "n",
+                "GC mark work (baseline)",
+                "GC mark work (block)",
+                "cells block-freed",
+                "heap cells avoided",
+            ],
+            rows,
+            title="ps (create_list n): block reclamation vs GC (threshold=64)",
+        )
+    )
+    print()
+    print("The whole block returns to the free list when ps finishes —")
+    print("no per-cell traversal, exactly the 'local heap' of §A.3.3.")
+
+
+if __name__ == "__main__":
+    main()

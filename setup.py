@@ -1,0 +1,5 @@
+"""Legacy setup shim: the sandbox has no `wheel` package and no network, so
+PEP 660 editable installs fail; `python setup.py develop` still works."""
+from setuptools import setup
+
+setup()

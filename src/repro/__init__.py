@@ -1,0 +1,87 @@
+"""repro — a full reproduction of *Escape Analysis on Lists*
+(Young Gil Park and Benjamin Goldberg, PLDI 1992).
+
+The package provides, end to end:
+
+* the paper's language **nml** (lexer, parser, Hindley-Milner types)
+  — :mod:`repro.lang`, :mod:`repro.types`;
+* its standard semantics on an instrumented heap with regions and a
+  mark-sweep GC — :mod:`repro.semantics`;
+* the exact and abstract **escape semantics**, the global/local escape
+  tests, and polymorphic invariance — :mod:`repro.escape`;
+* **sharing analysis** from escape information — :mod:`repro.analysis`;
+* the three storage **optimizations**: in-place reuse (DCONS), stack
+  allocation, block allocation/reclamation — :mod:`repro.opt`.
+
+Quickstart::
+
+    from repro import analyze, parse_program
+
+    program = parse_program('''
+        append x y = if (null x) then y
+                     else cons (car x) (append (cdr x) y);
+        append [1, 2] [3]
+    ''')
+    analysis = analyze(program)
+    print(analysis.global_test("append", 1).describe())
+"""
+
+from repro.analysis import sharing_global, sharing_local
+from repro.escape import (
+    BeChain,
+    EscapeAnalysis,
+    Escapement,
+    EscapeTestResult,
+    EscapeValue,
+    Source,
+    analysis_report,
+    check_invariance,
+    exact_escape,
+    observe_escape,
+)
+from repro.lang import (
+    NmlError,
+    Program,
+    paper_map_pair,
+    paper_partition_sort,
+    parse_expr,
+    parse_program,
+    prelude_program,
+    pretty,
+    pretty_program,
+)
+from repro.machine import Machine, run_compiled
+from repro.opt import (
+    apply_plan,
+    block_allocate_producer,
+    make_reuse_specialization,
+    plan_optimizations,
+    stack_allocate_body,
+)
+from repro.semantics import Interpreter, StorageMetrics, run_program
+from repro.types import infer_program
+
+__version__ = "1.0.0"
+
+
+def analyze(program_or_source: "Program | str", **kwargs) -> EscapeAnalysis:
+    """Build an :class:`EscapeAnalysis` from a program or source text."""
+    program = (
+        parse_program(program_or_source)
+        if isinstance(program_or_source, str)
+        else program_or_source
+    )
+    return EscapeAnalysis(program, **kwargs)
+
+
+__all__ = [
+    "analyze", "sharing_global", "sharing_local", "BeChain",
+    "EscapeAnalysis", "Escapement", "EscapeTestResult", "EscapeValue",
+    "Source", "analysis_report", "check_invariance", "exact_escape",
+    "observe_escape", "NmlError", "Program", "paper_map_pair",
+    "paper_partition_sort", "parse_expr", "parse_program", "prelude_program",
+    "pretty", "pretty_program", "block_allocate_producer",
+    "make_reuse_specialization", "stack_allocate_body", "Interpreter",
+    "Machine", "run_compiled", "apply_plan", "plan_optimizations",
+    "StorageMetrics", "run_program", "infer_program", "__version__",
+]

@@ -1,0 +1,10 @@
+"""Analyses layered on escape information: sharing (Theorem 2)."""
+
+from repro.analysis.sharing import (
+    SharingInfo,
+    observed_unshared_spines,
+    sharing_global,
+    sharing_local,
+)
+
+__all__ = ["SharingInfo", "observed_unshared_spines", "sharing_global", "sharing_local"]

@@ -1,0 +1,22 @@
+"""Benchmark-harness support: workload generators, table rendering, and the
+Figure 1 spine renderer."""
+
+from repro.bench.figures import render_spines, spine_census, spine_figure, spine_figure_of_expr
+from repro.bench.tables import print_table, render_table
+from repro.bench.workloads import (
+    literal,
+    ps_create_list_program,
+    ps_program,
+    random_int_list,
+    random_nested_list,
+    reference_ps,
+    reference_rev,
+    rev_program,
+)
+
+__all__ = [
+    "render_spines", "spine_census", "spine_figure", "spine_figure_of_expr",
+    "print_table", "render_table", "literal", "ps_create_list_program",
+    "ps_program", "random_int_list", "random_nested_list", "reference_ps",
+    "reference_rev", "rev_program",
+]

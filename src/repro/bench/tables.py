@@ -1,0 +1,32 @@
+"""Minimal fixed-width table rendering for the benchmark harness output.
+
+The benches print paper-style tables (the Appendix A.1 global escape table,
+allocation-count comparisons, ...) to stdout so ``pytest benchmarks/ -s``
+reproduces the paper's presentation alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: list[str]) -> str:
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def print_table(headers: list[str], rows: list[list[object]], title: str = "") -> None:
+    print()
+    print(render_table(headers, rows, title))

@@ -1,0 +1,59 @@
+"""Workload generators for the benchmark harness.
+
+Deterministic (seeded) random lists and the nml program variants the
+benches compare: baseline partition sort / reverse versus their optimized
+forms, at a range of sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.lang.ast import Program
+from repro.lang.prelude import prelude_program
+
+
+def random_int_list(n: int, seed: int = 0, lo: int = 0, hi: int = 1000) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def random_nested_list(
+    rows: int, row_len: int, seed: int = 0, lo: int = 0, hi: int = 1000
+) -> list[list[int]]:
+    rng = random.Random(seed)
+    return [[rng.randint(lo, hi) for _ in range(row_len)] for _ in range(rows)]
+
+
+def literal(values) -> str:
+    """Render a (nested) Python list as an nml list literal."""
+    if isinstance(values, (list, tuple)):
+        return "[" + ", ".join(literal(v) for v in values) + "]"
+    if isinstance(values, bool):
+        return "true" if values else "false"
+    return str(values)
+
+
+def ps_program(values: list[int]) -> Program:
+    """Baseline partition sort applied to a literal list."""
+    return prelude_program(["ps"], f"ps {literal(values)}")
+
+
+def rev_program(values: list[int]) -> Program:
+    """Baseline naive reverse applied to a literal list."""
+    return prelude_program(["rev"], f"rev {literal(values)}")
+
+
+def ps_create_list_program(n: int) -> Program:
+    """§A.3.3's producer/consumer: ``ps (create_list n)``."""
+    return prelude_program(["ps", "create_list"], f"ps (create_list {n})")
+
+
+#: Python references for differential testing.
+def reference_ps(values: list[int]) -> list[int]:
+    """What the paper's partition sort computes — plain ascending order."""
+    return sorted(values)
+
+
+def reference_rev(values: list[int]) -> list[int]:
+    return list(reversed(values))

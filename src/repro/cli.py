@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+* ``run``      — evaluate a program, print its result and storage metrics
+* ``report``   — the full paper-style analysis report (A.1 + A.2)
+* ``analyze``  — global escape tests for one function (or a local test)
+* ``observe``  — ground-truth escapement of one call on the instrumented heap
+* ``spines``   — the Figure 1 spine decomposition of a list literal
+* ``optimize`` — apply an optimization and show the transformed program
+
+Programs are read from a file path or, with ``-e``, from the argument
+itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
+source prefixed with ``@`` for function arguments (``@pair``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as python_ast
+import sys
+from pathlib import Path
+
+from repro.analysis.sharing import sharing_global
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import Source, observe_escape
+from repro.escape.report import analysis_report
+from repro.lang.ast import Program
+from repro.lang.errors import NmlError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.semantics.interp import Interpreter
+
+
+def _load_program(args: argparse.Namespace) -> Program:
+    if args.expr:
+        return parse_program(args.program)
+    return parse_program(Path(args.program).read_text())
+
+
+def _add_program_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("program", help="path to an nml file (or source with -e)")
+    parser.add_argument(
+        "-e", "--expr", action="store_true", help="treat PROGRAM as source text"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    if args.machine:
+        from repro.machine.machine import Machine
+
+        runtime = Machine(auto_gc=args.gc, gc_threshold=args.gc_threshold)
+    else:
+        runtime = Interpreter(auto_gc=args.gc, gc_threshold=args.gc_threshold)
+    value = runtime.run(program)
+    print(runtime.to_python(value))
+    if args.metrics:
+        for key, count in runtime.metrics.snapshot().items():
+            if count:
+                print(f"  {key}: {count}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(analysis_report(_load_program(args)), end="")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    analysis = EscapeAnalysis(program)
+    if args.local:
+        results = analysis.local_test(args.local)
+        for result in results:
+            print(f"{result}  —  {result.describe()}")
+        return 0
+    names = [args.function] if args.function else list(program.binding_names())
+    for name in names:
+        try:
+            results = analysis.global_all(name)
+        except NmlError as error:
+            print(f"{name}: {error.message}")
+            continue
+        for result in results:
+            print(f"{result}  —  {result.describe()}")
+        if args.sharing:
+            try:
+                print(f"  {sharing_global(analysis, name).describe()}")
+            except NmlError:
+                pass
+    return 0
+
+
+def _parse_observer_arg(text: str):
+    if text.startswith("@"):
+        return Source(text[1:])
+    return python_ast.literal_eval(text)
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    call_args = [_parse_observer_arg(a) for a in args.args]
+    observed = observe_escape(program, args.function, call_args, args.index)
+    print(f"observed escapement: {observed.as_escapement()}")
+    if observed.escaped:
+        levels = ", ".join(str(l) for l in sorted(observed.escaped_levels))
+        print(f"  spine level(s) {levels} reached the result")
+    else:
+        print("  no cell of the argument is reachable from the result")
+    return 0
+
+
+def _cmd_spines(args: argparse.Namespace) -> int:
+    from repro.bench.figures import spine_figure
+
+    print(spine_figure(python_ast.literal_eval(args.list)))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    program = _load_program(args)
+    if args.reuse:
+        from repro.opt.reuse import make_reuse_specialization
+
+        function, _, index = args.reuse.partition(":")
+        result = make_reuse_specialization(program, function, int(index or "1"))
+        print(
+            f"-- reuse: {result.new_name} recycles parameter "
+            f"{result.param_index} ({result.rewritten_sites} DCONS site(s))"
+        )
+        program = result.program
+    if args.stack:
+        from repro.opt.stack_alloc import stack_allocate_body
+
+        result = stack_allocate_body(program)
+        print(f"-- stack: {result.annotated_sites} cons site(s) moved to the activation")
+        program = result.program
+    if args.block:
+        from repro.opt.block_alloc import block_allocate_producer
+
+        result = block_allocate_producer(program, args.block)
+        print(
+            f"-- block: {result.new_name} allocates {result.annotated_sites} "
+            "site(s) into a block freed when the consumer returns"
+        )
+        program = result.program
+    print(pretty_program(program), end="")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.machine.compiler import compile_program
+    from repro.machine.instructions import disassemble
+
+    program = _load_program(args)
+    print(disassemble(compile_program(program)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Escape Analysis on Lists (Park & Goldberg, PLDI 1992)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser("run", help="evaluate a program")
+    _add_program_arg(run_parser)
+    run_parser.add_argument("--metrics", action="store_true", help="print storage counters")
+    run_parser.add_argument("--gc", action="store_true", help="enable the mark-sweep GC")
+    run_parser.add_argument("--gc-threshold", type=int, default=10_000)
+    run_parser.add_argument(
+        "--machine", action="store_true", help="run on the compiled abstract machine"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = commands.add_parser("report", help="full analysis report")
+    _add_program_arg(report_parser)
+    report_parser.set_defaults(handler=_cmd_report)
+
+    analyze_parser = commands.add_parser("analyze", help="escape tests")
+    _add_program_arg(analyze_parser)
+    analyze_parser.add_argument("--function", help="only this top-level function")
+    analyze_parser.add_argument("--local", help="a call expression for the local test")
+    analyze_parser.add_argument("--sharing", action="store_true", help="add Theorem 2 facts")
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    observe_parser = commands.add_parser("observe", help="ground-truth escapement")
+    _add_program_arg(observe_parser)
+    observe_parser.add_argument("function")
+    observe_parser.add_argument("args", nargs="+", help="Python literals; @src for nml")
+    observe_parser.add_argument("--index", "-i", type=int, default=1)
+    observe_parser.set_defaults(handler=_cmd_observe)
+
+    spines_parser = commands.add_parser("spines", help="Figure 1 for a list literal")
+    spines_parser.add_argument("list", help="a Python list literal, e.g. '[[1,2],[3]]'")
+    spines_parser.set_defaults(handler=_cmd_spines)
+
+    disasm_parser = commands.add_parser("disasm", help="compiled machine code listing")
+    _add_program_arg(disasm_parser)
+    disasm_parser.set_defaults(handler=_cmd_disasm)
+
+    optimize_parser = commands.add_parser("optimize", help="apply optimizations")
+    _add_program_arg(optimize_parser)
+    optimize_parser.add_argument("--reuse", metavar="F:I", help="reuse-specialize F's param I")
+    optimize_parser.add_argument("--stack", action="store_true", help="stack-allocate the body call")
+    optimize_parser.add_argument("--block", metavar="PRODUCER", help="block-allocate PRODUCER")
+    optimize_parser.set_defaults(handler=_cmd_optimize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except NmlError as error:
+        print(f"error: {error.format()}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""The analysis front door: :class:`EscapeAnalysis`.
+
+Ties the pieces together for one program:
+
+1. type inference (with optional per-query monotype *pins*, §5),
+2. the ``B_e`` chain sized by the program's spine bound ``d``,
+3. the abstract evaluator and its letrec fixpoint,
+4. the global (§4.1) and local (§4.2) escape tests.
+
+Because the ``car^s`` annotations — and therefore the abstract values of the
+functions — depend on the monotype instance being analyzed, every query
+re-infers the program with the instance pinned and re-solves the fixpoint.
+Programs in this domain are small; re-solving keeps annotations, chain bound
+and environment mutually consistent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
+from repro.escape.domain import EscapeValue
+from repro.escape.global_test import run_global_test
+from repro.escape.lattice import BeChain
+from repro.escape.local_test import run_local_test
+from repro.escape.results import EscapeTestResult
+from repro.lang.ast import Expr, Letrec, Program, Var, uncurry_app
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_expr
+from repro.types.infer import InferenceResult, infer_program
+from repro.types.spines import program_spine_bound
+from repro.types.types import Type, TypeScheme, arity, fun_args
+
+
+@dataclass
+class SolvedProgram:
+    """One solved analysis instance: typed program + converged environment."""
+
+    inference: InferenceResult
+    evaluator: AbstractEvaluator
+    env: AbsEnv
+    d: int
+
+    @property
+    def traces(self) -> list[FixpointTrace]:
+        return self.evaluator.traces
+
+    def trace(self, name: str) -> FixpointTrace:
+        for t in self.evaluator.traces:
+            if t.name == name:
+                return t
+        raise AnalysisError(f"no fixpoint trace for {name!r}")
+
+
+class EscapeAnalysis:
+    """Escape analysis of one nml program.
+
+    >>> from repro.lang import paper_partition_sort
+    >>> analysis = EscapeAnalysis(paper_partition_sort())
+    >>> str(analysis.global_test("append", 1).result)
+    '<1,0>'
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        d: int | None = None,
+        max_iterations: int | None = None,
+    ):
+        self.program = program
+        self.d_override = d
+        self.max_iterations = max_iterations
+        # Base inference: exposes the (possibly polymorphic) schemes.
+        self._base_inference = infer_program(program)
+        #: The most recent solve — exposes fixpoint traces to callers.
+        self.last_solved: SolvedProgram | None = None
+
+    # -- schemes -----------------------------------------------------------
+
+    @property
+    def schemes(self) -> dict[str, TypeScheme]:
+        return self._base_inference.schemes
+
+    def scheme(self, name: str) -> TypeScheme:
+        return self._base_inference.scheme(name)
+
+    def function_names(self) -> tuple[str, ...]:
+        return self.program.binding_names()
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(self, pins: dict[str, Type] | None = None) -> SolvedProgram:
+        """Infer (with ``pins``) and run the letrec fixpoint for the
+        program's own letrec."""
+        return self._solve_letrec(self.program, pins)
+
+    def _solve_letrec(
+        self, program: Program, pins: dict[str, Type] | None
+    ) -> SolvedProgram:
+        inference = infer_program(program, pins=pins)
+        d = self.d_override if self.d_override is not None else program_spine_bound(program)
+        evaluator = AbstractEvaluator(BeChain(d), max_iterations=self.max_iterations)
+        env = evaluator.solve_bindings(program.letrec, {})
+        solved = SolvedProgram(inference=inference, evaluator=evaluator, env=env, d=d)
+        self.last_solved = solved
+        return solved
+
+    def _binding_type(self, solved: SolvedProgram, name: str) -> Type:
+        try:
+            binding = self.program.binding(name)
+        except KeyError:
+            raise AnalysisError(f"no top-level binding named {name!r}") from None
+        assert binding.expr.ty is not None
+        return binding.expr.ty
+
+    # -- global test (§4.1) ---------------------------------------------------
+
+    def global_test(
+        self,
+        function: str,
+        i: int,
+        instance: Type | None = None,
+        n_args: int | None = None,
+    ) -> EscapeTestResult:
+        """``G(function, i)`` — optionally at a pinned monotype instance."""
+        pins = {function: instance} if instance is not None else None
+        solved = self.solve(pins)
+        fn_type = self._binding_type(solved, function)
+        return run_global_test(
+            solved.evaluator, solved.env, function, fn_type, i, n_args=n_args
+        )
+
+    def global_all(
+        self,
+        function: str,
+        instance: Type | None = None,
+        n_args: int | None = None,
+    ) -> list[EscapeTestResult]:
+        """``G(function, i)`` for every parameter position ``i``.
+
+        ``n_args`` defaults to the full arity of the (instance) type; pass
+        the syntactic arity to treat deeper arrows contributed by a
+        function-typed instance as part of the *result*, not as parameters.
+        """
+        pins = {function: instance} if instance is not None else None
+        solved = self.solve(pins)
+        fn_type = self._binding_type(solved, function)
+        n = n_args if n_args is not None else arity(fn_type)
+        if n == 0:
+            raise AnalysisError(f"{function} takes no arguments (type {fn_type})")
+        return [
+            run_global_test(solved.evaluator, solved.env, function, fn_type, i, n_args=n)
+            for i in range(1, n + 1)
+        ]
+
+    def syntactic_arity(self, function: str) -> int:
+        """The number of top-level lambdas of a binding — the paper's ``n``
+        for "a function of n arguments"."""
+        from repro.lang.ast import uncurry_lambda
+
+        try:
+            binding = self.program.binding(function)
+        except KeyError:
+            raise AnalysisError(f"no top-level binding named {function!r}") from None
+        return len(uncurry_lambda(binding.expr)[0])
+
+    # -- local test (§4.2) -----------------------------------------------------
+
+    def local_test(self, call: "Expr | str", i: int | None = None):
+        """``L(f, i, e₁…eₙ)`` for a call expression over this program's
+        top-level functions.
+
+        ``call`` may be source text (e.g. ``"map pair [[1, 2]]"``) or an
+        AST.  Returns the result for parameter ``i``, or a list over all
+        parameters when ``i`` is None.
+        """
+        expr = parse_expr(call) if isinstance(call, str) else call
+        head, args = uncurry_app(expr)
+        if not args:
+            raise AnalysisError("local test target must be an application")
+
+        variant = Program(
+            letrec=Letrec(bindings=self.program.bindings, body=expr),
+            source=self.program.source,
+        )
+
+        # First inference discovers the instance the call uses; the second
+        # pins the knot to it so the abstract values' car^s annotations
+        # match the call.
+        if isinstance(head, Var) and head.name in self.program.binding_names():
+            infer_program(variant)
+            assert head.ty is not None
+            solved = self._solve_letrec(variant, pins={head.name: head.ty})
+            fn_value = solved.env[head.name]
+            label = head.name
+        else:
+            solved = self._solve_letrec(variant, pins=None)
+            fn_value = solved.evaluator.eval(head, solved.env)
+            label = "<expr>"
+
+        arg_values: list[EscapeValue] = []
+        arg_types: list[Type] = []
+        for arg in args:
+            arg_values.append(solved.evaluator.eval(arg, solved.env))
+            assert arg.ty is not None
+            arg_types.append(arg.ty)
+
+        if i is not None:
+            return run_local_test(
+                solved.evaluator, fn_value, label, arg_values, arg_types, i
+            )
+        return [
+            run_local_test(solved.evaluator, fn_value, label, arg_values, arg_types, j)
+            for j in range(1, len(args) + 1)
+        ]
+
+    # -- convenience -------------------------------------------------------------
+
+    def escaping_spines(self, function: str) -> list[int]:
+        """``esc_i`` for every parameter — the input to the sharing analysis
+        (Theorem 2)."""
+        return [r.escaping_spines for r in self.global_all(function)]
+
+    def arg_spine_counts(self, function: str) -> list[int]:
+        """``d_i`` for every parameter."""
+        solved = self.solve(None)
+        fn_type = self._binding_type(solved, function)
+        from repro.types.types import spines as spine_count
+
+        return [spine_count(t) for t in fun_args(fn_type)[0]]

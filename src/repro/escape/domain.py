@@ -1,0 +1,179 @@
+"""Abstract escape values: the domains ``D_e^τ`` of §3.4.
+
+A value of ``D_e^τ`` is a pair ``⟨b, f⟩`` where ``b ∈ B_e`` describes how
+much of the interesting object may be *contained* in the value, and ``f``
+describes the value's behaviour *as a function* (``err`` for non-functions).
+
+Under the abstraction of §3.4 the list subdomain collapses —
+``D_e^{τ list} = D_e^τ`` — so a list's abstract value joins the abstract
+values of all its elements, with spine bookkeeping carried by the ``B_e``
+component.
+
+``err`` ("a function weaker than all others that can never be applied") is
+modelled by :class:`ErrFun`, whose application yields the bottom value; this
+is exactly how the paper's fixpoint iterations treat it (``append⁽⁰⁾ x y =
+⊥``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.escape.lattice import Escapement, NONE_ESCAPES
+
+
+class AbsFun:
+    """Base class of the function component of an abstract value."""
+
+    def apply(self, arg: "EscapeValue") -> "EscapeValue":
+        raise NotImplementedError
+
+    def join(self, other: "AbsFun") -> "AbsFun":
+        if isinstance(other, ErrFun):
+            return self
+        if self is other or self == other:
+            return self
+        left = self.funs if isinstance(self, JoinFun) else (self,)
+        right = other.funs if isinstance(other, JoinFun) else (other,)
+        merged = list(left)
+        for fun in right:
+            if not any(fun is existing or fun == existing for existing in merged):
+                merged.append(fun)
+        if len(merged) == 1:
+            return merged[0]
+        return JoinFun(tuple(merged))
+
+
+class ErrFun(AbsFun):
+    """``err``: the bottom function.  Applying it yields ⟨⟨0,0⟩, err⟩."""
+
+    _instance: "ErrFun | None" = None
+
+    def __new__(cls) -> "ErrFun":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def apply(self, arg: "EscapeValue") -> "EscapeValue":
+        return BOTTOM
+
+    def join(self, other: AbsFun) -> AbsFun:
+        return other
+
+    def __repr__(self) -> str:
+        return "err"
+
+
+ERR = ErrFun()
+
+
+@dataclass(frozen=True)
+class EscapeValue:
+    """An element ``⟨b, f⟩`` of some ``D_e^τ``."""
+
+    be: Escapement
+    fn: AbsFun = ERR
+
+    def apply(self, arg: "EscapeValue") -> "EscapeValue":
+        """Use this value as a function (the ``(·)₍₂₎`` application)."""
+        return self.fn.apply(arg)
+
+    def join(self, other: "EscapeValue") -> "EscapeValue":
+        return EscapeValue(self.be.join(other.be), self.fn.join(other.fn))
+
+    def with_be(self, be: Escapement) -> "EscapeValue":
+        return EscapeValue(be, self.fn)
+
+    def __str__(self) -> str:
+        suffix = "" if isinstance(self.fn, ErrFun) else f", {self.fn!r}"
+        return f"<{self.be}{suffix}>"
+
+
+#: ⟨⟨0,0⟩, err⟩ — the bottom abstract value (also the value of literals).
+BOTTOM = EscapeValue(NONE_ESCAPES, ERR)
+
+
+def join_values(values: list[EscapeValue]) -> EscapeValue:
+    result = BOTTOM
+    for value in values:
+        result = result.join(value)
+    return result
+
+
+@dataclass(frozen=True, eq=False)
+class PrimFun(AbsFun):
+    """A primitive's abstract function, implemented by a Python callable.
+
+    ``tag`` identifies the primitive (and any captured partial-application
+    state) so structurally identical primitives compare equal.
+    """
+
+    tag: tuple
+    run: Callable[[EscapeValue], EscapeValue]
+
+    def apply(self, arg: EscapeValue) -> EscapeValue:
+        return self.run(arg)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrimFun):
+            return NotImplemented
+        return self.tag == other.tag
+
+    def __hash__(self) -> int:
+        return hash(self.tag)
+
+    def __repr__(self) -> str:
+        return f"prim{self.tag!r}"
+
+
+@dataclass(frozen=True)
+class JoinFun(AbsFun):
+    """Pointwise join of several abstract functions:
+    ``(f ⊔ g)(x) = f(x) ⊔ g(x)``."""
+
+    funs: tuple[AbsFun, ...]
+
+    def apply(self, arg: EscapeValue) -> EscapeValue:
+        result = BOTTOM
+        for fun in self.funs:
+            result = result.join(fun.apply(arg))
+        return result
+
+    def __repr__(self) -> str:
+        return " ⊔ ".join(repr(fun) for fun in self.funs)
+
+
+class ClosureFun(AbsFun):
+    """The abstract function of a ``lambda``: evaluating the body in the
+    captured abstract environment extended with the argument.
+
+    Closures compare by identity; extensional comparison (fingerprints in
+    :mod:`repro.escape.abstract`) is used wherever semantic equality is
+    needed.
+    """
+
+    __slots__ = ("param", "body", "env", "evaluator")
+
+    def __init__(self, param: str, body, env: dict, evaluator) -> None:
+        self.param = param
+        self.body = body
+        self.env = env
+        self.evaluator = evaluator
+
+    def apply(self, arg: EscapeValue) -> EscapeValue:
+        memo = getattr(self.evaluator, "memo", None)
+        if memo is not None:
+            key = (self, arg)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+        extended = dict(self.env)
+        extended[self.param] = arg
+        result = self.evaluator.eval(self.body, extended)
+        if memo is not None:
+            memo[key] = result
+        return result
+
+    def __repr__(self) -> str:
+        return f"closure({self.param})"

@@ -1,0 +1,439 @@
+"""The exact escape semantics (§3.2) and the dynamic escape observer.
+
+Two independent formulations of *ground-truth* escapement, used to validate
+the abstract analysis (the safety property of §3.5):
+
+1. :class:`DualInterpreter` — the paper's exact escape semantics, with the
+   oracle for conditionals implemented the only way an exact semantics can
+   be: by running the standard semantics in lock-step and asking it which
+   branch is taken.  List escape values keep the paper's structured domain
+   ``D_e^{τ list} = (B_e × {err}) + (D_e^τ × D_e^{τ list})``: a cons has a
+   *pair* escape value (``cons``/``car``/``cdr`` are ``pair``/``fst``/
+   ``snd``).  The cells of the interesting argument are tagged with their
+   spine level; the tags found in the result say exactly which spines
+   escaped.
+
+2. :func:`observe_escape` — a heap-level observer: run the instrumented
+   interpreter, intersect the cells of the interesting argument (by spine
+   level) with the cells reachable from the result.
+
+Both return an :class:`ObservedEscape`; they must agree with each other,
+and the abstract ``G``/``L`` results must dominate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.escape.lattice import Escapement, NONE_ESCAPES
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.errors import AnalysisError, EvalError
+from repro.lang.parser import parse_expr
+from repro.semantics.heap import Cell
+from repro.semantics.interp import Interpreter
+from repro.semantics.values import Value, VClosure, VCons, VNil, VTuple
+
+
+class Source(str):
+    """Marks an observer argument as nml source text (evaluated with the
+    program's top-level bindings in scope) rather than Python data — the
+    way to pass function arguments, e.g. ``Source("pair")``."""
+
+
+@dataclass(frozen=True)
+class ObservedEscape:
+    """Ground-truth escapement of one argument from one call.
+
+    ``escaped_levels`` are the spine levels (1 = top) of the argument with
+    at least one cell in the result.  ``as_escapement`` renders it on the
+    paper's ``B_e`` chain: ``⟨1, s − min(levels) + 1⟩`` — if the topmost
+    escaping spine is level ℓ, the bottom ``s − ℓ + 1`` spines escaped.
+    """
+
+    param_spines: int
+    escaped_levels: frozenset[int]
+
+    @property
+    def escaped(self) -> bool:
+        return bool(self.escaped_levels)
+
+    @property
+    def escaping_spines(self) -> int:
+        if not self.escaped_levels:
+            return 0
+        return self.param_spines - min(self.escaped_levels) + 1
+
+    def as_escapement(self) -> Escapement:
+        if not self.escaped_levels:
+            return NONE_ESCAPES
+        return Escapement(1, self.escaping_spines)
+
+
+# ---------------------------------------------------------------------------
+# 1. The exact escape semantics (lock-step with the concrete oracle)
+# ---------------------------------------------------------------------------
+
+
+class ExactValue:
+    """Base of the exact escape domain."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EBasic(ExactValue):
+    """A ``B_e × {err}`` element: ints, bools, nil — nothing applicable."""
+
+    be: Escapement = NONE_ESCAPES
+
+
+E_BOTTOM = EBasic(NONE_ESCAPES)
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class EPair(ExactValue):
+    """A cons in the exact list domain ``D_e^τ × D_e^{τ list}``.
+
+    ``tag`` marks spine cells of the interesting argument with their spine
+    level (1 = top); un-seeded pairs have ``tag = None``.
+    """
+
+    fst: ExactValue
+    snd: ExactValue
+    tag: int | None = None
+
+
+@dataclass(frozen=True, slots=True, eq=False)
+class ETuple(ExactValue):
+    """A pair in the exact domain (the tuple extension): components kept
+    separately so fst/snd project exactly.  Tuples carry no spine tag —
+    Definition 1's spines are car/cdr paths only."""
+
+    fst: ExactValue
+    snd: ExactValue
+
+
+@dataclass(eq=False)
+class EClosure(ExactValue):
+    """A function in the exact domain: evaluates its body in lock-step."""
+
+    param: str
+    body: Expr
+    env: "dict[str, tuple[Value, ExactValue]]"
+    interp: "DualInterpreter"
+    name: str = ""
+
+    def apply(self, arg: "tuple[Value, ExactValue]") -> "tuple[Value, ExactValue]":
+        extended = dict(self.env)
+        extended[self.param] = arg
+        return self.interp.eval(self.body, extended)
+
+
+@dataclass(eq=False)
+class EPrim(ExactValue):
+    """A (partially applied) primitive in the exact domain."""
+
+    prim: Prim
+    args: tuple = ()
+
+
+def collect_tags(value: ExactValue) -> set[int]:
+    """All interesting-argument spine tags contained in an exact value,
+    looking through pairs and closure environments (a closure *contains*
+    its free identifiers, per the paper's ``V``)."""
+    tags: set[int] = set()
+    stack: list[ExactValue] = [value]
+    seen: set[int] = set()
+    while stack:
+        current = stack.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        if isinstance(current, EPair):
+            if current.tag is not None:
+                tags.add(current.tag)
+            stack.append(current.fst)
+            stack.append(current.snd)
+        elif isinstance(current, ETuple):
+            stack.append(current.fst)
+            stack.append(current.snd)
+        elif isinstance(current, EClosure):
+            stack.extend(ev for _, ev in current.env.values())
+        elif isinstance(current, EPrim):
+            stack.extend(ev for _, ev in current.args)
+    return tags
+
+
+class DualInterpreter:
+    """Lock-step standard + exact escape evaluation.
+
+    The standard half is delegated to an :class:`Interpreter`-owned heap
+    only where values must exist concretely (cons cells); control flow
+    (the oracle) uses the concrete values directly.
+    """
+
+    def __init__(self) -> None:
+        self.interp = Interpreter()
+        self.steps = 0
+
+    # -- dual evaluation -----------------------------------------------------
+
+    def eval(
+        self, expr: Expr, env: dict[str, tuple[Value, ExactValue]]
+    ) -> tuple[Value, ExactValue]:
+        self.steps += 1
+        if isinstance(expr, IntLit):
+            return self.interp.eval(expr, _concrete_env(env)), E_BOTTOM
+        if isinstance(expr, (BoolLit, NilLit)):
+            return self.interp.eval(expr, _concrete_env(env)), E_BOTTOM
+        if isinstance(expr, Prim):
+            from repro.semantics.values import VPrim
+
+            return VPrim(expr), EPrim(expr)
+        if isinstance(expr, Var):
+            if expr.name not in env:
+                raise EvalError(f"unbound identifier {expr.name!r}", expr.span)
+            return env[expr.name]
+        if isinstance(expr, Lambda):
+            concrete = VClosure(expr, _concrete_env(env))
+            return concrete, EClosure(expr.param, expr.body, dict(env), self)
+        if isinstance(expr, If):
+            cond_value, _ = self.eval(expr.cond, env)
+            from repro.semantics.values import VBool
+
+            if not isinstance(cond_value, VBool):
+                raise EvalError("if condition is not a bool", expr.cond.span)
+            # The oracle: the concrete execution chooses the branch.
+            branch = expr.then if cond_value.value else expr.otherwise
+            return self.eval(branch, env)
+        if isinstance(expr, App):
+            fn = self.eval(expr.fn, env)
+            arg = self.eval(expr.arg, env)
+            return self.apply(fn, arg, expr)
+        if isinstance(expr, Letrec):
+            extended = dict(env)
+            for binding in expr.bindings:
+                if isinstance(binding.expr, Lambda):
+                    # Tie the knot: closures share the growing env dict.
+                    concrete = VClosure(binding.expr, _concrete_env(extended), binding.name)
+                    exact = EClosure(
+                        binding.expr.param, binding.expr.body, extended, self, binding.name
+                    )
+                    extended[binding.name] = (concrete, exact)
+                else:
+                    extended[binding.name] = self.eval(binding.expr, extended)
+            return self.eval(expr.body, extended)
+        raise EvalError(f"cannot evaluate {type(expr).__name__}", expr.span)
+
+    def apply(
+        self,
+        fn: tuple[Value, ExactValue],
+        arg: tuple[Value, ExactValue],
+        node: App | None = None,
+    ) -> tuple[Value, ExactValue]:
+        _, fn_exact = fn
+        if isinstance(fn_exact, EClosure):
+            return fn_exact.apply(arg)
+        if isinstance(fn_exact, EPrim):
+            args = fn_exact.args + (arg,)
+            if len(args) < fn_exact.prim.arity:
+                from repro.semantics.values import VPrim
+
+                concrete = VPrim(fn_exact.prim, tuple(a for a, _ in args))
+                return concrete, EPrim(fn_exact.prim, args)
+            return self._exec_prim(fn_exact.prim, args, node)
+        raise EvalError("cannot apply non-function", node.span if node else None)
+
+    def _exec_prim(
+        self, prim: Prim, args: tuple, node: App | None
+    ) -> tuple[Value, ExactValue]:
+        name = prim.name
+        concrete_args = tuple(a for a, _ in args)
+        exact_args = tuple(e for _, e in args)
+
+        if name == "cons":
+            cell = self.interp.heap.allocate(concrete_args[0], concrete_args[1], site=prim)
+            return VCons(cell), EPair(exact_args[0], exact_args[1])
+        if name == "car":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            exact = exact_args[0]
+            if isinstance(exact, EPair):
+                return concrete, exact.fst  # fst
+            return concrete, exact  # car of an untagged basic list value
+        if name == "cdr":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            exact = exact_args[0]
+            if isinstance(exact, EPair):
+                return concrete, exact.snd  # snd
+            return concrete, exact
+        if name == "mkpair":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            return concrete, ETuple(exact_args[0], exact_args[1])
+        if name == "fst":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            exact = exact_args[0]
+            return concrete, exact.fst if isinstance(exact, ETuple) else exact
+        if name == "snd":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            exact = exact_args[0]
+            return concrete, exact.snd if isinstance(exact, ETuple) else exact
+        # null, arithmetic, comparisons, dcons: result contains nothing of
+        # the interesting object (ints/bools), except dcons which rebuilds
+        # a pair.
+        if name == "dcons":
+            concrete = self.interp._exec_prim(prim, concrete_args, node)
+            donor = exact_args[0]
+            tag = donor.tag if isinstance(donor, EPair) else None
+            return concrete, EPair(exact_args[1], exact_args[2], tag=tag)
+        concrete = self.interp._exec_prim(prim, concrete_args, node)
+        return concrete, E_BOTTOM
+
+
+def _concrete_env(env: dict[str, tuple[Value, ExactValue]]):
+    from repro.semantics.values import Env
+
+    frame = {name: value for name, (value, _) in env.items()}
+    return Env(None, frame)
+
+
+def seed_exact(interp: Interpreter, value: Value, level: int = 1) -> ExactValue:
+    """Build the exact escape value of the *interesting* argument: its spine
+    cells tagged with their levels, elements seeded one level deeper.
+
+    Tuples are transparent containers but not spines: their components keep
+    structure but lists inside tuples are not spines of the argument
+    (Definition 1 counts car/cdr paths only), matching the heap observer.
+    """
+    if isinstance(value, VCons):
+        cell = value.cell
+        fst = seed_exact(interp, interp.heap.read_car(cell), level + 1)
+        snd = seed_exact(interp, interp.heap.read_cdr(cell), level)
+        return EPair(fst, snd, tag=level)
+    if isinstance(value, VTuple):
+        return ETuple(
+            _unseeded(interp, value.fst), _unseeded(interp, value.snd)
+        )
+    return E_BOTTOM
+
+
+def exact_escape(
+    program: Program,
+    function: str,
+    args_python: list,
+    i: int,
+) -> ObservedEscape:
+    """Run the exact escape semantics (§3.2) for ``function`` applied to
+    concrete arguments, with argument ``i`` (1-based) interesting."""
+    if not 1 <= i <= len(args_python):
+        raise AnalysisError(f"parameter index {i} out of range")
+    dual = DualInterpreter()
+    # Bring the top-level bindings into scope (dual letrec).
+    env: dict[str, tuple[Value, ExactValue]] = {}
+    fn_expr = parse_expr(function)
+    letrec = Letrec(bindings=program.bindings, body=fn_expr)
+    fn_pair = dual.eval(letrec, env)
+
+    result = fn_pair
+    spine_count = 0
+    for j, arg_py in enumerate(args_python, start=1):
+        if isinstance(arg_py, Source):
+            letrec_arg = Letrec(bindings=program.bindings, body=parse_expr(arg_py))
+            concrete, exact = dual.eval(letrec_arg, {})
+            if j == i and isinstance(concrete, (VCons, VNil)):
+                # Lists get spine tags; function arguments keep their
+                # behaviour (closure identity is not tag-tracked here —
+                # use observe_escape for non-list interesting objects).
+                exact = seed_exact(dual.interp, concrete)
+        else:
+            concrete = dual.interp.from_python(arg_py)
+            if j == i:
+                exact = seed_exact(dual.interp, concrete)
+                spine_count = _python_spines(arg_py)
+            else:
+                exact = _unseeded(dual.interp, concrete)
+        result = dual.apply(result, (concrete, exact))
+
+    tags = collect_tags(result[1])
+    return ObservedEscape(
+        param_spines=spine_count, escaped_levels=frozenset(tags)
+    )
+
+
+def _unseeded(interp: Interpreter, value: Value) -> ExactValue:
+    if isinstance(value, VCons):
+        cell = value.cell
+        return EPair(
+            _unseeded(interp, interp.heap.read_car(cell)),
+            _unseeded(interp, interp.heap.read_cdr(cell)),
+        )
+    if isinstance(value, VTuple):
+        return ETuple(_unseeded(interp, value.fst), _unseeded(interp, value.snd))
+    return E_BOTTOM
+
+
+def _python_spines(obj) -> int:
+    """Spine count of a nested Python list (by structure; 0 for non-lists).
+    An empty list still has its own spine."""
+    if not isinstance(obj, (list, tuple)):
+        return 0
+    if not obj:
+        return 1
+    return 1 + max(_python_spines(item) for item in obj)
+
+
+# ---------------------------------------------------------------------------
+# 2. The dynamic (heap-level) observer
+# ---------------------------------------------------------------------------
+
+
+def observe_escape(
+    program: Program,
+    function: str,
+    args_python: list,
+    i: int,
+) -> ObservedEscape:
+    """Measure true escapement on the instrumented heap: which spine levels
+    of argument ``i`` have a cell reachable from the call's result (looking
+    through closures and partial applications)."""
+    if not 1 <= i <= len(args_python):
+        raise AnalysisError(f"parameter index {i} out of range")
+    interp = Interpreter()
+    fn_value = interp.eval_in(program, function)
+
+    arg_values: list[Value] = [
+        interp.eval_in(program, str(a)) if isinstance(a, Source) else interp.from_python(a)
+        for a in args_python
+    ]
+    interesting = arg_values[i - 1]
+    spine_of: dict[Cell, set[int]] = interp.heap.spine_map(interesting)
+
+    result = fn_value
+    for value in arg_values:
+        result = interp.apply(result, value)
+
+    reachable = interp.heap.reachable_cells(result)
+    escaped: set[int] = set()
+    for cell, levels in spine_of.items():
+        if cell in reachable:
+            escaped |= levels
+    interesting_arg = args_python[i - 1]
+    if isinstance(interesting_arg, Source):
+        param_spines = max((max(ls) for ls in spine_of.values()), default=0)
+    else:
+        param_spines = _python_spines(interesting_arg)
+    return ObservedEscape(
+        param_spines=param_spines,
+        escaped_levels=frozenset(escaped),
+    )

@@ -1,0 +1,59 @@
+"""The global escape test ``G(f, i, env_e)`` (§4.1).
+
+Global analysis answers: over *every possible application* of ``f``, how
+much of the ``i``-th argument could escape?  It applies ``f``'s abstract
+value to worst-case arguments: the interesting parameter gets
+``⟨⟨1,sᵢ⟩, W^{τᵢ}⟩`` (all of it contained, worst functional behaviour), all
+others ``⟨⟨0,0⟩, W^{τⱼ}⟩``.
+"""
+
+from __future__ import annotations
+
+from repro.escape.abstract import AbsEnv, AbstractEvaluator
+from repro.escape.results import EscapeTestResult
+from repro.escape.worst import worst_value
+from repro.lang.errors import AnalysisError
+from repro.types.types import Type, fun_args, spines
+
+
+def run_global_test(
+    evaluator: AbstractEvaluator,
+    env: AbsEnv,
+    function: str,
+    fn_type: Type,
+    i: int,
+    n_args: int | None = None,
+) -> EscapeTestResult:
+    """Compute ``G(f, i, env_e)`` given the solved abstract environment.
+
+    ``n_args`` defaults to the full arity of ``fn_type`` (the paper's
+    "application of f to n arguments").
+    """
+    arg_types, _ = fun_args(fn_type)
+    n = n_args if n_args is not None else len(arg_types)
+    if n == 0:
+        raise AnalysisError(f"{function} takes no arguments (type {fn_type})")
+    if n > len(arg_types):
+        raise AnalysisError(
+            f"{function} takes at most {len(arg_types)} arguments (type {fn_type})"
+        )
+    if not 1 <= i <= n:
+        raise AnalysisError(f"parameter index {i} out of range 1..{n}")
+
+    fn_value = env.get(function)
+    if fn_value is None:
+        raise AnalysisError(f"{function!r} is not in the abstract environment")
+
+    result = fn_value
+    for j, arg_type in enumerate(arg_types[:n], start=1):
+        result = result.apply(worst_value(arg_type, interesting=(j == i)))
+
+    interesting_type = arg_types[i - 1]
+    return EscapeTestResult(
+        function=function,
+        param_index=i,
+        param_spines=spines(interesting_type),
+        param_type=interesting_type,
+        result=evaluator.chain.check(result.be),
+        kind="global",
+    )

@@ -1,0 +1,126 @@
+"""The basic escape domain ``B_e`` (§3.2, as reinterpreted in §3.4).
+
+``B_e`` is the finite chain
+
+    ⟨0,0⟩ ⊑ ⟨1,0⟩ ⊑ ⟨1,1⟩ ⊑ … ⊑ ⟨1,d⟩
+
+whose points mean:
+
+* ``⟨0,0⟩`` — no part of the interesting object may be contained in the
+  value of the expression;
+* ``⟨1,i⟩`` — the bottom ``i`` spines of the interesting object may be
+  contained in the value (``i = 0`` for indivisible, non-list objects).
+
+``d`` is a per-program constant: the deepest spine count of any list type in
+the program (:func:`repro.types.spines.program_spine_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class Escapement:
+    """A point ⟨escapes, spines⟩ of the ``B_e`` chain."""
+
+    escapes: int
+    spines: int
+
+    def __post_init__(self) -> None:
+        if self.escapes not in (0, 1):
+            raise AnalysisError(f"escapes must be 0 or 1, got {self.escapes}")
+        if self.spines < 0:
+            raise AnalysisError(f"spines must be non-negative, got {self.spines}")
+        if self.escapes == 0 and self.spines != 0:
+            raise AnalysisError(f"⟨0,{self.spines}⟩ is not a point of B_e")
+
+    # -- order structure ---------------------------------------------------
+
+    def leq(self, other: "Escapement") -> bool:
+        """``self ⊑ other`` — componentwise on the chain."""
+        return self.escapes <= other.escapes and self.spines <= other.spines
+
+    def join(self, other: "Escapement") -> "Escapement":
+        """Least upper bound.  ``B_e`` is a chain, so this is max."""
+        if self.leq(other):
+            return other
+        if other.leq(self):
+            return self
+        # Unreachable on a chain, but keep the lattice law explicit.
+        return Escapement(
+            max(self.escapes, other.escapes), max(self.spines, other.spines)
+        )
+
+    def meet(self, other: "Escapement") -> "Escapement":
+        """Greatest lower bound."""
+        return other if other.leq(self) else self
+
+    # -- paper notation ------------------------------------------------------
+
+    @property
+    def is_none(self) -> bool:
+        """True for ⟨0,0⟩: nothing of the interesting object escapes."""
+        return self.escapes == 0
+
+    def __str__(self) -> str:
+        return f"<{self.escapes},{self.spines}>"
+
+
+#: ⟨0,0⟩ — bottom of every ``B_e`` chain.
+NONE_ESCAPES = Escapement(0, 0)
+
+
+def escapes_bottom(spines: int) -> Escapement:
+    """⟨1, spines⟩ — the bottom ``spines`` spines may escape."""
+    return Escapement(1, spines)
+
+
+class BeChain:
+    """The chain ``B_e`` for a fixed program constant ``d``.
+
+    Provides enumeration (for extensional comparison of abstract functions),
+    bounds checking, and the top element ⟨1,d⟩.
+    """
+
+    def __init__(self, d: int):
+        if d < 0:
+            raise AnalysisError(f"spine bound d must be non-negative, got {d}")
+        self.d = d
+
+    @property
+    def bottom(self) -> Escapement:
+        return NONE_ESCAPES
+
+    @property
+    def top(self) -> Escapement:
+        return Escapement(1, self.d)
+
+    def points(self) -> list[Escapement]:
+        """All ``d + 2`` points, bottom first."""
+        return [NONE_ESCAPES] + [Escapement(1, i) for i in range(self.d + 1)]
+
+    def __contains__(self, point: Escapement) -> bool:
+        return point.escapes == 0 or point.spines <= self.d
+
+    def check(self, point: Escapement) -> Escapement:
+        if point not in self:
+            raise AnalysisError(f"{point} exceeds the B_e chain bound d={self.d}")
+        return point
+
+    def height(self) -> int:
+        """Length of the longest strictly-ascending chain (= d + 2)."""
+        return self.d + 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BeChain(d={self.d})"
+
+
+def join_all(points: "list[Escapement] | tuple[Escapement, ...]") -> Escapement:
+    """⊔ of any number of points (⟨0,0⟩ for the empty join)."""
+    result = NONE_ESCAPES
+    for point in points:
+        result = result.join(point)
+    return result

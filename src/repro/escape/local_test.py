@@ -1,0 +1,57 @@
+"""The local escape test ``L(f, i, e₁, …, eₙ, env_e)`` (§4.2).
+
+Local analysis refines the global result for a *particular call*: instead of
+the worst-case functional behaviour ``W^{τᵢ}``, each argument position gets
+the actual abstract function component of its argument expression,
+``(E⟦eⱼ⟧env_e)₍₂₎``, while the containment component still marks only the
+interesting argument (``⟨1,sᵢ⟩`` vs ``⟨0,0⟩``).
+"""
+
+from __future__ import annotations
+
+from repro.escape.abstract import AbstractEvaluator
+from repro.escape.domain import EscapeValue
+from repro.escape.lattice import Escapement, NONE_ESCAPES
+from repro.escape.results import EscapeTestResult
+from repro.lang.errors import AnalysisError
+from repro.types.types import Type, spines
+
+
+def run_local_test(
+    evaluator: AbstractEvaluator,
+    fn_value: EscapeValue,
+    function: str,
+    arg_values: list[EscapeValue],
+    arg_types: list[Type],
+    i: int,
+) -> EscapeTestResult:
+    """Compute ``L(f, i, e₁…eₙ)`` from the evaluated argument values.
+
+    ``arg_values[j]`` must be ``E⟦eⱼ⟧env_e`` — only its function component
+    is used, per the paper's ``zⱼ = ⟨⟨·,·⟩, (E⟦eⱼ⟧env_e)₍₂₎⟩``.
+    """
+    n = len(arg_values)
+    if n == 0:
+        raise AnalysisError("local test needs at least one argument")
+    if len(arg_types) != n:
+        raise AnalysisError("arg_values and arg_types must align")
+    if not 1 <= i <= n:
+        raise AnalysisError(f"parameter index {i} out of range 1..{n}")
+
+    result = fn_value
+    for j, (value, arg_type) in enumerate(zip(arg_values, arg_types), start=1):
+        if j == i:
+            be = Escapement(1, spines(arg_type))
+        else:
+            be = NONE_ESCAPES
+        result = result.apply(EscapeValue(be, value.fn))
+
+    interesting_type = arg_types[i - 1]
+    return EscapeTestResult(
+        function=function,
+        param_index=i,
+        param_spines=spines(interesting_type),
+        param_type=interesting_type,
+        result=evaluator.chain.check(result.be),
+        kind="local",
+    )

@@ -1,0 +1,127 @@
+"""Polymorphic invariance (§5, Theorem 1).
+
+For a polymorphic function ``f`` and any two monomorphic instances ``f'``,
+``f''``: either the global test gives ⟨0,0⟩ for both, or it gives ⟨1,k'⟩ and
+⟨1,k''⟩ with ``s'ᵢ − k' = s''ᵢ − k''`` — the *non-escaping top-spine prefix*
+is an invariant of the function, not of the instance.  This is what lets a
+compiler analyze only the simplest instance of each polymorphic function.
+
+This module both *uses* the theorem (``simplest_instance``) and *checks* it
+empirically by instantiating functions at a battery of filler types and
+comparing the invariant across instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeTestResult
+from repro.lang.errors import AnalysisError
+from repro.types.instantiate import instantiate_scheme
+from repro.types.types import BOOL, INT, TFun, TList, Type
+
+
+#: Instance fillers used by default: spine counts 0, 0, 1, 2 and a function.
+DEFAULT_FILLERS: tuple[Type, ...] = (
+    INT,
+    BOOL,
+    TList(INT),
+    TList(TList(INT)),
+    TFun(INT, INT),
+)
+
+
+@dataclass(frozen=True)
+class InvarianceRow:
+    """One (instance, parameter) observation."""
+
+    instance: Type
+    param_index: int
+    param_spines: int  # s_i at this instance
+    result: EscapeTestResult
+
+    @property
+    def non_escaping(self) -> int:
+        return self.result.non_escaping_spines
+
+    @property
+    def nothing_escapes(self) -> bool:
+        return self.result.nothing_escapes
+
+
+@dataclass(frozen=True)
+class InvarianceReport:
+    """All observations for one function, plus the verdict."""
+
+    function: str
+    rows: tuple[InvarianceRow, ...]
+    holds: bool
+
+    def rows_for_param(self, i: int) -> list[InvarianceRow]:
+        return [row for row in self.rows if row.param_index == i]
+
+
+def check_invariance(
+    analysis: EscapeAnalysis,
+    function: str,
+    fillers: "tuple[Type, ...] | list[Type]" = DEFAULT_FILLERS,
+) -> InvarianceReport:
+    """Run the global test on every parameter at every instance and check
+    Theorem 1's invariant.
+
+    Instances that do not type-check against the rest of the program are
+    skipped (a pin can conflict with a monomorphic use elsewhere in the
+    knot); at least two instances must survive for the check to be
+    meaningful.
+    """
+    scheme = analysis.scheme(function)
+    if not scheme.vars:
+        raise AnalysisError(f"{function} is not polymorphic ({scheme})")
+
+    from repro.lang.errors import TypeInferenceError
+
+    # Theorem 1 compares instances of "a function of arity n": use the
+    # syntactic arity so arrows contributed by a function-typed filler are
+    # part of the result type, not extra parameters.
+    n_args = analysis.syntactic_arity(function)
+
+    rows: list[InvarianceRow] = []
+    instances: list[Type] = []
+    for filler in fillers:
+        instance = instantiate_scheme(scheme, {var: filler for var in scheme.vars})
+        try:
+            results = analysis.global_all(function, instance=instance, n_args=n_args)
+        except TypeInferenceError:
+            continue
+        instances.append(instance)
+        for result in results:
+            rows.append(
+                InvarianceRow(
+                    instance=instance,
+                    param_index=result.param_index,
+                    param_spines=result.param_spines,
+                    result=result,
+                )
+            )
+
+    if len(instances) < 2:
+        raise AnalysisError(
+            f"fewer than two instances of {function} type-check; "
+            "cannot exercise polymorphic invariance"
+        )
+
+    holds = True
+    n_params = max(row.param_index for row in rows)
+    for i in range(1, n_params + 1):
+        observations = [row for row in rows if row.param_index == i]
+        # Theorem 1: all-⟨0,0⟩, or equal non-escaping prefixes.
+        if any(row.nothing_escapes for row in observations):
+            if not all(row.nothing_escapes for row in observations):
+                holds = False
+        else:
+            prefixes = {row.non_escaping for row in observations}
+            if len(prefixes) != 1:
+                holds = False
+
+    return InvarianceReport(function=function, rows=tuple(rows), holds=holds)

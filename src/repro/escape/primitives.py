@@ -1,0 +1,127 @@
+"""Abstract escape semantics of the constants (§3.2's ``C``, as modified by
+§3.4).
+
+The interesting cases::
+
+    C[nil]    = ⊥                                    (nothing contained)
+    C[cons]   = ⟨⟨0,0⟩, λx.⟨x₍₁₎, λy. x ⊔ y⟩⟩        (lists collapse to joins)
+    C[car^s]  = ⟨⟨0,0⟩, λx. sub^s(x)⟩
+    C[cdr]    = ⟨⟨0,0⟩, λx. x⟩                       (same spines may remain)
+    C[null]   = ⟨⟨0,0⟩, λx. ⟨⟨0,0⟩, err⟩⟩
+    C[+ etc.] = ⟨⟨0,0⟩, λx.⟨x₍₁₎, λy.⟨⟨0,0⟩, err⟩⟩⟩  (partial app holds x)
+
+``sub^s`` implements the paper's case analysis for ``car`` applied to a list
+with ``s`` spines: if the list contains exactly the bottom ``s`` spines of
+the interesting object, its top spine *is* the object's ``s``-th spine, so
+the elements contain one spine fewer; otherwise the containment is
+unchanged.
+
+``dcons`` (the destructive cons used by the in-place-reuse optimization,
+§6) additionally consumes the donor list whose top-spine cell is recycled;
+its result conservatively contains the donor, the head, and the tail.
+"""
+
+from __future__ import annotations
+
+from repro.escape.domain import BOTTOM, ERR, EscapeValue, PrimFun
+from repro.escape.lattice import Escapement
+from repro.lang.ast import Prim
+from repro.lang.errors import AnalysisError
+from repro.types.spines import car_spine_count
+
+
+def sub_s(value: EscapeValue, s: int) -> EscapeValue:
+    """The paper's ``sub^s``: containment after taking ``car`` of a list
+    with ``s`` spines."""
+    be = value.be
+    if be.escapes == 1 and be.spines == s and s >= 1:
+        return EscapeValue(Escapement(1, s - 1), value.fn)
+    return value
+
+
+def _arith_prim(name: str) -> EscapeValue:
+    def outer(x: EscapeValue) -> EscapeValue:
+        # The partial application (+ x) is a closure containing x, so its
+        # contained part is x's; the final result is an int — nothing of
+        # the interesting object can be inside it.
+        return EscapeValue(x.be, PrimFun((name, "partial", x.be), lambda y: BOTTOM))
+
+    return EscapeValue(Escapement(0, 0), PrimFun((name,), outer))
+
+
+def _cons_prim(name: str = "cons") -> EscapeValue:
+    def outer(x: EscapeValue) -> EscapeValue:
+        return EscapeValue(x.be, PrimFun((name, "partial", x), lambda y: x.join(y)))
+
+    return EscapeValue(Escapement(0, 0), PrimFun((name,), outer))
+
+
+def _car_prim(s: int) -> EscapeValue:
+    return EscapeValue(Escapement(0, 0), PrimFun(("car", s), lambda x: sub_s(x, s)))
+
+
+def _cdr_prim() -> EscapeValue:
+    # Under D_e^{τ list} = D_e^τ the tail of a list contains no more and no
+    # less of the interesting object than the list itself.
+    return EscapeValue(Escapement(0, 0), PrimFun(("cdr",), lambda x: x))
+
+
+def _null_prim() -> EscapeValue:
+    return EscapeValue(Escapement(0, 0), PrimFun(("null",), lambda x: BOTTOM))
+
+
+def _dcons_prim() -> EscapeValue:
+    def take_donor(donor: EscapeValue) -> EscapeValue:
+        def take_head(head: EscapeValue) -> EscapeValue:
+            def take_tail(tail: EscapeValue) -> EscapeValue:
+                return donor.join(head).join(tail)
+
+            return EscapeValue(
+                donor.be.join(head.be),
+                PrimFun(("dcons", "partial2", donor, head), take_tail),
+            )
+
+        return EscapeValue(donor.be, PrimFun(("dcons", "partial1", donor), take_head))
+
+    return EscapeValue(Escapement(0, 0), PrimFun(("dcons",), take_donor))
+
+
+def _mkpair_prim() -> EscapeValue:
+    # Like the list collapse of §3.4, a tuple's abstract value joins its
+    # components (the tuple *contains* whatever they contain); fst/snd are
+    # then the identity, like cdr.
+    def outer(x: EscapeValue) -> EscapeValue:
+        return EscapeValue(x.be, PrimFun(("mkpair", "partial", x), lambda y: x.join(y)))
+
+    return EscapeValue(Escapement(0, 0), PrimFun(("mkpair",), outer))
+
+
+def _proj_prim(name: str) -> EscapeValue:
+    return EscapeValue(Escapement(0, 0), PrimFun((name,), lambda x: x))
+
+
+def abstract_prim(prim: Prim) -> EscapeValue:
+    """The abstract value ``C⟦c⟧`` of a primitive occurrence.
+
+    ``car``/``cdr`` need their ``car^s`` annotation, i.e. the occurrence
+    must be type-annotated (run :func:`repro.types.infer.infer_program`
+    first).
+    """
+    name = prim.name
+    if name in ("+", "-", "*", "/", "==", "<>", "<", "<=", ">", ">="):
+        return _arith_prim(name)
+    if name == "cons":
+        return _cons_prim()
+    if name == "car":
+        return _car_prim(car_spine_count(prim))
+    if name == "cdr":
+        return _cdr_prim()
+    if name == "null":
+        return _null_prim()
+    if name == "dcons":
+        return _dcons_prim()
+    if name == "mkpair":
+        return _mkpair_prim()
+    if name in ("fst", "snd"):
+        return _proj_prim(name)
+    raise AnalysisError(f"no abstract semantics for primitive {name!r}", prim.span)

@@ -1,0 +1,118 @@
+"""Human-readable analysis reports, in the style of Appendix A.
+
+``analysis_report`` renders, for one program: the source, the spine bound
+``d``, the fixpoint iteration summary (A.1), the global escape table (A.1),
+and the sharing facts (A.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeTestResult
+from repro.lang.ast import Program
+from repro.lang.errors import AnalysisError
+from repro.lang.pretty import pretty_program
+from repro.types.types import arity
+
+
+@dataclass
+class FunctionReport:
+    name: str
+    scheme: str
+    results: list[EscapeTestResult]
+    iterations: int
+    converged: bool
+
+    def lines(self) -> list[str]:
+        out = [f"{self.name} : {self.scheme}"]
+        status = "converged" if self.converged else "WIDENED"
+        out.append(f"  fixpoint: {self.iterations} iteration(s), {status}")
+        for result in self.results:
+            out.append(f"  G({self.name}, {result.param_index}) = {result.result}")
+            out.append(f"    {result.describe()}")
+        return out
+
+
+def analysis_report(program: Program, include_sharing: bool = True) -> str:
+    """A full paper-style report for every top-level function."""
+    analysis = EscapeAnalysis(program)
+    sections: list[str] = []
+
+    sections.append("=== program ===")
+    sections.append(pretty_program(program).rstrip())
+
+    solved = analysis.solve(None)
+    sections.append("")
+    sections.append(f"=== escape analysis (B_e chain: d = {solved.d}) ===")
+
+    for name in program.binding_names():
+        scheme = analysis.scheme(name)
+        if arity(scheme.body) == 0:
+            sections.append(f"{name} : {scheme} (not a function; skipped)")
+            continue
+        results = analysis.global_all(name)
+        assert analysis.last_solved is not None
+        trace = analysis.last_solved.trace(name)
+        report = FunctionReport(
+            name=name,
+            scheme=str(scheme),
+            results=results,
+            iterations=trace.iterations,
+            converged=trace.converged,
+        )
+        sections.extend(report.lines())
+
+    if include_sharing:
+        # Imported here: repro.analysis depends on repro.escape, so a
+        # module-level import would be circular.
+        from repro.analysis.sharing import sharing_global
+
+        sections.append("")
+        sections.append("=== sharing (Theorem 2, clause 2) ===")
+        for name in program.binding_names():
+            try:
+                info = sharing_global(analysis, name)
+            except AnalysisError:
+                continue
+            sections.append(f"  {info.describe()}")
+
+    return "\n".join(sections) + "\n"
+
+
+def fixpoint_derivation(program: Program, function: str, i: int) -> list[str]:
+    """Replay Appendix A.1's derivation: the value ``G(function, i)`` would
+    take at each fixpoint iterate ``f⁽⁰⁾, f⁽¹⁾, ...``.
+
+    Returns lines like ``G(append, 1) @ append^(1) = <1,0>``.  The value at
+    the final iterate is the analysis' answer; earlier iterates show the
+    ascent from bottom exactly as the paper writes it out.
+    """
+    from repro.escape.global_test import run_global_test
+
+    analysis = EscapeAnalysis(program)
+    solved = analysis.solve(None)
+    binding = program.binding(function)
+    assert binding.expr.ty is not None
+
+    lines: list[str] = []
+    for k, iterate in enumerate(solved.evaluator.iterates):
+        env = dict(iterate)
+        result = run_global_test(
+            solved.evaluator, env, function, binding.expr.ty, i
+        )
+        lines.append(f"G({function}, {i}) @ {function}^({k}) = {result.result}")
+    return lines
+
+
+def global_table(program: Program) -> list[EscapeTestResult]:
+    """Every global escape result of the program, flattened — the rows of
+    the Appendix A.1 table."""
+    analysis = EscapeAnalysis(program)
+    rows: list[EscapeTestResult] = []
+    for name in program.binding_names():
+        if arity(analysis.scheme(name).body) == 0:
+            continue
+        rows.extend(analysis.global_all(name))
+    return rows

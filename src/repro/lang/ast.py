@@ -1,0 +1,474 @@
+"""Abstract syntax for nml.
+
+The core language is the paper's (§3.1)::
+
+    e ::= c | x | e1 e2 | lambda(x). e
+        | if e1 then e2 else e3
+        | letrec x1 = e1; ...; xn = en in e
+
+Constants include integer and boolean literals, ``nil``, and the primitive
+functions (``+ - * / == <> < <= > >= cons car cdr null`` and the destructive
+``dcons`` used by the in-place-reuse optimization).  The parser desugars
+
+* multi-argument definitions ``f x y = e``  into nested lambdas,
+* list literals ``[a, b, c]``              into cons chains,
+* ``a :: b``                               into ``cons a b``,
+* infix arithmetic/comparison              into primitive applications,
+* ``let``                                  into ``letrec`` (which subsumes it).
+
+Nodes compare **structurally**: spans, types, unique ids, and annotations are
+excluded from ``==`` so a transformed program can be checked against an
+expected program written by hand.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.lang.errors import NO_SPAN, SourceSpan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.types.types import Type
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid() -> int:
+    return next(_uid_counter)
+
+
+#: Names of all primitive functions, mapped to their arity.
+PRIMITIVES: dict[str, int] = {
+    "+": 2,
+    "-": 2,
+    "*": 2,
+    "/": 2,
+    "==": 2,
+    "<>": 2,
+    "<": 2,
+    "<=": 2,
+    ">": 2,
+    ">=": 2,
+    "cons": 2,
+    "car": 1,
+    "cdr": 1,
+    "null": 1,
+    "dcons": 3,
+    "mkpair": 2,
+    "fst": 1,
+    "snd": 1,
+}
+
+
+@dataclass(eq=False)
+class Expr:
+    """Base class for all expression nodes.
+
+    Attributes set by later phases:
+
+    * ``ty`` — the (mono)type assigned by inference, or ``None`` before it.
+    * ``annotations`` — free-form per-node facts; the optimizers use
+      ``annotations["alloc"]`` to direct the interpreter's allocator.
+    """
+
+    span: SourceSpan = field(default=NO_SPAN, repr=False)
+    ty: "Type | None" = field(default=None, repr=False)
+    uid: int = field(default_factory=_next_uid, repr=False)
+    annotations: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    # Structural equality, ignoring metadata ------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expr):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct subexpressions, in evaluation order."""
+        return ()
+
+    def with_children(self, children: tuple["Expr", ...]) -> "Expr":
+        """A copy of this node with ``children`` substituted in order."""
+        if children:
+            raise ValueError(f"{type(self).__name__} has no children")
+        return self
+
+
+@dataclass(eq=False)
+class IntLit(Expr):
+    value: int = 0
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+@dataclass(eq=False)
+class BoolLit(Expr):
+    value: bool = False
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+@dataclass(eq=False)
+class NilLit(Expr):
+    """The empty list constant."""
+
+    def _key(self) -> tuple:
+        return ()
+
+
+@dataclass(eq=False)
+class Prim(Expr):
+    """A primitive function constant such as ``cons`` or ``+``."""
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.name not in PRIMITIVES:
+            raise ValueError(f"unknown primitive {self.name!r}")
+
+    @property
+    def arity(self) -> int:
+        return PRIMITIVES[self.name]
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+@dataclass(eq=False)
+class Var(Expr):
+    name: str = ""
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+@dataclass(eq=False)
+class App(Expr):
+    fn: Expr = None  # type: ignore[assignment]
+    arg: Expr = None  # type: ignore[assignment]
+
+    def _key(self) -> tuple:
+        return (self.fn, self.arg)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.fn, self.arg)
+
+    def with_children(self, children: tuple[Expr, ...]) -> "App":
+        fn, arg = children
+        return App(span=self.span, ty=self.ty, annotations=dict(self.annotations), fn=fn, arg=arg)
+
+
+@dataclass(eq=False)
+class Lambda(Expr):
+    param: str = ""
+    body: Expr = None  # type: ignore[assignment]
+
+    def _key(self) -> tuple:
+        return (self.param, self.body)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.body,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> "Lambda":
+        (body,) = children
+        return Lambda(
+            span=self.span, ty=self.ty, annotations=dict(self.annotations), param=self.param, body=body
+        )
+
+
+@dataclass(eq=False)
+class If(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    otherwise: Expr = None  # type: ignore[assignment]
+
+    def _key(self) -> tuple:
+        return (self.cond, self.then, self.otherwise)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.then, self.otherwise)
+
+    def with_children(self, children: tuple[Expr, ...]) -> "If":
+        cond, then, otherwise = children
+        return If(
+            span=self.span,
+            ty=self.ty,
+            annotations=dict(self.annotations),
+            cond=cond,
+            then=then,
+            otherwise=otherwise,
+        )
+
+
+@dataclass(eq=False)
+class Binding:
+    """One ``x = e`` binding of a letrec."""
+
+    name: str
+    expr: Expr
+    span: SourceSpan = field(default=NO_SPAN, repr=False)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Binding):
+            return NotImplemented
+        return self.name == other.name and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.expr))
+
+
+@dataclass(eq=False)
+class Letrec(Expr):
+    bindings: tuple[Binding, ...] = ()
+    body: Expr = None  # type: ignore[assignment]
+
+    def _key(self) -> tuple:
+        return (self.bindings, self.body)
+
+    def children(self) -> tuple[Expr, ...]:
+        return tuple(b.expr for b in self.bindings) + (self.body,)
+
+    def with_children(self, children: tuple[Expr, ...]) -> "Letrec":
+        *bound, body = children
+        bindings = tuple(
+            Binding(b.name, e, b.span) for b, e in zip(self.bindings, bound, strict=True)
+        )
+        return Letrec(
+            span=self.span, ty=self.ty, annotations=dict(self.annotations), bindings=bindings, body=body
+        )
+
+    def binding_names(self) -> tuple[str, ...]:
+        return tuple(b.name for b in self.bindings)
+
+    def find(self, name: str) -> Binding:
+        for binding in self.bindings:
+            if binding.name == name:
+                return binding
+        raise KeyError(name)
+
+
+@dataclass(eq=False)
+class Program:
+    """A whole program: a top-level letrec (§3.1's ``pr``).
+
+    Stored as the :class:`Letrec` expression itself so every analysis works
+    uniformly on expressions; convenience accessors expose the top-level
+    function definitions.
+    """
+
+    letrec: Letrec
+    source: str = ""
+
+    @property
+    def bindings(self) -> tuple[Binding, ...]:
+        return self.letrec.bindings
+
+    @property
+    def body(self) -> Expr:
+        return self.letrec.body
+
+    def binding(self, name: str) -> Binding:
+        return self.letrec.find(name)
+
+    def binding_names(self) -> tuple[str, ...]:
+        return self.letrec.binding_names()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return self.letrec == other.letrec
+
+    def __hash__(self) -> int:
+        return hash(self.letrec)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversals
+# ---------------------------------------------------------------------------
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every subexpression, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def free_vars(expr: Expr) -> frozenset[str]:
+    """The free identifiers of ``expr``.
+
+    Primitives are constants, not identifiers, so they never appear here.
+    """
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    if isinstance(expr, Lambda):
+        return free_vars(expr.body) - {expr.param}
+    if isinstance(expr, Letrec):
+        bound = set(expr.binding_names())
+        result: set[str] = set()
+        for child in expr.children():
+            result |= free_vars(child)
+        return frozenset(result - bound)
+    result = frozenset()
+    for child in expr.children():
+        result |= free_vars(child)
+    return result
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rewrite: apply ``fn`` to every node (children first).
+
+    ``fn`` returns a replacement node or ``None`` to keep the (possibly
+    child-rewritten) node.
+    """
+    children = expr.children()
+    if children:
+        new_children = tuple(transform(child, fn) for child in children)
+        if any(new is not old for new, old in zip(new_children, children)):
+            expr = expr.with_children(new_children)
+    replacement = fn(expr)
+    return expr if replacement is None else replacement
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of AST nodes in ``expr``."""
+    return sum(1 for _ in walk(expr))
+
+
+def clone(expr: Expr) -> Expr:
+    """A deep copy with fresh uids and copied annotation dicts.
+
+    Transformations clone before rewriting so annotation stamps (allocation
+    hints) and type re-inference never leak between program variants that
+    would otherwise share subtrees.
+    """
+    if isinstance(expr, IntLit):
+        return IntLit(span=expr.span, ty=expr.ty, annotations=dict(expr.annotations), value=expr.value)
+    if isinstance(expr, BoolLit):
+        return BoolLit(span=expr.span, ty=expr.ty, annotations=dict(expr.annotations), value=expr.value)
+    if isinstance(expr, NilLit):
+        return NilLit(span=expr.span, ty=expr.ty, annotations=dict(expr.annotations))
+    if isinstance(expr, Prim):
+        return Prim(span=expr.span, ty=expr.ty, annotations=dict(expr.annotations), name=expr.name)
+    if isinstance(expr, Var):
+        return Var(span=expr.span, ty=expr.ty, annotations=dict(expr.annotations), name=expr.name)
+    if isinstance(expr, App):
+        return App(
+            span=expr.span, ty=expr.ty, annotations=dict(expr.annotations),
+            fn=clone(expr.fn), arg=clone(expr.arg),
+        )
+    if isinstance(expr, Lambda):
+        return Lambda(
+            span=expr.span, ty=expr.ty, annotations=dict(expr.annotations),
+            param=expr.param, body=clone(expr.body),
+        )
+    if isinstance(expr, If):
+        return If(
+            span=expr.span, ty=expr.ty, annotations=dict(expr.annotations),
+            cond=clone(expr.cond), then=clone(expr.then), otherwise=clone(expr.otherwise),
+        )
+    if isinstance(expr, Letrec):
+        return Letrec(
+            span=expr.span, ty=expr.ty, annotations=dict(expr.annotations),
+            bindings=tuple(Binding(b.name, clone(b.expr), b.span) for b in expr.bindings),
+            body=clone(expr.body),
+        )
+    raise TypeError(f"cannot clone {type(expr).__name__}")
+
+
+def clone_program(program: Program) -> Program:
+    cloned = clone(program.letrec)
+    assert isinstance(cloned, Letrec)
+    return Program(letrec=cloned, source=program.source)
+
+
+def rename_var(expr: Expr, old: str, new: str) -> Expr:
+    """Rename free occurrences of ``old`` to ``new`` (capture-aware)."""
+
+    def go(node: Expr, shadowed: frozenset[str]) -> Expr:
+        if isinstance(node, Var):
+            if node.name == old and old not in shadowed:
+                return Var(span=node.span, ty=node.ty, annotations=dict(node.annotations), name=new)
+            return node
+        if isinstance(node, Lambda):
+            inner = shadowed | {node.param}
+            body = go(node.body, inner)
+            return node if body is node.body else node.with_children((body,))
+        if isinstance(node, Letrec):
+            inner = shadowed | set(node.binding_names())
+            children = node.children()
+            rebuilt = tuple(go(child, inner) for child in children)
+            if all(a is b for a, b in zip(rebuilt, children)):
+                return node
+            return node.with_children(rebuilt)
+        children = node.children()
+        if not children:
+            return node
+        rebuilt = tuple(go(child, shadowed) for child in children)
+        if all(a is b for a, b in zip(rebuilt, children)):
+            return node
+        return node.with_children(rebuilt)
+
+    return go(expr, frozenset())
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers (used by the parser, prelude, and optimizers)
+# ---------------------------------------------------------------------------
+
+
+def apply_n(fn: Expr, *args: Expr, span: SourceSpan = NO_SPAN) -> Expr:
+    """Curried application ``fn a1 a2 ... an``."""
+    result = fn
+    for arg in args:
+        result = App(span=span, fn=result, arg=arg)
+    return result
+
+
+def lambda_n(params: list[str], body: Expr, span: SourceSpan = NO_SPAN) -> Expr:
+    """Nested lambdas ``lambda(p1). ... lambda(pn). body``."""
+    result = body
+    for param in reversed(params):
+        result = Lambda(span=span, param=param, body=result)
+    return result
+
+
+def cons_list(elements: list[Expr], span: SourceSpan = NO_SPAN) -> Expr:
+    """Desugar ``[e1, ..., en]`` into ``cons e1 (... (cons en nil))``."""
+    result: Expr = NilLit(span=span)
+    for element in reversed(elements):
+        result = apply_n(Prim(span=span, name="cons"), element, result, span=span)
+    return result
+
+
+def uncurry_lambda(expr: Expr) -> tuple[list[str], Expr]:
+    """Split nested lambdas into their parameter list and innermost body."""
+    params: list[str] = []
+    while isinstance(expr, Lambda):
+        params.append(expr.param)
+        expr = expr.body
+    return params, expr
+
+
+def uncurry_app(expr: Expr) -> tuple[Expr, list[Expr]]:
+    """Split a curried application into its head and argument list."""
+    args: list[Expr] = []
+    while isinstance(expr, App):
+        args.append(expr.arg)
+        expr = expr.fn
+    args.reverse()
+    return expr, args

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the nml language toolchain.
+
+Every error raised by the front end, the type checker, the interpreter, the
+escape analyzer, or the optimizer derives from :class:`NmlError`, so clients
+can catch one type to handle "anything went wrong with this program".
+Errors carry an optional source location (:class:`SourceSpan`) so messages
+can point back into the program text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of source text: line/column of start and end.
+
+    Lines and columns are 1-based, matching what editors display.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    def __str__(self) -> str:
+        if self.line == self.end_line:
+            return f"{self.line}:{self.column}-{self.end_column}"
+        return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
+
+    @staticmethod
+    def point(line: int, column: int) -> "SourceSpan":
+        """A zero-width span, used when only a start position is known."""
+        return SourceSpan(line, column, line, column)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """The smallest span covering both ``self`` and ``other``."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max((self.end_line, self.end_column), (other.end_line, other.end_column))
+        return SourceSpan(start[0], start[1], end[0], end[1])
+
+
+#: Span used for synthesized nodes that have no source text.
+NO_SPAN = SourceSpan(0, 0, 0, 0)
+
+
+class NmlError(Exception):
+    """Base class for every error in the toolchain."""
+
+    def __init__(self, message: str, span: SourceSpan | None = None):
+        self.message = message
+        self.span = span
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        if self.span is not None and self.span != NO_SPAN:
+            return f"{self.span}: {self.message}"
+        return self.message
+
+
+class LexError(NmlError):
+    """Raised on malformed input text (bad character, unterminated token)."""
+
+
+class ParseError(NmlError):
+    """Raised on syntactically invalid programs."""
+
+
+class ResolveError(NmlError):
+    """Raised when an identifier cannot be resolved to a binding."""
+
+
+class TypeInferenceError(NmlError):
+    """Raised when a program is not typable (unification failure, occurs
+    check, arity mismatch)."""
+
+
+class EvalError(NmlError):
+    """Raised by the standard interpreter on a dynamic error (car of nil,
+    applying a non-function, arithmetic on non-integers)."""
+
+
+class UseAfterFreeError(EvalError):
+    """Raised when the interpreter touches a cons cell whose region has been
+    reclaimed.
+
+    This is the runtime tripwire that makes unsound storage optimizations
+    *observable*: if the escape analysis were wrong and a stack-allocated
+    spine escaped its activation, the next access would raise this error
+    instead of silently reading garbage.
+    """
+
+
+class AnalysisError(NmlError):
+    """Raised on misuse of the escape analysis API (unknown function,
+    argument index out of range, non-function analyzed as function)."""
+
+
+class OptimizationError(NmlError):
+    """Raised when a requested transformation is inapplicable (for example,
+    asking for in-place reuse of a parameter whose spines escape)."""

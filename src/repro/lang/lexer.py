@@ -1,0 +1,180 @@
+"""Hand-written lexer for nml.
+
+The surface syntax follows the paper's examples (Appendix A)::
+
+    PS x = if (null x) then nil
+           else APPEND (PS ...) (cons (car x) nil);
+
+plus a few conveniences: ``--`` line comments, ``(* ... *)`` block comments
+(nestable, ML style), list literals ``[1, 2, 3]``, and the infix operators
+``+ - * / == <> < <= > >= ::``.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import LexError, SourceSpan
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR = {
+    "==": TokenKind.EQEQ,
+    "<>": TokenKind.NEQ,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "::": TokenKind.COLONCOLON,
+    "->": TokenKind.ARROW,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    ".": TokenKind.DOT,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_'"
+
+
+class Lexer:
+    """Converts source text into a list of tokens.
+
+    The lexer is a straightforward single-pass scanner; it tracks line and
+    column so every token carries an accurate :class:`SourceSpan`.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _here(self) -> tuple[int, int]:
+        return self.line, self.column
+
+    def _span_from(self, start: tuple[int, int]) -> SourceSpan:
+        return SourceSpan(start[0], start[1], self.line, self.column)
+
+    # -- skipping --------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments (line ``--`` and nested ``(* *)``)."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._here()
+        self._advance()  # (
+        self._advance()  # *
+        depth = 1
+        while depth > 0:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated block comment", SourceSpan.point(*start))
+            if self._peek() == "(" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                depth += 1
+            elif self._peek() == "*" and self._peek(1) == ")":
+                self._advance()
+                self._advance()
+                depth -= 1
+            else:
+                self._advance()
+
+    # -- scanning --------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self._here()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", SourceSpan.point(*start))
+
+        ch = self._peek()
+        if ch.isdigit():
+            return self._scan_int(start)
+        if _is_ident_start(ch):
+            return self._scan_ident(start)
+
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR[two], two, self._span_from(start))
+        if ch in _ONE_CHAR:
+            self._advance()
+            return Token(_ONE_CHAR[ch], ch, self._span_from(start))
+
+        raise LexError(f"unexpected character {ch!r}", SourceSpan.point(*start))
+
+    def _scan_int(self, start: tuple[int, int]) -> Token:
+        text = []
+        while self.pos < len(self.source) and self._peek().isdigit():
+            text.append(self._advance())
+        literal = "".join(text)
+        return Token(TokenKind.INT, literal, self._span_from(start), value=int(literal))
+
+    def _scan_ident(self, start: tuple[int, int]) -> Token:
+        text = []
+        while self.pos < len(self.source) and _is_ident_char(self._peek()):
+            text.append(self._advance())
+        name = "".join(text)
+        span = self._span_from(start)
+        kind = KEYWORDS.get(name)
+        if kind is not None:
+            return Token(kind, name, span)
+        return Token(TokenKind.IDENT, name, span, value=name)
+
+    def tokenize(self) -> list[Token]:
+        """Scan the entire input, ending with a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``, raising :class:`LexError` on malformed input."""
+    return Lexer(source).tokenize()

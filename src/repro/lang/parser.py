@@ -1,0 +1,330 @@
+"""Recursive-descent parser for nml.
+
+Accepted forms (beyond the paper's core grammar):
+
+* *script* programs, as written in Appendix A — a sequence of definitions
+  ``f x1 ... xn = e;`` followed by an optional result expression.  A script
+  is sugar for one top-level ``letrec``;
+* ``let``/``letrec ... in ...`` expressions, with bindings separated by
+  ``;`` or ``and``;
+* ``lambda(x). e`` (paper style) and ``lambda x y. e`` (multi-parameter);
+* list literals ``[e1, ..., en]``, infix ``::`` for cons, and the usual
+  infix arithmetic and comparison operators.
+
+Operator precedence, loosest to tightest: comparison (non-associative),
+``::`` (right), ``+ -`` (left), ``* /`` (left), application (left).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Binding,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Program,
+    Var,
+    apply_n,
+    cons_list,
+    lambda_n,
+)
+from repro.lang.errors import ParseError, SourceSpan
+from repro.lang.lexer import tokenize
+from repro.lang.resolve import resolve_expr
+from repro.lang.tokens import Token, TokenKind
+
+_COMPARISON_OPS = {
+    TokenKind.EQEQ: "==",
+    TokenKind.NEQ: "<>",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+_SECTION_OPS = {
+    TokenKind.PLUS: "+",
+    TokenKind.MINUS: "-",
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.EQEQ: "==",
+    TokenKind.NEQ: "<>",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+    TokenKind.COLONCOLON: "cons",
+}
+
+_ATOM_STARTS = {
+    TokenKind.INT,
+    TokenKind.IDENT,
+    TokenKind.TRUE,
+    TokenKind.FALSE,
+    TokenKind.NIL,
+    TokenKind.LPAREN,
+    TokenKind.LBRACKET,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise ParseError(f"expected {kind.value!r}, found {token.text or 'end of input'!r}", token.span)
+        return self._advance()
+
+    # -- programs ------------------------------------------------------------
+
+    def parse_program(self, source: str = "") -> Program:
+        """Parse a whole program (script form or a single expression)."""
+        if self._at(TokenKind.LETREC) or self._at(TokenKind.LET):
+            expr = self.parse_expr()
+            self._expect(TokenKind.EOF)
+            letrec = expr if isinstance(expr, Letrec) else Letrec(span=expr.span, bindings=(), body=expr)
+            return Program(letrec=letrec, source=source)
+
+        bindings: list[Binding] = []
+        body: Expr | None = None
+        while not self._at(TokenKind.EOF):
+            if self._looks_like_definition():
+                bindings.append(self._parse_definition())
+                if self._at(TokenKind.SEMI):
+                    self._advance()
+            else:
+                body = self.parse_expr()
+                if self._at(TokenKind.SEMI):
+                    self._advance()
+                break
+        self._expect(TokenKind.EOF)
+        if body is None:
+            body = NilLit()
+        span = body.span if not bindings else bindings[0].span.merge(body.span)
+        return Program(letrec=Letrec(span=span, bindings=tuple(bindings), body=body), source=source)
+
+    def _looks_like_definition(self) -> bool:
+        """A definition starts ``IDENT IDENT* =`` (and not ``==``)."""
+        if not self._at(TokenKind.IDENT):
+            return False
+        offset = 1
+        while self._peek(offset).kind is TokenKind.IDENT:
+            offset += 1
+        return self._peek(offset).kind is TokenKind.EQ
+
+    def _parse_definition(self) -> Binding:
+        name_token = self._expect(TokenKind.IDENT)
+        params: list[str] = []
+        while self._at(TokenKind.IDENT):
+            params.append(str(self._advance().value))
+        self._expect(TokenKind.EQ)
+        body = self.parse_expr()
+        expr = lambda_n(params, body, span=name_token.span.merge(body.span))
+        return Binding(str(name_token.value), expr, name_token.span)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.IF:
+            return self._parse_if()
+        if token.kind is TokenKind.LAMBDA:
+            return self._parse_lambda()
+        if token.kind in (TokenKind.LETREC, TokenKind.LET):
+            return self._parse_letrec()
+        return self._parse_comparison()
+
+    def _parse_if(self) -> Expr:
+        start = self._expect(TokenKind.IF)
+        cond = self.parse_expr()
+        self._expect(TokenKind.THEN)
+        then = self.parse_expr()
+        self._expect(TokenKind.ELSE)
+        otherwise = self.parse_expr()
+        return If(span=start.span.merge(otherwise.span), cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_lambda(self) -> Expr:
+        start = self._expect(TokenKind.LAMBDA)
+        params: list[str] = []
+        if self._at(TokenKind.LPAREN):
+            # paper style: lambda(x). e  — one parameter per lambda
+            self._advance()
+            params.append(str(self._expect(TokenKind.IDENT).value))
+            self._expect(TokenKind.RPAREN)
+        else:
+            while self._at(TokenKind.IDENT):
+                params.append(str(self._advance().value))
+            if not params:
+                raise ParseError("lambda needs at least one parameter", start.span)
+        self._expect(TokenKind.DOT)
+        body = self.parse_expr()
+        return lambda_n(params, body, span=start.span.merge(body.span))
+
+    def _parse_letrec(self) -> Expr:
+        start = self._advance()  # letrec or let
+        bindings = [self._parse_definition()]
+        while self._at(TokenKind.SEMI) or self._at(TokenKind.AND_KW):
+            self._advance()
+            if self._at(TokenKind.IN):
+                break
+            bindings.append(self._parse_definition())
+        self._expect(TokenKind.IN)
+        body = self.parse_expr()
+        return Letrec(span=start.span.merge(body.span), bindings=tuple(bindings), body=body)
+
+    # -- operator levels -----------------------------------------------------
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_cons()
+        op = _COMPARISON_OPS.get(self._peek().kind)
+        if op is None:
+            return left
+        token = self._advance()
+        right = self._parse_cons()
+        return _prim_call(op, [left, right], token.span)
+
+    def _parse_cons(self) -> Expr:
+        head = self._parse_additive()
+        if self._at(TokenKind.COLONCOLON):
+            token = self._advance()
+            tail = self._parse_cons()  # right-associative
+            return _prim_call("cons", [head, tail], token.span)
+        return head
+
+    def _parse_additive(self) -> Expr:
+        if self._at(TokenKind.MINUS):
+            # unary minus: a literal folds to a negative IntLit (so pretty
+            # printing round-trips); anything else is sugar for 0 - e
+            token = self._advance()
+            operand = self._parse_multiplicative()
+            if isinstance(operand, IntLit):
+                left: Expr = IntLit(span=token.span.merge(operand.span), value=-operand.value)
+            else:
+                left = _prim_call("-", [IntLit(span=token.span, value=0), operand], token.span)
+        else:
+            left = self._parse_multiplicative()
+        while self._peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = _prim_call(token.text, [left, right], token.span)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_application()
+        while self._peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            token = self._advance()
+            right = self._parse_application()
+            left = _prim_call(token.text, [left, right], token.span)
+        return left
+
+    def _parse_application(self) -> Expr:
+        expr = self._parse_atom()
+        while self._peek().kind in _ATOM_STARTS:
+            arg = self._parse_atom()
+            expr = App(span=expr.span.merge(arg.span), fn=expr, arg=arg)
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntLit(span=token.span, value=int(token.value))  # type: ignore[arg-type]
+        if token.kind is TokenKind.TRUE:
+            self._advance()
+            return BoolLit(span=token.span, value=True)
+        if token.kind is TokenKind.FALSE:
+            self._advance()
+            return BoolLit(span=token.span, value=False)
+        if token.kind is TokenKind.NIL:
+            self._advance()
+            return NilLit(span=token.span)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return Var(span=token.span, name=str(token.value))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            # Operator section: (+), (==), (::) etc. denote the primitive.
+            section = _SECTION_OPS.get(self._peek().kind)
+            if section is not None and self._peek(1).kind is TokenKind.RPAREN:
+                op_token = self._advance()
+                self._advance()
+                return Var(span=op_token.span, name=section)
+            expr = self.parse_expr()
+            if self._at(TokenKind.COMMA):
+                # tuple literal: (a, b, c) desugars to right-nested pairs
+                # mkpair a (mkpair b c).
+                elements = [expr]
+                while self._at(TokenKind.COMMA):
+                    self._advance()
+                    elements.append(self.parse_expr())
+                end = self._expect(TokenKind.RPAREN)
+                span = token.span.merge(end.span)
+                result = elements[-1]
+                for element in reversed(elements[:-1]):
+                    result = apply_n(
+                        Var(span=span, name="mkpair"), element, result, span=span
+                    )
+                return result
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.LBRACKET:
+            return self._parse_list_literal()
+        raise ParseError(f"unexpected {token.text or 'end of input'!r}", token.span)
+
+    def _parse_list_literal(self) -> Expr:
+        start = self._expect(TokenKind.LBRACKET)
+        elements: list[Expr] = []
+        if not self._at(TokenKind.RBRACKET):
+            elements.append(self.parse_expr())
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                elements.append(self.parse_expr())
+        end = self._expect(TokenKind.RBRACKET)
+        return cons_list(elements, span=start.span.merge(end.span))
+
+
+def _prim_call(name: str, args: list[Expr], span: SourceSpan) -> Expr:
+    """Build ``name a1 ... an`` with a Var head; resolution turns unbound
+    primitive names into Prim constants afterwards."""
+    head = Var(span=span, name=name)
+    result = apply_n(head, *args, span=span)
+    return result
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (resolved: primitive names become Prim)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser._expect(TokenKind.EOF)
+    return resolve_expr(expr)
+
+
+def parse_program(source: str) -> Program:
+    """Parse and resolve a whole program."""
+    program = Parser(tokenize(source)).parse_program(source)
+    resolved = resolve_expr(program.letrec)
+    assert isinstance(resolved, Letrec)
+    return Program(letrec=resolved, source=source)

@@ -1,0 +1,237 @@
+"""A prelude of nml functions used throughout tests, examples and benches.
+
+Includes every function the paper mentions (``APPEND``, ``SPLIT``, ``PS``,
+``REV``, ``map``, ``pair``, ``create_list``) plus a standard-library's worth
+of list functions that exercise the analysis from different angles.
+
+Each entry is source text for one definition; :func:`prelude_program` builds
+one program containing any subset, and :func:`paper_partition_sort` returns
+exactly the Appendix A program.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+#: name -> nml definition source
+PRELUDE_DEFS: dict[str, str] = {
+    # -- functions from the paper ---------------------------------------
+    "append": (
+        "append x y = if (null x) then y"
+        " else cons (car x) (append (cdr x) y)"
+    ),
+    "split": (
+        "split p x l h ="
+        " if (null x) then cons l (cons h nil)"
+        " else if (car x) < p"
+        " then split p (cdr x) (cons (car x) l) h"
+        " else split p (cdr x) l (cons (car x) h)"
+    ),
+    "ps": (
+        "ps x = if (null x) then nil"
+        " else append (ps (car (split (car x) (cdr x) nil nil)))"
+        " (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))"
+    ),
+    "rev": (
+        "rev l = if (null l) then nil"
+        " else append (rev (cdr l)) (cons (car l) nil)"
+    ),
+    "pair": (
+        "pair x = if (null x) then 0"
+        " else if (null (cdr x)) then 0 else car x + car (cdr x)"
+    ),
+    "map": (
+        "map f l = if (null l) then nil"
+        " else cons (f (car l)) (map f (cdr l))"
+    ),
+    "create_list": (
+        "create_list i = if i == 0 then nil else cons i (create_list (i - 1))"
+    ),
+    # -- standard list functions -----------------------------------------
+    "length": "length l = if (null l) then 0 else 1 + length (cdr l)",
+    "sum": "sum l = if (null l) then 0 else car l + sum (cdr l)",
+    "last": (
+        "last l = if (null (cdr l)) then car l else last (cdr l)"
+    ),
+    "member": (
+        "member n l = if (null l) then false"
+        " else if car l == n then true else member n (cdr l)"
+    ),
+    "take": (
+        "take n l = if n == 0 then nil"
+        " else if (null l) then nil"
+        " else cons (car l) (take (n - 1) (cdr l))"
+    ),
+    "drop": (
+        "drop n l = if n == 0 then l"
+        " else if (null l) then nil else drop (n - 1) (cdr l)"
+    ),
+    "filter": (
+        "filter p l = if (null l) then nil"
+        " else if p (car l) then cons (car l) (filter p (cdr l))"
+        " else filter p (cdr l)"
+    ),
+    "foldr": (
+        "foldr f z l = if (null l) then z"
+        " else f (car l) (foldr f z (cdr l))"
+    ),
+    "foldl": (
+        "foldl f z l = if (null l) then z"
+        " else foldl f (f z (car l)) (cdr l)"
+    ),
+    "rev_acc": (
+        "rev_acc l acc = if (null l) then acc"
+        " else rev_acc (cdr l) (cons (car l) acc)"
+    ),
+    "concat": (
+        "concat ls = if (null ls) then nil"
+        " else append (car ls) (concat (cdr ls))"
+    ),
+    "replicate": (
+        "replicate n x = if n == 0 then nil else cons x (replicate (n - 1) x)"
+    ),
+    "iota": "iota n = if n == 0 then nil else cons n (iota (n - 1))",
+    "copy": (
+        "copy l = if (null l) then nil else cons (car l) (copy (cdr l))"
+    ),
+    "id_fn": "id_fn x = x",
+    "const_fn": "const_fn x y = x",
+    "compose": "compose f g x = f (g x)",
+    "twice": "twice f x = f (f x)",
+    "insert": (
+        "insert n l = if (null l) then cons n nil"
+        " else if n <= car l then cons n l"
+        " else cons (car l) (insert n (cdr l))"
+    ),
+    "isort": (
+        "isort l = if (null l) then nil"
+        " else insert (car l) (isort (cdr l))"
+    ),
+    "interleave": (
+        "interleave x y = if (null x) then y"
+        " else cons (car x) (interleave y (cdr x))"
+    ),
+    "nth": (
+        "nth n l = if n == 0 then car l else nth (n - 1) (cdr l)"
+    ),
+    "snoc": "snoc l x = append l (cons x nil)",
+    "heads": (
+        "heads ls = if (null ls) then nil"
+        " else cons (car (car ls)) (heads (cdr ls))"
+    ),
+    "tails_tops": (
+        "tails_tops ls = if (null ls) then nil"
+        " else cons (cdr (car ls)) (tails_tops (cdr ls))"
+    ),
+    # -- tuple functions (the §7 extension) --------------------------------
+    "swap": "swap p = (snd p, fst p)",
+    "dup": "dup x = (x, x)",
+    "zip": (
+        "zip x y = if (null x) then nil"
+        " else if (null y) then nil"
+        " else cons (car x, car y) (zip (cdr x) (cdr y))"
+    ),
+    "unzip": (
+        "unzip l = if (null l) then (nil, nil)"
+        " else (cons (fst (car l)) (fst (unzip (cdr l))),"
+        " cons (snd (car l)) (snd (unzip (cdr l))))"
+    ),
+    "split_pair": (
+        "split_pair p x l h ="
+        " if (null x) then (l, h)"
+        " else if (car x) < p"
+        " then split_pair p (cdr x) (cons (car x) l) h"
+        " else split_pair p (cdr x) l (cons (car x) h)"
+    ),
+    "ps_pair": (
+        "ps_pair x = if (null x) then nil"
+        " else append (ps_pair (fst (split_pair (car x) (cdr x) nil nil)))"
+        " (cons (car x) (ps_pair (snd (split_pair (car x) (cdr x) nil nil))))"
+    ),
+    "pair_up": (
+        "pair_up l = if (null l) then nil"
+        " else if (null (cdr l)) then nil"
+        " else cons (car l, car (cdr l)) (pair_up (cdr (cdr l)))"
+    ),
+    "firsts": (
+        "firsts l = if (null l) then nil"
+        " else cons (fst (car l)) (firsts (cdr l))"
+    ),
+    # -- mergesort (a reuse-hostile sort, contrast with ps) ----------------
+    "merge": (
+        "merge x y = if (null x) then y"
+        " else if (null y) then x"
+        " else if car x <= car y"
+        " then cons (car x) (merge (cdr x) y)"
+        " else cons (car y) (merge x (cdr y))"
+    ),
+    "halve": (
+        "halve l = if (null l) then (nil, nil)"
+        " else if (null (cdr l)) then (l, nil)"
+        " else (cons (car l) (fst (halve (cdr (cdr l)))),"
+        " cons (car (cdr l)) (snd (halve (cdr (cdr l)))))"
+    ),
+    "msort": (
+        "msort l = if (null l) then nil"
+        " else if (null (cdr l)) then l"
+        " else merge (msort (fst (halve l))) (msort (snd (halve l)))"
+    ),
+}
+
+#: Functions each prelude entry calls (so subsets can be closed over deps).
+PRELUDE_DEPS: dict[str, tuple[str, ...]] = {
+    "ps": ("append", "split"),
+    "ps_pair": ("append", "split_pair"),
+    "rev": ("append",),
+    "concat": ("append",),
+    "isort": ("insert",),
+    "msort": ("merge", "halve"),
+    "snoc": ("append",),
+}
+
+
+def _closure(names: list[str]) -> list[str]:
+    """``names`` plus their transitive prelude dependencies, in a stable
+    order with dependencies first."""
+    ordered: list[str] = []
+    seen: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        for dep in PRELUDE_DEPS.get(name, ()):
+            visit(dep)
+        ordered.append(name)
+
+    for name in names:
+        visit(name)
+    return ordered
+
+
+def prelude_source(names: list[str], result: str = "") -> str:
+    """Source text for a program defining ``names`` (dependency-closed),
+    with ``result`` as the program body."""
+    unknown = [name for name in names if name not in PRELUDE_DEFS]
+    if unknown:
+        raise KeyError(f"not in prelude: {unknown}")
+    lines = [PRELUDE_DEFS[name] + ";" for name in _closure(names)]
+    if result:
+        lines.append(result)
+    return "\n".join(lines) + "\n"
+
+
+def prelude_program(names: list[str], result: str = "") -> Program:
+    """Parse a program containing the given prelude definitions."""
+    return parse_program(prelude_source(names, result))
+
+
+def paper_partition_sort(result: str = "ps [5, 2, 7, 1, 3, 4]") -> Program:
+    """The Appendix A partition sort program, with the paper's input list."""
+    return prelude_program(["append", "split", "ps"], result)
+
+
+def paper_map_pair(result: str = "map pair [[1, 2], [3, 4], [5, 6]]") -> Program:
+    """The Section 1 motivating example."""
+    return prelude_program(["pair", "map"], result)

@@ -1,0 +1,147 @@
+"""Pretty printer for nml.
+
+Produces surface syntax that round-trips through the parser: infix operators
+regain their notation, fully-literal cons chains print as ``[...]`` list
+literals, and curried lambdas print as multi-parameter definitions inside
+letrec.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+    uncurry_app,
+    uncurry_lambda,
+)
+
+_INFIX = {"+", "-", "*", "/", "==", "<>", "<", "<=", ">", ">="}
+
+# Precedence levels, mirroring the parser: higher binds tighter.
+_PREC_COMPARISON = 1
+_PREC_CONS = 2
+_PREC_ADD = 3
+_PREC_MUL = 4
+_PREC_APP = 5
+_PREC_ATOM = 6
+
+_INFIX_PREC = {
+    "==": _PREC_COMPARISON,
+    "<>": _PREC_COMPARISON,
+    "<": _PREC_COMPARISON,
+    "<=": _PREC_COMPARISON,
+    ">": _PREC_COMPARISON,
+    ">=": _PREC_COMPARISON,
+    "+": _PREC_ADD,
+    "-": _PREC_ADD,
+    "*": _PREC_MUL,
+    "/": _PREC_MUL,
+}
+
+
+def pretty(expr: Expr, indent: int = 0) -> str:
+    """Render ``expr`` as parseable nml source."""
+    return _render(expr, 0, indent)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a program in script form (definitions then result)."""
+    lines: list[str] = []
+    for binding in program.bindings:
+        params, body = uncurry_lambda(binding.expr)
+        header = " ".join([binding.name, *params])
+        lines.append(f"{header} = {_render(body, 0, 0)};")
+    if not isinstance(program.body, NilLit):
+        lines.append(_render(program.body, 0, 0))
+    return "\n".join(lines) + "\n"
+
+
+def _paren(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def _as_literal_list(expr: Expr) -> list[Expr] | None:
+    """If ``expr`` is a complete cons chain ending in nil, its elements."""
+    elements: list[Expr] = []
+    while True:
+        if isinstance(expr, NilLit):
+            return elements
+        head, args = uncurry_app(expr)
+        if isinstance(head, Prim) and head.name == "cons" and len(args) == 2:
+            elements.append(args[0])
+            expr = args[1]
+        else:
+            return None
+
+
+def _render(expr: Expr, prec: int, indent: int) -> str:
+    pad = "  " * indent
+
+    if isinstance(expr, IntLit):
+        return str(expr.value) if expr.value >= 0 else _paren(str(expr.value), prec > _PREC_ADD)
+    if isinstance(expr, BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, NilLit):
+        return "nil"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Prim):
+        # A bare primitive in non-application position; parenthesize the
+        # operators so the result re-parses.
+        return f"({expr.name})" if expr.name in _INFIX else expr.name
+
+    if isinstance(expr, If):
+        cond = _render(expr.cond, 0, indent + 1)
+        then = _render(expr.then, 0, indent + 1)
+        other = _render(expr.otherwise, 0, indent + 1)
+        text = f"if {cond} then {then}\n{pad}  else {other}"
+        return _paren(text, prec > 0)
+
+    if isinstance(expr, Lambda):
+        params, body = uncurry_lambda(expr)
+        text = f"lambda {' '.join(params)}. {_render(body, 0, indent)}"
+        return _paren(text, prec > 0)
+
+    if isinstance(expr, Letrec):
+        parts = []
+        for binding in expr.bindings:
+            params, body = uncurry_lambda(binding.expr)
+            header = " ".join([binding.name, *params])
+            parts.append(f"{header} = {_render(body, 0, indent + 1)}")
+        joined = ";\n".join(f"{pad}  {part}" for part in parts)
+        text = f"letrec\n{joined}\n{pad}in {_render(expr.body, 0, indent)}"
+        return _paren(text, prec > 0)
+
+    if isinstance(expr, App):
+        literal = _as_literal_list(expr)
+        if literal is not None:
+            inner = ", ".join(_render(el, 0, indent) for el in literal)
+            return f"[{inner}]"
+        head, args = uncurry_app(expr)
+        if isinstance(head, Prim) and head.name == "mkpair" and len(args) == 2:
+            left = _render(args[0], 0, indent)
+            right = _render(args[1], 0, indent)
+            return f"({left}, {right})"
+        if isinstance(head, Prim) and head.name in _INFIX and len(args) == 2:
+            op_prec = _INFIX_PREC[head.name]
+            left = _render(args[0], op_prec, indent)
+            right = _render(args[1], op_prec + 1, indent)
+            return _paren(f"{left} {head.name} {right}", prec >= op_prec + 1)
+        if isinstance(head, Prim) and head.name == "cons" and len(args) == 2:
+            left = _render(args[0], _PREC_CONS + 1, indent)
+            right = _render(args[1], _PREC_CONS, indent)
+            return _paren(f"{left} :: {right}", prec > _PREC_CONS)
+        rendered = [_render(head, _PREC_APP, indent)]
+        rendered += [_render(arg, _PREC_ATOM, indent) for arg in args]
+        return _paren(" ".join(rendered), prec > _PREC_APP)
+
+    raise TypeError(f"cannot pretty-print {type(expr).__name__}")

@@ -1,0 +1,85 @@
+"""Token definitions for the nml lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.errors import SourceSpan
+
+
+class TokenKind(enum.Enum):
+    """Every lexical category of nml."""
+
+    INT = "int"
+    IDENT = "ident"
+
+    # keywords
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    LETREC = "letrec"
+    LET = "let"
+    IN = "in"
+    LAMBDA = "lambda"
+    TRUE = "true"
+    FALSE = "false"
+    NIL = "nil"
+    AND_KW = "and"
+
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    EQ = "="
+    EQEQ = "=="
+    NEQ = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    DOT = "."
+    COLONCOLON = "::"
+    ARROW = "->"
+
+    EOF = "eof"
+
+
+#: Reserved words, mapped to their token kinds.
+KEYWORDS: dict[str, TokenKind] = {
+    "if": TokenKind.IF,
+    "then": TokenKind.THEN,
+    "else": TokenKind.ELSE,
+    "letrec": TokenKind.LETREC,
+    "let": TokenKind.LET,
+    "in": TokenKind.IN,
+    "lambda": TokenKind.LAMBDA,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "nil": TokenKind.NIL,
+    "and": TokenKind.AND_KW,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source location.
+
+    ``value`` is the integer value for INT tokens and the identifier text
+    for IDENT tokens; other kinds leave it as the raw lexeme.
+    """
+
+    kind: TokenKind
+    text: str
+    span: SourceSpan
+    value: int | str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.kind.name}({self.text!r})"

@@ -1,0 +1,11 @@
+"""The abstract machine (§3.3's operational layer): instruction set,
+compiler, and the stack machine over the instrumented heap."""
+
+from repro.machine.compiler import compile_expr, compile_program
+from repro.machine.instructions import Code, disassemble
+from repro.machine.machine import Machine, MClosure, run_compiled
+
+__all__ = [
+    "compile_expr", "compile_program", "Code", "disassemble", "Machine",
+    "MClosure", "run_compiled",
+]

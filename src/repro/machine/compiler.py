@@ -1,0 +1,117 @@
+"""Compiler from nml ASTs to abstract-machine code.
+
+The translation is the obvious one; the interesting cases are the storage
+annotations: an expression annotated with a region compiles to
+``RegionOpen … RegionClose`` around its code, and ``cons`` sites keep their
+:class:`~repro.lang.ast.Prim` node so the machine's allocator can honour
+``alloc = "region"`` hints exactly as the interpreter does.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.errors import EvalError
+from repro.machine.instructions import (
+    Apply,
+    Branch,
+    Code,
+    EnvRestore,
+    Instr,
+    LetrecEnter,
+    Load,
+    MakeClosure,
+    PushBool,
+    PushInt,
+    PushNil,
+    PushPrim,
+    RegionClose,
+    RegionOpen,
+    Store,
+)
+
+
+def compile_expr(expr: Expr) -> Code:
+    """Compile one expression to a code block."""
+    instrs: list[Instr] = []
+    _compile(expr, instrs)
+    return tuple(instrs)
+
+
+def compile_program(program: Program) -> Code:
+    """Compile a whole program (its top-level letrec)."""
+    return compile_expr(program.letrec)
+
+
+def _compile(expr: Expr, out: list[Instr]) -> None:
+    region = expr.annotations.get("region")
+    if region is not None:
+        out.append(RegionOpen(kind=region.get("kind", "block"), label=region.get("label", "")))
+        _compile_core(expr, out)
+        out.append(RegionClose())
+        return
+    _compile_core(expr, out)
+
+
+def _compile_core(expr: Expr, out: list[Instr]) -> None:
+    if isinstance(expr, IntLit):
+        out.append(PushInt(expr.value))
+        return
+    if isinstance(expr, BoolLit):
+        out.append(PushBool(expr.value))
+        return
+    if isinstance(expr, NilLit):
+        out.append(PushNil())
+        return
+    if isinstance(expr, Prim):
+        out.append(PushPrim(expr))
+        return
+    if isinstance(expr, Var):
+        out.append(Load(expr.name))
+        return
+    if isinstance(expr, Lambda):
+        out.append(MakeClosure(param=expr.param, body=compile_expr(expr.body)))
+        return
+    if isinstance(expr, App):
+        _compile(expr.fn, out)
+        _compile(expr.arg, out)
+        out.append(Apply())
+        return
+    if isinstance(expr, If):
+        _compile(expr.cond, out)
+        out.append(
+            Branch(
+                then_code=compile_expr(expr.then),
+                else_code=compile_expr(expr.otherwise),
+            )
+        )
+        return
+    if isinstance(expr, Letrec):
+        out.append(LetrecEnter(expr.binding_names()))
+        for binding in expr.bindings:
+            if isinstance(binding.expr, Lambda):
+                out.append(
+                    MakeClosure(
+                        param=binding.expr.param,
+                        body=compile_expr(binding.expr.body),
+                        name=binding.name,
+                    )
+                )
+            else:
+                _compile(binding.expr, out)
+            out.append(Store(binding.name))
+        _compile(expr.body, out)
+        out.append(EnvRestore())
+        return
+    raise EvalError(f"cannot compile {type(expr).__name__}", expr.span)

@@ -1,0 +1,129 @@
+"""Instruction set of the abstract machine (§3.3's operational layer).
+
+The paper frames the escape semantics as an abstraction of "a certain
+implementation that uses a stack and a heap"; this is that implementation,
+made concrete: a stack machine with structured code (branch/closure bodies
+are nested code tuples), an operand stack, environment frames, and explicit
+region instructions compiled from the optimizers' annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Prim
+
+#: A code block: a tuple of instructions, executed left to right.
+Code = tuple
+
+
+class Instr:
+    """Base class of machine instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class PushInt(Instr):
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class PushBool(Instr):
+    value: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PushNil(Instr):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class PushPrim(Instr):
+    """Push a primitive as a first-class (curryable) value.
+
+    The :class:`~repro.lang.ast.Prim` node is carried so allocation-site
+    annotations (``alloc = "region"``) survive compilation.
+    """
+
+    prim: Prim
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Instr):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class MakeClosure(Instr):
+    """Build a closure over the current environment."""
+
+    param: str
+    body: Code
+    name: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Apply(Instr):
+    """Pop argument then function; enter the function."""
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(Instr):
+    """Pop a boolean; execute one of the sub-blocks, then continue."""
+
+    then_code: Code
+    else_code: Code
+
+
+@dataclass(frozen=True, slots=True)
+class LetrecEnter(Instr):
+    """Push a fresh (shared, mutable) environment frame for a letrec knot."""
+
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Instr):
+    """Pop a value into the current letrec frame."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class EnvRestore(Instr):
+    """Pop one environment level (closes a letrec scope)."""
+
+
+@dataclass(frozen=True, slots=True)
+class RegionOpen(Instr):
+    kind: str  # "stack" | "block"
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class RegionClose(Instr):
+    """Close the innermost machine-opened region; the value on top of the
+    stack is the region scope's result (checked for escapes)."""
+
+
+def disassemble(code: Code, indent: int = 0) -> str:
+    """Human-readable listing, nested blocks indented."""
+    pad = "  " * indent
+    lines: list[str] = []
+    for instr in code:
+        if isinstance(instr, MakeClosure):
+            lines.append(f"{pad}closure {instr.name or ''}({instr.param}):")
+            lines.append(disassemble(instr.body, indent + 1))
+        elif isinstance(instr, Branch):
+            lines.append(f"{pad}branch:")
+            lines.append(f"{pad}  then:")
+            lines.append(disassemble(instr.then_code, indent + 2))
+            lines.append(f"{pad}  else:")
+            lines.append(disassemble(instr.else_code, indent + 2))
+        elif isinstance(instr, PushPrim):
+            lines.append(f"{pad}push_prim {instr.prim.name}")
+        else:
+            text = repr(instr).replace("()", "")
+            lines.append(f"{pad}{text}")
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Block allocation / reclamation (§A.3.3 — the "local heap").
+
+For a result expression ``f (g args)`` where ``g`` builds a list whose top
+spines do not escape ``f``: the list cannot go in ``f``'s activation record
+(it is built before the activation exists), but ``g``'s spine cells can be
+placed together in a *block* of memory.  When ``f`` returns, the whole
+block goes back to the free list at once — reclaiming the cells without the
+garbage collector ever traversing them.
+
+Mechanically: a specialized producer ``g_block`` is created whose
+result-spine ``cons`` sites allocate into the innermost open region, the
+body call is redirected to it, and the whole body is annotated with a
+*block* region that closes (freeing everything, with an escape check) when
+the consumer returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.ast import (
+    App,
+    Binding,
+    Expr,
+    Letrec,
+    Prim,
+    Program,
+    Var,
+    clone,
+    clone_program,
+    rename_var,
+    uncurry_app,
+    uncurry_lambda,
+    walk,
+)
+from repro.lang.errors import OptimizationError
+from repro.types.infer import infer_program
+from repro.types.types import TFun, Type, fun_args, spines
+
+
+@dataclass
+class BlockAllocResult:
+    program: Program
+    producer: str
+    new_name: str
+    annotated_sites: int
+    consumer_prefix: int
+
+
+def _result_spine_cons_sites(body: Expr, result_type: Type) -> list[Prim]:
+    """The cons sites that build the producer's *result* spines: saturated
+    ``cons`` whose constructed list type has the same spine count as the
+    producer's result (the top spine from the result's point of view)."""
+    wanted = spines(result_type)
+    sites: list[Prim] = []
+    for node in walk(body):
+        if not isinstance(node, App):
+            continue
+        head, args = uncurry_app(node)
+        if isinstance(head, Prim) and head.name == "cons" and len(args) == 2:
+            if node.ty is not None and spines(node.ty) == wanted:
+                sites.append(head)
+    return sites
+
+
+def block_allocate_producer(
+    program: Program,
+    producer: str,
+    new_name: str | None = None,
+    analysis: EscapeAnalysis | None = None,
+) -> BlockAllocResult:
+    """Apply §A.3.3 to the program's result expression.
+
+    Finds the application of ``producer`` among the body call's arguments,
+    verifies with the local escape test that the produced list's top spine
+    does not escape the consumer, and returns a rewritten copy of the
+    program using a block-allocating specialization of the producer.
+    """
+    program = clone_program(program)
+    new_name = new_name or f"{producer}_block"
+    if new_name in program.binding_names():
+        raise OptimizationError(f"{new_name!r} already exists in the program")
+    if producer not in program.binding_names():
+        raise OptimizationError(f"{producer!r} is not defined in the program")
+
+    body = program.body
+    _, args = uncurry_app(body)
+    if not args:
+        raise OptimizationError("program body is not a function application")
+
+    producer_positions = [
+        j
+        for j, arg in enumerate(args, start=1)
+        if isinstance(arg, App)
+        and isinstance(uncurry_app(arg)[0], Var)
+        and uncurry_app(arg)[0].name == producer  # type: ignore[union-attr]
+    ]
+    if not producer_positions:
+        raise OptimizationError(
+            f"the body call has no argument produced by {producer!r}"
+        )
+
+    analysis = analysis or EscapeAnalysis(program)
+    results = analysis.local_test(body)
+    target = None
+    for j in producer_positions:
+        result = results[j - 1]
+        if result.param_spines >= 1 and result.non_escaping_spines >= 1:
+            target = result
+            break
+    if target is None:
+        raise OptimizationError(
+            f"every spine of {producer!r}'s product may escape the consumer; "
+            "block reclamation would free live cells"
+        )
+
+    # Ensure the producer's nodes carry types (the local test re-inferred
+    # the program variant, which annotates this program's shared bindings).
+    infer_program(program)
+
+    binding = program.binding(producer)
+    specialized = clone(binding.expr)
+    params, spec_body = uncurry_lambda(specialized)
+    assert binding.expr.ty is not None
+    result_type = fun_args(binding.expr.ty)[1]
+    if spines(result_type) < 1:
+        raise OptimizationError(f"{producer!r} does not return a list")
+
+    spec_body = rename_var(spec_body, producer, new_name)
+    sites = _result_spine_cons_sites(spec_body, result_type)
+    if not sites:
+        raise OptimizationError(
+            f"{producer!r} has no visible cons site building its result spine"
+        )
+    for site in sites:
+        site.annotations["alloc"] = "region"
+
+    from repro.lang.ast import lambda_n
+
+    new_binding = Binding(new_name, lambda_n(params, spec_body, span=specialized.span))
+    new_body = rename_var(program.body, producer, new_name)
+    new_body.annotations["region"] = {"kind": "block", "label": producer}
+    new_letrec = Letrec(
+        span=program.letrec.span,
+        bindings=program.bindings + (new_binding,),
+        body=new_body,
+    )
+    return BlockAllocResult(
+        program=Program(letrec=new_letrec, source=program.source),
+        producer=producer,
+        new_name=new_name,
+        annotated_sites=len(sites),
+        consumer_prefix=target.non_escaping_spines,
+    )

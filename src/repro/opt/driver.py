@@ -1,0 +1,225 @@
+"""The optimization driver: from analysis facts to an explicit plan.
+
+``plan_optimizations`` surveys a whole program and records every storage
+decision the escape + sharing facts license, with its justification — the
+artifact a compiler would act on (and a user can audit):
+
+* *reuse* — function parameters whose non-escaping top spines have eligible
+  DCONS sites (plus the Theorem 2 obligation the caller must discharge);
+* *stack* — result-call arguments whose literal spines never escape the
+  call (§A.3.1);
+* *block* — result-call arguments produced by a top-level function whose
+  product's top spine dies with the call (§A.3.3).
+
+``apply_plan`` then performs the safe subset mechanically: all reuse
+specializations are added, body calls are redirected to them when the
+actual argument is a literal (fresh, hence unshared), and the stack/block
+rewrites are applied when their decisions are present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.sharing import sharing_global
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.ast import (
+    App,
+    Expr,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+    uncurry_app,
+    uncurry_lambda,
+)
+from repro.lang.errors import AnalysisError, NmlError, OptimizationError
+from repro.opt.reuse import make_reuse_specialization, redirect_body_calls, select_reuse_sites
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One storage decision with its justification."""
+
+    kind: str  # "reuse" | "stack" | "block"
+    function: str  # the function owning the decision ("<body>" for the call)
+    param_index: int
+    justification: str
+    obligation: str = ""  # what a caller must still establish (sharing)
+
+    def __str__(self) -> str:
+        text = f"[{self.kind}] {self.function} param {self.param_index}: {self.justification}"
+        if self.obligation:
+            text += f" (caller must ensure: {self.obligation})"
+        return text
+
+
+@dataclass
+class OptimizationPlan:
+    program: Program
+    decisions: list[Decision] = field(default_factory=list)
+
+    def by_kind(self, kind: str) -> list[Decision]:
+        return [d for d in self.decisions if d.kind == kind]
+
+    def summary(self) -> str:
+        if not self.decisions:
+            return "no storage optimization is licensed by the analysis\n"
+        return "\n".join(str(d) for d in self.decisions) + "\n"
+
+
+def _is_literal_chain(expr: Expr) -> bool:
+    """Fresh, visible spine construction (list literal / cons chain)."""
+    while True:
+        if isinstance(expr, NilLit):
+            return True
+        if not isinstance(expr, App):
+            return False
+        head, args = uncurry_app(expr)
+        if not (isinstance(head, Prim) and head.name == "cons" and len(args) == 2):
+            return False
+        expr = args[1]
+
+
+def plan_optimizations(program: Program) -> OptimizationPlan:
+    """Survey the program and collect every licensed storage decision."""
+    analysis = EscapeAnalysis(program)
+    plan = OptimizationPlan(program=program)
+
+    # -- reuse candidates per function ----------------------------------
+    for name in program.binding_names():
+        try:
+            results = analysis.global_all(name)
+        except (AnalysisError, NmlError):
+            continue
+        params, body = uncurry_lambda(program.binding(name).expr)
+        for result in results:
+            if result.param_spines < 1 or result.non_escaping_spines < 1:
+                continue
+            param = params[result.param_index - 1] if result.param_index <= len(params) else None
+            if param is None:
+                continue
+            sites = select_reuse_sites(body, param, donor_type=result.param_type)
+            if not sites:
+                continue
+            plan.decisions.append(
+                Decision(
+                    kind="reuse",
+                    function=name,
+                    param_index=result.param_index,
+                    justification=(
+                        f"top {result.non_escaping_spines} spine(s) never escape "
+                        f"(G = {result.result}); {len(sites)} DCONS site(s)"
+                    ),
+                    obligation=(
+                        f"the actual argument's top spine is unshared "
+                        f"(Theorem 2 or freshness)"
+                    ),
+                )
+            )
+
+    # -- stack / block candidates on the result call ----------------------
+    head, args = uncurry_app(program.body)
+    if args and isinstance(head, Var):
+        try:
+            locals_ = analysis.local_test(program.body)
+        except (AnalysisError, NmlError):
+            locals_ = []
+        for result, arg in zip(locals_, args):
+            if result.param_spines < 1 or result.non_escaping_spines < 1:
+                continue
+            if _is_literal_chain(arg):
+                plan.decisions.append(
+                    Decision(
+                        kind="stack",
+                        function="<body>",
+                        param_index=result.param_index,
+                        justification=(
+                            f"literal argument; top {result.non_escaping_spines} "
+                            f"spine(s) die with the call (L = {result.result})"
+                        ),
+                    )
+                )
+                continue
+            arg_head, arg_args = uncurry_app(arg)
+            if (
+                isinstance(arg_head, Var)
+                and arg_head.name in program.binding_names()
+                and arg_args
+            ):
+                plan.decisions.append(
+                    Decision(
+                        kind="block",
+                        function=arg_head.name,
+                        param_index=result.param_index,
+                        justification=(
+                            f"produced list's top {result.non_escaping_spines} "
+                            f"spine(s) die with the consumer (L = {result.result})"
+                        ),
+                    )
+                )
+
+    return plan
+
+
+def apply_plan(plan: OptimizationPlan) -> tuple[Program, list[str]]:
+    """Mechanically apply the plan's safe subset; returns the transformed
+    program and a log of the steps taken."""
+    program = plan.program
+    log: list[str] = []
+
+    # Reuse specializations (and body redirection when the actual argument
+    # is a literal — fresh, therefore unshared).
+    head, args = uncurry_app(program.body)
+    body_callee = head.name if isinstance(head, Var) else None
+    for decision in plan.by_kind("reuse"):
+        try:
+            result = make_reuse_specialization(
+                program, decision.function, decision.param_index
+            )
+        except OptimizationError as error:
+            log.append(f"skip reuse {decision.function}: {error.message}")
+            continue
+        program = result.program
+        log.append(
+            f"added {result.new_name} ({result.rewritten_sites} DCONS site(s))"
+        )
+        if (
+            body_callee == decision.function
+            and decision.param_index <= len(args)
+            and _is_literal_chain(args[decision.param_index - 1])
+        ):
+            program = redirect_body_calls(program, decision.function, result.new_name)
+            log.append(
+                f"redirected the result call to {result.new_name} "
+                "(literal argument is unshared)"
+            )
+
+    # Stack allocation of the result call's literal arguments.
+    if plan.by_kind("stack"):
+        from repro.opt.stack_alloc import stack_allocate_body
+
+        try:
+            stack_result = stack_allocate_body(program)
+            program = stack_result.program
+            log.append(
+                f"stack-allocated {stack_result.annotated_sites} literal cons site(s)"
+            )
+        except OptimizationError as error:
+            log.append(f"skip stack allocation: {error.message}")
+
+    # Block allocation for producer arguments.
+    for decision in plan.by_kind("block"):
+        from repro.opt.block_alloc import block_allocate_producer
+
+        try:
+            block_result = block_allocate_producer(program, decision.function)
+            program = block_result.program
+            log.append(
+                f"block-allocated {decision.function} "
+                f"({block_result.annotated_sites} site(s))"
+            )
+        except OptimizationError as error:
+            log.append(f"skip block allocation of {decision.function}: {error.message}")
+
+    return program, log

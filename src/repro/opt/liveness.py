@@ -1,0 +1,135 @@
+"""Syntactic last-use analysis for the in-place-reuse transformation.
+
+§6's condition for rewriting ``cons e1 e2`` to ``DCONS xᵢ e1 e2`` is that
+"there is no further use of the i-th parameter xᵢ after the evaluation of
+the subexpression ``(cons e1 e2)``".  This module decides that condition
+syntactically, following the interpreter's strict evaluation order:
+
+* ``e1 e2`` — ``e1``, then ``e2``, then the application happens;
+* ``if c then t else e`` — ``c``, then exactly one branch;
+* ``letrec`` — bindings in order, then the body.
+
+Anything under a ``lambda`` evaluates at an unknown later time, so a target
+under a lambda (relative to the root being asked about), or a variable
+occurrence under a lambda after the target, is treated conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import App, Expr, If, Lambda, Letrec, Var, walk
+
+
+@dataclass(frozen=True)
+class _Scan:
+    """State of the evaluation-order scan.
+
+    ``found``  — the target expression has been evaluated already;
+    ``used``   — a use of the variable may happen after the target.
+    """
+
+    found: bool
+    used: bool
+
+
+def uses_var(expr: Expr, name: str) -> bool:
+    """Does ``name`` occur free in ``expr``?  (Shadowing-aware.)"""
+    if isinstance(expr, Var):
+        return expr.name == name
+    if isinstance(expr, Lambda):
+        if expr.param == name:
+            return False
+        return uses_var(expr.body, name)
+    if isinstance(expr, Letrec):
+        if name in expr.binding_names():
+            return False
+        return any(uses_var(child, name) for child in expr.children())
+    return any(uses_var(child, name) for child in expr.children())
+
+
+def var_used_after(root: Expr, target_uid: int, name: str) -> bool | None:
+    """May ``name`` be evaluated after the node with uid ``target_uid``
+    finishes evaluating, on some execution of ``root``?
+
+    Returns ``None`` if the target does not occur in ``root`` at all, and
+    ``True`` conservatively whenever the order cannot be established (for
+    example the target sits under a lambda, or an inner lambda captures the
+    variable — the resulting closure could run at any later time).
+    """
+    scan = _scan(root, target_uid, name, shadowed=frozenset())
+    if not scan.found:
+        return None
+    if scan.used:
+        return True
+    for node in walk(root):
+        if isinstance(node, Lambda) and node.param != name and uses_var(node.body, name):
+            return True
+    return False
+
+
+def _scan(expr: Expr, target_uid: int, name: str, shadowed: frozenset[str]) -> _Scan:
+    is_use = isinstance(expr, Var) and expr.name == name and name not in shadowed
+
+    if expr.uid == target_uid:
+        # The target itself finishes evaluating here; uses *inside* it are
+        # before the mutation point, not after.
+        return _Scan(found=True, used=False)
+
+    if isinstance(expr, Lambda):
+        inner_shadowed = shadowed | {expr.param}
+        inner = _scan(expr.body, target_uid, name, inner_shadowed)
+        if inner.found:
+            # Target under a lambda: each application evaluates the body
+            # again at an unknown time — give up conservatively.
+            return _Scan(found=True, used=True)
+        return _Scan(found=False, used=False)
+
+    if isinstance(expr, If):
+        cond = _scan(expr.cond, target_uid, name, shadowed)
+        if cond.found:
+            # After the condition, one branch runs; either may use the var.
+            used = (
+                cond.used
+                or _may_use(expr.then, name, shadowed)
+                or _may_use(expr.otherwise, name, shadowed)
+            )
+            return _Scan(found=True, used=used)
+        then = _scan(expr.then, target_uid, name, shadowed)
+        if then.found:
+            return then
+        other = _scan(expr.otherwise, target_uid, name, shadowed)
+        if other.found:
+            return other
+        return _Scan(found=False, used=is_use)
+
+    if isinstance(expr, Letrec):
+        inner_shadowed = shadowed | set(expr.binding_names())
+        ordered = list(expr.children())  # bindings in order, then body
+        return _scan_sequence(ordered, target_uid, name, inner_shadowed)
+
+    children = list(expr.children())
+    if not children:
+        return _Scan(found=False, used=is_use)
+    return _scan_sequence(children, target_uid, name, shadowed)
+
+
+def _scan_sequence(
+    ordered: list[Expr], target_uid: int, name: str, shadowed: frozenset[str]
+) -> _Scan:
+    """Scan subexpressions evaluated strictly in the given order."""
+    for index, child in enumerate(ordered):
+        result = _scan(child, target_uid, name, shadowed)
+        if result.found:
+            used = result.used or any(
+                _may_use(later, name, shadowed) for later in ordered[index + 1 :]
+            )
+            return _Scan(found=True, used=used)
+    used_anywhere = any(_may_use(child, name, shadowed) for child in ordered)
+    return _Scan(found=False, used=used_anywhere)
+
+
+def _may_use(expr: Expr, name: str, shadowed: frozenset[str]) -> bool:
+    if name in shadowed:
+        return False
+    return uses_var(expr, name)

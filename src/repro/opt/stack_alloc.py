@@ -1,0 +1,94 @@
+"""Stack allocation of non-escaping spines (§A.3.1).
+
+For the program's result call ``f e₁ … eₙ``: if the local escape test says
+the top ``t ≥ 1`` spines of argument ``eᵢ`` do not escape ``f``, the cons
+cells building those spines can live in ``f``'s activation record — they
+"disappear" when the call returns, with zero reclamation cost.
+
+Mechanically: the call expression is annotated with a *stack region* (the
+activation record), and each ``cons`` site inside the argument expression
+that builds one of the top ``t`` spines is annotated to allocate into the
+innermost open region.  The interpreter opens the region before evaluating
+the call and frees it — checking nothing escaping is lost — right after.
+
+Only syntactically visible spine construction (list literals / cons chains)
+can be redirected this way; lists built by called functions are the block
+allocation optimization's job (§A.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.ast import App, Expr, Prim, Program, clone_program, uncurry_app
+from repro.lang.errors import OptimizationError
+
+
+@dataclass
+class StackAllocResult:
+    program: Program
+    annotated_sites: int
+    #: per argument position (1-based): the non-escaping prefix used
+    prefixes: dict[int, int] = field(default_factory=dict)
+
+
+def _annotate_literal_spines(arg: Expr, max_depth: int) -> int:
+    """Annotate cons sites of a literal cons chain up to spine depth
+    ``max_depth`` (1 = top spine).  Returns the number of annotated sites."""
+    count = 0
+
+    def go(node: Expr, depth: int) -> None:
+        nonlocal count
+        if depth > max_depth or not isinstance(node, App):
+            return
+        head, args = uncurry_app(node)
+        if isinstance(head, Prim) and head.name == "cons" and len(args) == 2:
+            head.annotations["alloc"] = "region"
+            count += 1
+            go(args[0], depth + 1)  # element: one spine deeper
+            go(args[1], depth)  # tail: same spine
+        # other applications: opaque — their allocations belong to block
+        # allocation, not stack allocation
+
+    go(arg, 1)
+    return count
+
+
+def stack_allocate_body(
+    program: Program, analysis: EscapeAnalysis | None = None
+) -> StackAllocResult:
+    """Apply §A.3.1 to the program's result expression.
+
+    Returns an annotated *copy*; the input program is untouched.  Raises
+    :class:`OptimizationError` if the body is not an application or no
+    argument has a non-escaping literal spine to redirect.
+    """
+    program = clone_program(program)
+    body = program.body
+    head, args = uncurry_app(body)
+    if not args:
+        raise OptimizationError("program body is not a function application")
+
+    analysis = analysis or EscapeAnalysis(program)
+    results = analysis.local_test(body)
+
+    total = 0
+    prefixes: dict[int, int] = {}
+    for result, arg in zip(results, args):
+        prefix = result.non_escaping_spines
+        if result.param_spines < 1 or prefix < 1:
+            continue
+        annotated = _annotate_literal_spines(arg, prefix)
+        if annotated:
+            prefixes[result.param_index] = prefix
+            total += annotated
+
+    if total == 0:
+        raise OptimizationError(
+            "no argument of the body call has a non-escaping spine built by "
+            "a visible cons chain; nothing to stack-allocate"
+        )
+
+    body.annotations["region"] = {"kind": "stack", "label": "activation"}
+    return StackAllocResult(program=program, annotated_sites=total, prefixes=prefixes)

@@ -1,0 +1,27 @@
+"""The standard semantics substrate: instrumented heap, regions, mark-sweep
+GC, and the strict interpreter."""
+
+from repro.semantics.gc import GcStats, MarkSweepGC
+from repro.semantics.heap import AllocKind, Cell, Heap, Region
+from repro.semantics.interp import Interpreter, run_program
+from repro.semantics.metrics import StorageMetrics
+from repro.semantics.values import (
+    FALSE,
+    NIL,
+    TRUE,
+    Env,
+    Value,
+    VBool,
+    VClosure,
+    VCons,
+    VInt,
+    VNil,
+    VPrim,
+    VTuple,
+)
+
+__all__ = [
+    "GcStats", "MarkSweepGC", "AllocKind", "Cell", "Heap", "Region",
+    "Interpreter", "run_program", "StorageMetrics", "FALSE", "NIL", "TRUE",
+    "Env", "Value", "VBool", "VClosure", "VCons", "VInt", "VNil", "VPrim", "VTuple",
+]

@@ -1,0 +1,65 @@
+"""Storage-event counters for the instrumented runtime.
+
+The paper's optimizations exist to change *where cells live and how they are
+reclaimed*; these counters are the observable form of that claim:
+
+* ``heap_allocs``       — cons cells the garbage collector must manage
+* ``region_allocs``     — cells placed in a stack or block region instead
+* ``reused``            — cells recycled in place by ``dcons`` (§6)
+* ``dcons_fallback``    — ``dcons`` calls whose donor was nil (fresh alloc)
+* ``stack_reclaimed``   — cells freed by popping a stack region (§A.3.1)
+* ``block_reclaimed``   — cells freed by releasing a block region at once
+                          (§A.3.3 — no per-cell traversal)
+* ``gc_runs/gc_marked/gc_swept`` — mark–sweep activity; ``gc_marked`` is the
+  traversal work a block reclamation avoids
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageMetrics:
+    heap_allocs: int = 0
+    region_allocs: int = 0
+    reused: int = 0
+    dcons_fallback: int = 0
+    stack_reclaimed: int = 0
+    block_reclaimed: int = 0
+    gc_runs: int = 0
+    gc_marked: int = 0
+    gc_swept: int = 0
+    eval_steps: int = 0
+    applications: int = 0
+    by_region_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_allocs(self) -> int:
+        """Every fresh cons cell, wherever it was placed."""
+        return self.heap_allocs + self.region_allocs
+
+    @property
+    def cells_constructed(self) -> int:
+        """Cons results produced, counting in-place reuse (no fresh cell)."""
+        return self.total_allocs + self.reused
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "heap_allocs": self.heap_allocs,
+            "region_allocs": self.region_allocs,
+            "reused": self.reused,
+            "dcons_fallback": self.dcons_fallback,
+            "stack_reclaimed": self.stack_reclaimed,
+            "block_reclaimed": self.block_reclaimed,
+            "gc_runs": self.gc_runs,
+            "gc_marked": self.gc_marked,
+            "gc_swept": self.gc_swept,
+            "eval_steps": self.eval_steps,
+            "applications": self.applications,
+        }
+
+    def diff(self, earlier: "dict[str, int]") -> dict[str, int]:
+        """Counter deltas since an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}

@@ -1,0 +1,262 @@
+"""Hindley–Milner type inference for nml.
+
+Implements Algorithm W with let-polymorphism at ``letrec`` (recursive
+occurrences are monomorphic, as usual).  After constraint solving, every AST
+node's ``ty`` field is set to its fully-substituted monotype; any type
+variable that remains unconstrained is *defaulted to* ``int`` — the paper's
+"simplest monotyped instance", which Theorem 1 (polymorphic invariance)
+licenses as the representative for the escape analysis.
+
+The inference also performs the paper's ``car^s`` annotation (§3.4): every
+``car``/``cdr``/``cons``/``nil``/``null``/``dcons`` occurrence is given its
+instantiated type, from which the spine count ``s`` is read off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+    walk,
+)
+from repro.lang.errors import TypeInferenceError
+from repro.types.types import (
+    BOOL,
+    INT,
+    TFun,
+    TList,
+    TProd,
+    TVar,
+    Type,
+    TypeScheme,
+    fresh_tvar,
+    free_type_vars,
+    scheme_free_type_vars,
+)
+from repro.types.unify import Substitution, unify
+
+
+def prim_scheme(name: str) -> TypeScheme:
+    """The type scheme of a primitive constant."""
+    a = fresh_tvar()
+    if name in ("+", "-", "*", "/"):
+        return TypeScheme.mono(TFun(INT, TFun(INT, INT)))
+    if name in ("==", "<>", "<", "<=", ">", ">="):
+        return TypeScheme.mono(TFun(INT, TFun(INT, BOOL)))
+    if name == "cons":
+        return TypeScheme((a,), TFun(a, TFun(TList(a), TList(a))))
+    if name == "car":
+        return TypeScheme((a,), TFun(TList(a), a))
+    if name == "cdr":
+        return TypeScheme((a,), TFun(TList(a), TList(a)))
+    if name == "null":
+        return TypeScheme((a,), TFun(TList(a), BOOL))
+    if name == "mkpair":
+        b = fresh_tvar()
+        return TypeScheme((a, b), TFun(a, TFun(b, TProd(a, b))))
+    if name == "fst":
+        b = fresh_tvar()
+        return TypeScheme((a, b), TFun(TProd(a, b), a))
+    if name == "snd":
+        b = fresh_tvar()
+        return TypeScheme((a, b), TFun(TProd(a, b), b))
+    if name == "dcons":
+        # dcons reuse_cell head tail — same result type as cons, plus the
+        # cell donor list in front.
+        return TypeScheme((a,), TFun(TList(a), TFun(a, TFun(TList(a), TList(a)))))
+    raise TypeInferenceError(f"unknown primitive {name!r}")
+
+
+@dataclass
+class InferenceResult:
+    """Everything inference learned about a program.
+
+    * ``schemes`` — top-level binding name → generalized type scheme
+    * ``result_type`` — the (defaulted) type of the program body
+    * ``subst`` — the final substitution (exposed for tooling)
+    """
+
+    schemes: dict[str, TypeScheme]
+    result_type: Type
+    subst: Substitution
+
+    def scheme(self, name: str) -> TypeScheme:
+        if name not in self.schemes:
+            raise TypeInferenceError(f"no top-level binding named {name!r}")
+        return self.schemes[name]
+
+
+class _Inferencer:
+    def __init__(self, pins: dict[str, Type] | None = None) -> None:
+        self.subst = Substitution()
+        self.node_types: dict[int, Type] = {}
+        # Monotype pins for top-level bindings (consumed by the outermost
+        # letrec): used to analyze a binding at a chosen instance (§5).
+        self.pins: dict[str, Type] | None = pins
+
+    # -- scheme handling --------------------------------------------------
+
+    def instantiate(self, scheme: TypeScheme) -> Type:
+        if not scheme.vars:
+            return scheme.body
+        mapping: dict[TVar, Type] = {v: fresh_tvar() for v in scheme.vars}
+        return _replace(scheme.body, mapping)
+
+    def generalize(self, ty: Type, env: dict[str, TypeScheme]) -> TypeScheme:
+        ty = self.subst.apply(ty)
+        env_vars: set[TVar] = set()
+        for scheme in env.values():
+            for var in scheme_free_type_vars(scheme):
+                env_vars |= free_type_vars(self.subst.apply(var))
+        qvars = tuple(sorted(free_type_vars(ty) - env_vars, key=lambda v: v.id))
+        return TypeScheme(qvars, ty)
+
+    # -- the algorithm -----------------------------------------------------
+
+    def infer(self, expr: Expr, env: dict[str, TypeScheme]) -> Type:
+        ty = self._infer(expr, env)
+        self.node_types[expr.uid] = ty
+        return ty
+
+    def _infer(self, expr: Expr, env: dict[str, TypeScheme]) -> Type:
+        if isinstance(expr, IntLit):
+            return INT
+        if isinstance(expr, BoolLit):
+            return BOOL
+        if isinstance(expr, NilLit):
+            return TList(fresh_tvar())
+        if isinstance(expr, Prim):
+            return self.instantiate(prim_scheme(expr.name))
+        if isinstance(expr, Var):
+            scheme = env.get(expr.name)
+            if scheme is None:
+                raise TypeInferenceError(f"unbound identifier {expr.name!r}", expr.span)
+            return self.instantiate(scheme)
+        if isinstance(expr, App):
+            fn_ty = self.infer(expr.fn, env)
+            arg_ty = self.infer(expr.arg, env)
+            result = fresh_tvar()
+            unify(fn_ty, TFun(arg_ty, result), self.subst, expr.span)
+            return result
+        if isinstance(expr, Lambda):
+            param_ty = fresh_tvar()
+            inner = dict(env)
+            inner[expr.param] = TypeScheme.mono(param_ty)
+            body_ty = self.infer(expr.body, inner)
+            return TFun(param_ty, body_ty)
+        if isinstance(expr, If):
+            cond_ty = self.infer(expr.cond, env)
+            unify(cond_ty, BOOL, self.subst, expr.cond.span)
+            then_ty = self.infer(expr.then, env)
+            else_ty = self.infer(expr.otherwise, env)
+            unify(then_ty, else_ty, self.subst, expr.span)
+            return then_ty
+        if isinstance(expr, Letrec):
+            return self._infer_letrec(expr, env)
+        raise TypeInferenceError(f"cannot infer type of {type(expr).__name__}", expr.span)
+
+    def _infer_letrec(self, expr: Letrec, env: dict[str, TypeScheme]) -> Type:
+        # Monomorphic assumptions for the recursive knot.
+        assumed: dict[str, Type] = {b.name: fresh_tvar() for b in expr.bindings}
+        if self.pins is not None:
+            pins, self.pins = self.pins, None  # outermost letrec only
+            for name, pinned in pins.items():
+                if name not in assumed:
+                    raise TypeInferenceError(f"cannot pin unknown binding {name!r}")
+                unify(assumed[name], pinned, self.subst, expr.span)
+        rec_env = dict(env)
+        for name, ty in assumed.items():
+            rec_env[name] = TypeScheme.mono(ty)
+        for binding in expr.bindings:
+            bound_ty = self.infer(binding.expr, rec_env)
+            unify(assumed[binding.name], bound_ty, self.subst, binding.span)
+        # Generalize for the body (classic let-polymorphism).
+        body_env = dict(env)
+        for binding in expr.bindings:
+            body_env[binding.name] = self.generalize(assumed[binding.name], env)
+        return self.infer(expr.body, body_env)
+
+
+def _replace(ty: Type, mapping: dict[TVar, Type]) -> Type:
+    if isinstance(ty, TVar):
+        return mapping.get(ty, ty)
+    if isinstance(ty, TList):
+        return TList(_replace(ty.element, mapping))
+    if isinstance(ty, TFun):
+        return TFun(_replace(ty.arg, mapping), _replace(ty.result, mapping))
+    if isinstance(ty, TProd):
+        return TProd(_replace(ty.fst, mapping), _replace(ty.snd, mapping))
+    return ty
+
+
+def default_instance(ty: Type) -> Type:
+    """Replace every remaining type variable by ``int`` — the simplest
+    monomorphic instance (Theorem 1 makes this choice canonical)."""
+    if isinstance(ty, TVar):
+        return INT
+    if isinstance(ty, TList):
+        return TList(default_instance(ty.element))
+    if isinstance(ty, TFun):
+        return TFun(default_instance(ty.arg), default_instance(ty.result))
+    if isinstance(ty, TProd):
+        return TProd(default_instance(ty.fst), default_instance(ty.snd))
+    return ty
+
+
+def infer_program(
+    program: Program,
+    extra_env: dict[str, TypeScheme] | None = None,
+    pins: dict[str, Type] | None = None,
+) -> InferenceResult:
+    """Type-check ``program`` and annotate every node's ``ty`` in place.
+
+    ``pins`` forces chosen top-level bindings to given monotypes before
+    generalization — the mechanism for analyzing a polymorphic function at a
+    particular instance (Theorem 1 makes all instances agree on the
+    non-escaping spine prefix, but each instance has its own ``car^s``
+    annotations and therefore its own ``k``).
+    """
+    inferencer = _Inferencer(pins=dict(pins) if pins else None)
+    env: dict[str, TypeScheme] = dict(extra_env or {})
+    result_ty = inferencer.infer(program.letrec, env)
+
+    # Annotate all nodes with their resolved, defaulted monotypes.
+    for node in walk(program.letrec):
+        raw = inferencer.node_types.get(node.uid)
+        if raw is not None:
+            node.ty = default_instance(inferencer.subst.apply(raw))
+
+    # Re-generalize the top-level bindings against the outer environment so
+    # callers can instantiate them at other monotypes.
+    schemes: dict[str, TypeScheme] = {}
+    for binding in program.bindings:
+        raw = inferencer.node_types[binding.expr.uid]
+        schemes[binding.name] = inferencer.generalize(raw, env)
+
+    return InferenceResult(
+        schemes=schemes,
+        result_type=default_instance(inferencer.subst.apply(result_ty)),
+        subst=inferencer.subst,
+    )
+
+
+def infer_expr(expr: Expr, env: dict[str, TypeScheme] | None = None) -> Type:
+    """Type-check a bare expression; annotates nodes, returns its type."""
+    inferencer = _Inferencer()
+    ty = inferencer.infer(expr, dict(env or {}))
+    for node in walk(expr):
+        raw = inferencer.node_types.get(node.uid)
+        if raw is not None:
+            node.ty = default_instance(inferencer.subst.apply(raw))
+    return default_instance(inferencer.subst.apply(ty))

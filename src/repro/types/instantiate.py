@@ -1,0 +1,56 @@
+"""Monomorphic instantiation of polymorphic bindings (§5).
+
+The escape analysis runs on monotyped programs.  For a polymorphic function
+we analyze one instance; Theorem 1 (polymorphic invariance) guarantees the
+*non-escaping prefix* ``s_i − k`` is the same for every instance.  These
+helpers produce arbitrary instances so :mod:`repro.escape.poly` can check
+the theorem empirically.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import AnalysisError
+from repro.types.types import (
+    INT,
+    TFun,
+    TList,
+    TProd,
+    TVar,
+    Type,
+    TypeScheme,
+)
+
+
+def instantiate_scheme(scheme: TypeScheme, assignment: dict[TVar, Type] | None = None) -> Type:
+    """Instantiate ``scheme`` with ``assignment`` (missing vars → ``int``)."""
+    assignment = assignment or {}
+
+    def replace(ty: Type) -> Type:
+        if isinstance(ty, TVar):
+            return assignment.get(ty, INT)
+        if isinstance(ty, TList):
+            return TList(replace(ty.element))
+        if isinstance(ty, TFun):
+            return TFun(replace(ty.arg), replace(ty.result))
+        if isinstance(ty, TProd):
+            return TProd(replace(ty.fst), replace(ty.snd))
+        return ty
+
+    return replace(scheme.body)
+
+
+def simplest_instance(scheme: TypeScheme) -> Type:
+    """Every quantified variable ↦ ``int`` — the paper's canonical instance."""
+    return instantiate_scheme(scheme, {})
+
+
+def uniform_instances(scheme: TypeScheme, fillers: list[Type]) -> list[Type]:
+    """One instance per filler type, mapping *all* quantified variables to
+    that filler.  Used to exercise polymorphic invariance across instances
+    whose spine counts differ."""
+    if not scheme.vars:
+        raise AnalysisError(f"{scheme} is not polymorphic")
+    return [
+        instantiate_scheme(scheme, {var: filler for var in scheme.vars})
+        for filler in fillers
+    ]

@@ -1,0 +1,82 @@
+"""First-order unification over nml types.
+
+A mutable :class:`Substitution` accumulates bindings; :func:`unify` extends
+it or raises :class:`~repro.lang.errors.TypeInferenceError`.  The occurs
+check rejects infinite types (``t = t list``), which nml cannot express.
+"""
+
+from __future__ import annotations
+
+from repro.lang.errors import SourceSpan, TypeInferenceError
+from repro.types.types import TBool, TFun, TInt, TList, TProd, TVar, Type, apply_subst
+
+
+class Substitution:
+    """A union-find-free, dictionary-backed substitution."""
+
+    def __init__(self) -> None:
+        self.mapping: dict[TVar, Type] = {}
+
+    def resolve(self, ty: Type) -> Type:
+        """Walk variable chains until the representative is not bound."""
+        while isinstance(ty, TVar) and ty in self.mapping:
+            ty = self.mapping[ty]
+        return ty
+
+    def apply(self, ty: Type) -> Type:
+        """Fully substitute every bound variable inside ``ty``."""
+        return apply_subst(ty, self.mapping)
+
+    def bind(self, var: TVar, ty: Type, span: SourceSpan | None = None) -> None:
+        if isinstance(ty, TVar) and ty == var:
+            return
+        if _occurs(var, ty, self):
+            raise TypeInferenceError(
+                f"cannot construct the infinite type {var} = {self.apply(ty)}", span
+            )
+        self.mapping[var] = ty
+
+
+def _occurs(var: TVar, ty: Type, subst: Substitution) -> bool:
+    ty = subst.resolve(ty)
+    if isinstance(ty, TVar):
+        return ty == var
+    if isinstance(ty, TList):
+        return _occurs(var, ty.element, subst)
+    if isinstance(ty, TFun):
+        return _occurs(var, ty.arg, subst) or _occurs(var, ty.result, subst)
+    if isinstance(ty, TProd):
+        return _occurs(var, ty.fst, subst) or _occurs(var, ty.snd, subst)
+    return False
+
+
+def unify(left: Type, right: Type, subst: Substitution, span: SourceSpan | None = None) -> None:
+    """Make ``left`` and ``right`` equal under ``subst`` (mutating it)."""
+    left = subst.resolve(left)
+    right = subst.resolve(right)
+
+    if isinstance(left, TVar):
+        subst.bind(left, right, span)
+        return
+    if isinstance(right, TVar):
+        subst.bind(right, left, span)
+        return
+    if isinstance(left, TInt) and isinstance(right, TInt):
+        return
+    if isinstance(left, TBool) and isinstance(right, TBool):
+        return
+    if isinstance(left, TList) and isinstance(right, TList):
+        unify(left.element, right.element, subst, span)
+        return
+    if isinstance(left, TFun) and isinstance(right, TFun):
+        unify(left.arg, right.arg, subst, span)
+        unify(left.result, right.result, subst, span)
+        return
+    if isinstance(left, TProd) and isinstance(right, TProd):
+        unify(left.fst, right.fst, subst, span)
+        unify(left.snd, right.snd, subst, span)
+        return
+
+    raise TypeInferenceError(
+        f"type mismatch: {subst.apply(left)} vs {subst.apply(right)}", span
+    )

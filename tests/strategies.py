@@ -1,0 +1,162 @@
+"""Hypothesis strategies that generate *well-typed* nml expressions.
+
+``typed_expr(ty, env, depth)`` draws an expression of monotype ``ty`` under
+an environment of typed variables, using literals, variables, arithmetic,
+comparisons, conditionals, list and tuple constructors/destructors, and
+beta-redexes.  ``list_function_program()`` wraps one generated body into a
+single-parameter function over ``int list`` applied to a literal, giving
+whole programs for end-to-end property tests (round-tripping, inference,
+analysis termination, and the §3.5 safety property).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.lang.ast import (
+    App,
+    Binding,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+    apply_n,
+    cons_list,
+)
+from repro.types.types import BOOL, INT, TFun, TList, TProd, Type
+
+#: Types the generators know how to inhabit.
+INT_LIST = TList(INT)
+INT_LIST_LIST = TList(INT_LIST)
+INT_PAIR = TProd(INT, INT)
+
+_FRESH = st.integers(min_value=0, max_value=1_000_000)
+
+
+def _prim_call(name: str, *args: Expr) -> Expr:
+    return apply_n(Prim(name=name), *args)
+
+
+@st.composite
+def typed_expr(draw, ty: Type, env: dict[str, Type], depth: int = 3) -> Expr:
+    """An expression of type ``ty`` under ``env`` (variables name→type)."""
+    candidates = []
+
+    # variables of the right type are always candidates
+    matching = [name for name, var_ty in env.items() if var_ty == ty]
+    if matching:
+        candidates.append("var")
+
+    if ty == INT:
+        candidates.append("int_lit")
+        if depth > 0:
+            candidates += ["arith", "if", "fst_pair"]
+            if any(var_ty == INT_LIST for var_ty in env.values()):
+                candidates.append("car_list")
+    elif ty == BOOL:
+        candidates.append("bool_lit")
+        if depth > 0:
+            candidates += ["compare", "null", "if"]
+    elif isinstance(ty, TList):
+        candidates.append("nil")
+        if depth > 0:
+            candidates += ["cons", "literal_list", "if"]
+            if any(var_ty == ty for var_ty in env.values()):
+                candidates.append("cdr_same")
+    elif isinstance(ty, TProd):
+        if depth > 0:
+            candidates.append("mkpair")
+        else:
+            candidates.append("mkpair_shallow")
+    if depth > 0:
+        candidates.append("beta_redex")
+
+    choice = draw(st.sampled_from(candidates))
+    recurse = lambda t, d=depth - 1: draw(typed_expr(t, env, d))  # noqa: E731
+
+    if choice == "var":
+        return Var(name=draw(st.sampled_from(matching)))
+    if choice == "int_lit":
+        return IntLit(value=draw(st.integers(min_value=-20, max_value=20)))
+    if choice == "bool_lit":
+        return BoolLit(value=draw(st.booleans()))
+    if choice == "nil":
+        return NilLit()
+    if choice == "arith":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        return _prim_call(op, recurse(INT), recurse(INT))
+    if choice == "compare":
+        op = draw(st.sampled_from(["==", "<", "<=", ">", ">=", "<>"]))
+        return _prim_call(op, recurse(INT), recurse(INT))
+    if choice == "null":
+        return _prim_call("null", recurse(INT_LIST))
+    if choice == "car_list":
+        lists = [n for n, t in env.items() if t == INT_LIST]
+        # guarded car: if null l then fallback else car l
+        name = draw(st.sampled_from(lists))
+        return If(
+            cond=_prim_call("null", Var(name=name)),
+            then=recurse(INT),
+            otherwise=_prim_call("car", Var(name=name)),
+        )
+    if choice == "cdr_same":
+        assert isinstance(ty, TList)
+        sources = [n for n, t in env.items() if t == ty]
+        name = draw(st.sampled_from(sources))
+        return If(
+            cond=_prim_call("null", Var(name=name)),
+            then=recurse(ty),
+            otherwise=_prim_call("cdr", Var(name=name)),
+        )
+    if choice == "if":
+        return If(cond=recurse(BOOL), then=recurse(ty), otherwise=recurse(ty))
+    if choice == "cons":
+        assert isinstance(ty, TList)
+        return _prim_call("cons", recurse(ty.element), recurse(ty))
+    if choice == "literal_list":
+        assert isinstance(ty, TList)
+        size = draw(st.integers(min_value=0, max_value=3))
+        return cons_list([recurse(ty.element, 0) for _ in range(size)])
+    if choice == "mkpair":
+        assert isinstance(ty, TProd)
+        return _prim_call("mkpair", recurse(ty.fst), recurse(ty.snd))
+    if choice == "mkpair_shallow":
+        assert isinstance(ty, TProd)
+        return _prim_call(
+            "mkpair", draw(typed_expr(ty.fst, env, 0)), draw(typed_expr(ty.snd, env, 0))
+        )
+    if choice == "fst_pair":
+        return _prim_call("fst", draw(typed_expr(INT_PAIR, env, depth - 1)))
+    if choice == "beta_redex":
+        arg_ty = draw(st.sampled_from([INT, BOOL, INT_LIST]))
+        param = f"v{draw(_FRESH)}"
+        inner_env = dict(env)
+        inner_env[param] = arg_ty
+        body = draw(typed_expr(ty, inner_env, depth - 1))
+        return App(fn=Lambda(param=param, body=body), arg=recurse(arg_ty))
+    raise AssertionError(choice)
+
+
+@st.composite
+def list_function_program(draw) -> tuple[Program, list[int]]:
+    """A program ``f l = <body>; f <literal>`` with ``l : int list`` and a
+    body of type int list or int; returns (program, the literal input)."""
+    result_ty = draw(st.sampled_from([INT_LIST, INT]))
+    body = draw(typed_expr(result_ty, {"l": INT_LIST}, depth=3))
+    values = draw(st.lists(st.integers(min_value=-9, max_value=9), max_size=5))
+    literal = cons_list([IntLit(value=v) for v in values])
+    letrec = Letrec(
+        bindings=(Binding("f", Lambda(param="l", body=body)),),
+        body=App(fn=Var(name="f"), arg=literal),
+    )
+    from repro.lang.resolve import resolve_expr
+
+    resolved = resolve_expr(letrec)
+    assert isinstance(resolved, Letrec)
+    return Program(letrec=resolved), values

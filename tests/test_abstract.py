@@ -1,0 +1,241 @@
+"""Abstract evaluator tests: expression cases, the letrec fixpoint,
+traces, sampling/fingerprints, and the widening safety net."""
+
+import pytest
+
+from repro.escape.abstract import AbstractEvaluator, fingerprint, sample_domain
+from repro.escape.domain import BOTTOM, ERR, EscapeValue
+from repro.escape.lattice import BeChain, Escapement, NONE_ESCAPES
+from repro.lang.ast import Letrec
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import prelude_program
+from repro.types.infer import infer_expr, infer_program
+from repro.types.types import INT, TFun, TList, list_of
+
+
+def ev(d=2, **kwargs):
+    return AbstractEvaluator(BeChain(d), **kwargs)
+
+
+def typed(source: str, **env_types):
+    from repro.types.types import TypeScheme
+
+    expr = parse_expr(source)
+    env = {name: TypeScheme.mono(ty) for name, ty in env_types.items()}
+    infer_expr(expr, env)
+    return expr
+
+
+E11 = EscapeValue(Escapement(1, 1))
+
+
+class TestExpressionCases:
+    def test_literals_are_bottom(self):
+        e = ev()
+        for source in ["1", "true", "false", "nil"]:
+            assert e.eval(typed(source), {}) == BOTTOM
+
+    def test_variable_lookup(self):
+        assert ev().eval(typed("x") if False else parse_expr("x"), {"x": E11}) == E11
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(AnalysisError):
+            ev().eval(parse_expr("x"), {})
+
+    def test_if_joins_branches(self):
+        from repro.types.types import BOOL
+        expr = typed("if b then x else nil", b=BOOL, x=TList(INT))
+        env = {"b": BOTTOM, "x": E11}
+        assert ev().eval(expr, env).be == Escapement(1, 1)
+
+    def test_application(self):
+        expr = typed("car x", x=TList(INT))
+        env = {"x": E11}
+        assert ev().eval(expr, env).be == Escapement(1, 0)
+
+    def test_lambda_contains_free_vars(self):
+        expr = typed("lambda y. x", x=TList(INT))
+        value = ev().eval(expr, {"x": E11})
+        assert value.be == Escapement(1, 1)  # the closure holds x
+
+    def test_lambda_with_unbound_free_var_raises(self):
+        expr = parse_expr("lambda y. zz")
+        with pytest.raises(AnalysisError):
+            ev().eval(expr, {})
+
+    def test_closure_application_evaluates_body(self):
+        expr = typed("(lambda y. cons y nil) x", x=INT)
+        value = ev().eval(expr, {"x": E11})
+        assert value.be == Escapement(1, 1)
+
+    def test_steps_counted(self):
+        e = ev()
+        e.eval(typed("1 + 2"), {})
+        assert e.steps > 0
+
+
+class TestFixpoint:
+    def _solve(self, names, d=None):
+        program = prelude_program(names)
+        infer_program(program)
+        from repro.types.spines import program_spine_bound
+
+        evaluator = ev(d or program_spine_bound(program))
+        env = evaluator.solve_bindings(program.letrec, {})
+        return evaluator, env
+
+    def test_append_converges(self):
+        evaluator, env = self._solve(["append"])
+        trace = evaluator.traces[0]
+        assert trace.converged and not trace.widened
+        assert trace.iterations <= 3
+
+    def test_append_value_matches_paper(self):
+        # append = λx y. y ⊔ sub¹(x)
+        evaluator, env = self._solve(["append"])
+        append = env["append"]
+        x = EscapeValue(Escapement(1, 1))
+        y = BOTTOM
+        assert append.apply(x).apply(y).be == Escapement(1, 0)
+        assert append.apply(BOTTOM).apply(x).be == Escapement(1, 1)
+
+    def test_letrec_expression_evaluation(self):
+        from repro.types.types import TypeScheme
+        expr = parse_expr("letrec f x = if null x then x else f (cdr x) in f y")
+        infer_expr(expr, {"y": TypeScheme.mono(TList(INT))})
+        value = ev(1).eval(expr, {"y": E11})
+        assert value.be == Escapement(1, 1)
+
+    def test_empty_letrec(self):
+        expr = Letrec(bindings=(), body=parse_expr("1"))
+        infer_expr(expr.body)
+        assert ev().eval(expr, {}) == BOTTOM
+
+    def test_untyped_binding_raises(self):
+        expr = parse_expr("letrec f x = x in f")
+        with pytest.raises(AnalysisError):
+            ev().solve_bindings(expr, {})
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            "even n = if n == 0 then true else odd (n - 1);"
+            "odd n = if n == 0 then false else even (n - 1);"
+        )
+        infer_program(program)
+        evaluator = ev(1)
+        env = evaluator.solve_bindings(program.letrec, {})
+        assert env["even"].apply(E11) == BOTTOM
+
+    def test_widening_cap(self):
+        # With max_iterations=1 nothing can converge; bindings are widened
+        # to the worst case, which is still safe (maximal escapement).
+        program = prelude_program(["append"])
+        infer_program(program)
+        evaluator = ev(1, max_iterations=1)
+        env = evaluator.solve_bindings(program.letrec, {})
+        assert evaluator.traces[0].widened
+        x = EscapeValue(Escapement(1, 1))
+        # Worst case: everything escapes.
+        assert env["append"].apply(x).apply(BOTTOM).be == Escapement(1, 1)
+
+    def test_traces_record_per_binding(self):
+        evaluator, _ = self._solve(["ps"])
+        names = {t.name for t in evaluator.traces}
+        assert names == {"append", "split", "ps"}
+
+
+class TestSamplingAndFingerprints:
+    def test_first_order_sample_is_whole_chain(self):
+        chain = BeChain(2)
+        samples = sample_domain(TList(INT), chain)
+        assert [s.be for s in samples] == chain.points()
+
+    def test_function_sample_includes_worst(self):
+        chain = BeChain(2)
+        samples = sample_domain(TFun(INT, INT), chain)
+        assert len(samples) >= 4
+        assert any(not isinstance(s.fn, type(ERR)) for s in samples)
+
+    def test_fingerprint_base_is_be(self):
+        chain = BeChain(2)
+        assert fingerprint(E11, TList(INT), chain) == Escapement(1, 1)
+
+    def test_fingerprint_distinguishes_functions(self):
+        chain = BeChain(1)
+        ty = TFun(TList(INT), TList(INT))
+        from repro.escape.domain import PrimFun
+
+        ident = EscapeValue(NONE_ESCAPES, PrimFun(("id",), lambda x: x))
+        const = EscapeValue(NONE_ESCAPES, PrimFun(("const",), lambda x: BOTTOM))
+        assert fingerprint(ident, ty, chain) != fingerprint(const, ty, chain)
+
+    def test_fingerprint_equal_for_equal_behaviour(self):
+        chain = BeChain(1)
+        ty = TFun(TList(INT), TList(INT))
+        from repro.escape.domain import PrimFun
+
+        a = EscapeValue(NONE_ESCAPES, PrimFun(("a",), lambda x: x))
+        b = EscapeValue(NONE_ESCAPES, PrimFun(("b",), lambda x: x))
+        assert fingerprint(a, ty, chain) == fingerprint(b, ty, chain)
+
+    def test_values_equal_and_leq(self):
+        evaluator = ev(1)
+        ty = list_of(INT, 1)
+        low = EscapeValue(Escapement(1, 0))
+        high = EscapeValue(Escapement(1, 1))
+        assert evaluator.value_leq(low, high, ty)
+        assert not evaluator.value_leq(high, low, ty)
+        assert evaluator.values_equal(low, low, ty)
+
+
+class TestMemoization:
+    def _solve(self, names, memoize):
+        from repro.types.spines import program_spine_bound
+
+        program = prelude_program(names)
+        infer_program(program)
+        evaluator = AbstractEvaluator(
+            BeChain(program_spine_bound(program)), memoize=memoize
+        )
+        env = evaluator.solve_bindings(program.letrec, {})
+        return program, evaluator, env
+
+    def test_memoized_results_identical(self):
+        from repro.escape.abstract import fingerprint
+
+        base_program, base_ev, base_env = self._solve(["ps"], memoize=False)
+        memo_program, memo_ev, memo_env = self._solve(["ps"], memoize=True)
+        for name in base_program.binding_names():
+            assert fingerprint(
+                base_env[name], base_program.binding(name).expr.ty, base_ev.chain
+            ) == fingerprint(
+                memo_env[name], memo_program.binding(name).expr.ty, memo_ev.chain
+            )
+
+    def test_memoization_reduces_steps(self):
+        _, base_ev, _ = self._solve(["ps"], memoize=False)
+        _, memo_ev, _ = self._solve(["ps"], memoize=True)
+        assert memo_ev.steps < base_ev.steps
+
+    def test_memo_disabled_by_default(self):
+        evaluator = ev()
+        assert evaluator.memo is None
+
+
+class TestIterates:
+    def test_iterates_recorded_bottom_first(self):
+        program = prelude_program(["append"])
+        infer_program(program)
+        evaluator = ev(1)
+        evaluator.solve_bindings(program.letrec, {})
+        assert evaluator.iterates[0]["append"] == BOTTOM
+        assert len(evaluator.iterates) >= 2
+
+    def test_fixpoint_derivation_matches_paper(self):
+        from repro.escape.report import fixpoint_derivation
+
+        lines = fixpoint_derivation(prelude_program(["append"]), "append", 1)
+        assert lines[0].endswith("<0,0>")       # append^(0) = bottom
+        assert lines[1].endswith("<1,0>")       # append^(1) = y ⊔ sub¹(x)
+        assert lines[-1] == lines[-2].replace("^(1)", "^(1)") or lines[-1].endswith("<1,0>")

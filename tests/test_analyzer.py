@@ -1,0 +1,100 @@
+"""EscapeAnalysis orchestration edge cases: overrides, solve reuse,
+helpers, and error paths."""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.errors import AnalysisError
+from repro.lang.parser import parse_program
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.types.types import INT, TFun, TList
+
+
+class TestConfiguration:
+    def test_d_override_widens_the_chain(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort, d=5)
+        solved = analysis.solve(None)
+        assert solved.d == 5
+        assert solved.evaluator.chain.d == 5
+        # results unaffected by a larger chain
+        assert str(analysis.global_test("ps", 1).result) == "<1,0>"
+
+    def test_max_iterations_cap_widens(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort, max_iterations=1)
+        analysis.solve(None)
+        assert analysis.last_solved is not None
+        assert all(t.widened for t in analysis.last_solved.traces)
+        # widened results are safe: everything may escape
+        assert str(analysis.global_test("ps", 1).result) == "<1,1>"
+
+    def test_default_d_from_program(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort)
+        assert analysis.solve(None).d == 2
+
+
+class TestHelpers:
+    def test_function_names(self, ps_analysis):
+        assert ps_analysis.function_names() == ("append", "split", "ps")
+
+    def test_syntactic_arity(self, ps_analysis):
+        assert ps_analysis.syntactic_arity("split") == 4
+        assert ps_analysis.syntactic_arity("ps") == 1
+
+    def test_syntactic_arity_unknown(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.syntactic_arity("nope")
+
+    def test_escaping_spines_vector(self, ps_analysis):
+        assert ps_analysis.escaping_spines("split") == [0, 0, 1, 1]
+
+    def test_arg_spine_counts(self, ps_analysis):
+        assert ps_analysis.arg_spine_counts("split") == [0, 1, 1, 1]
+
+    def test_scheme_lookup(self, ps_analysis):
+        assert "int list" in str(ps_analysis.scheme("ps"))
+
+    def test_trace_lookup(self, ps_analysis):
+        ps_analysis.solve(None)
+        assert ps_analysis.last_solved.trace("append").converged
+        with pytest.raises(AnalysisError):
+            ps_analysis.last_solved.trace("ghost")
+
+
+class TestSolvedProgram:
+    def test_solve_returns_converged_env(self, ps_analysis):
+        solved = ps_analysis.solve(None)
+        assert set(solved.env) == {"append", "split", "ps"}
+
+    def test_re_solving_is_consistent(self, ps_analysis):
+        first = str(ps_analysis.global_test("append", 1).result)
+        second = str(ps_analysis.global_test("append", 1).result)
+        assert first == second == "<1,0>"
+
+    def test_interleaved_instances_do_not_contaminate(self):
+        analysis = EscapeAnalysis(prelude_program(["append"]))
+        deep = TFun(TList(TList(INT)), TFun(TList(TList(INT)), TList(TList(INT))))
+        deep_result = analysis.global_test("append", 1, instance=deep)
+        shallow_result = analysis.global_test("append", 1)
+        assert str(deep_result.result) == "<1,1>"
+        assert str(shallow_result.result) == "<1,0>"
+        # and the invariant quantity matches across the two queries
+        assert deep_result.non_escaping_spines == shallow_result.non_escaping_spines == 1
+
+
+class TestErrorPaths:
+    def test_program_without_functions(self):
+        analysis = EscapeAnalysis(parse_program("1 + 2"))
+        with pytest.raises(AnalysisError):
+            analysis.global_test("f", 1)
+
+    def test_local_test_head_must_apply(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.local_test("append")
+
+    def test_pinning_incompatible_instance(self):
+        analysis = EscapeAnalysis(paper_partition_sort())
+        from repro.lang.errors import TypeInferenceError
+
+        bad = TFun(INT, INT)  # ps is int list -> int list; cannot be int -> int
+        with pytest.raises(TypeInferenceError):
+            analysis.global_test("ps", 1, instance=bad)

@@ -1,0 +1,157 @@
+"""AST utility tests: equality, traversal, free variables, transform,
+clone, rename."""
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    IntLit,
+    Lambda,
+    Letrec,
+    Prim,
+    Var,
+    clone,
+    clone_program,
+    count_nodes,
+    free_vars,
+    rename_var,
+    transform,
+    uncurry_app,
+    walk,
+)
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestStructuralEquality:
+    def test_equal_ignores_uids_and_spans(self):
+        assert parse_expr("f (x + 1)") == parse_expr("f  (x+1)")
+
+    def test_different_structure_not_equal(self):
+        assert parse_expr("f x") != parse_expr("f y")
+
+    def test_prim_vs_var(self):
+        assert Prim(name="cons") != Var(name="cons")
+
+    def test_hash_consistent_with_eq(self):
+        a, b = parse_expr("[1, 2]"), parse_expr("[1, 2]")
+        assert hash(a) == hash(b)
+
+    def test_letrec_equality_covers_bindings(self):
+        assert parse_expr("letrec f x = x in f") == parse_expr("letrec f x = x in f")
+        assert parse_expr("letrec f x = x in f") != parse_expr("letrec f x = 1 in f")
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            Prim(name="frobnicate")
+
+
+class TestTraversal:
+    def test_walk_yields_every_node(self):
+        expr = parse_expr("f (g x) y")
+        names = [n.name for n in walk(expr) if isinstance(n, Var)]
+        assert names == ["f", "g", "x", "y"]  # pre-order
+
+    def test_count_nodes(self):
+        assert count_nodes(parse_expr("x")) == 1
+        assert count_nodes(parse_expr("f x")) == 3
+
+    def test_walk_enters_letrec_bindings(self):
+        expr = parse_expr("letrec f x = g x in f 1")
+        names = {n.name for n in walk(expr) if isinstance(n, Var)}
+        assert "g" in names
+
+
+class TestFreeVars:
+    def test_variable_is_free(self):
+        assert free_vars(parse_expr("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        assert free_vars(parse_expr("lambda x. x y")) == {"y"}
+
+    def test_letrec_binds_mutually(self):
+        expr = parse_expr("letrec f x = g x; g y = f y in f z")
+        assert free_vars(expr) == {"z"}
+
+    def test_primitives_are_not_free_vars(self):
+        assert free_vars(parse_expr("cons x nil")) == {"x"}
+
+    def test_shadowed_name_still_free_outside(self):
+        assert free_vars(parse_expr("x (lambda x. x)")) == {"x"}
+
+    def test_if_collects_all_branches(self):
+        assert free_vars(parse_expr("if a then b else c")) == {"a", "b", "c"}
+
+
+class TestTransform:
+    def test_identity_transform_preserves_structure(self):
+        expr = parse_expr("f (x + 1)")
+        assert transform(expr, lambda n: None) == expr
+
+    def test_rewrite_leaf(self):
+        expr = parse_expr("x + x")
+        rewritten = transform(
+            expr, lambda n: IntLit(value=1) if isinstance(n, Var) else None
+        )
+        assert rewritten == parse_expr("1 + 1")
+
+    def test_rewrite_is_bottom_up(self):
+        # inner rewrite happens before the outer predicate sees the node
+        expr = parse_expr("f (g x)")
+        seen = []
+        transform(expr, lambda n: seen.append(type(n).__name__) or None)
+        assert seen.index("Var") < seen.index("App")
+
+
+class TestClone:
+    def test_clone_is_structurally_equal(self):
+        expr = parse_expr("letrec f x = if null x then nil else f (cdr x) in f [1]")
+        assert clone(expr) == expr
+
+    def test_clone_has_fresh_uids(self):
+        expr = parse_expr("f x")
+        copied = clone(expr)
+        original_uids = {n.uid for n in walk(expr)}
+        assert all(n.uid not in original_uids for n in walk(copied))
+
+    def test_clone_does_not_share_annotation_dicts(self):
+        expr = parse_expr("cons 1 nil")
+        copied = clone(expr)
+        copied.annotations["alloc"] = "region"
+        assert "alloc" not in expr.annotations
+
+    def test_clone_program(self, partition_sort):
+        copied = clone_program(partition_sort)
+        assert copied == partition_sort
+        assert copied.letrec is not partition_sort.letrec
+
+
+class TestRenameVar:
+    def test_renames_free_occurrences(self):
+        assert rename_var(parse_expr("f (f x)"), "f", "g") == parse_expr("g (g x)")
+
+    def test_respects_lambda_shadowing(self):
+        expr = parse_expr("f (lambda f. f 1)")
+        renamed = rename_var(expr, "f", "g")
+        assert renamed == parse_expr("g (lambda f. f 1)")
+
+    def test_respects_letrec_shadowing(self):
+        expr = parse_expr("letrec f x = f x in f 1")
+        assert rename_var(expr, "f", "g") == expr
+
+    def test_rename_no_occurrence_is_identity(self):
+        expr = parse_expr("a + b")
+        assert rename_var(expr, "zz", "qq") is expr
+
+    def test_rename_keeps_other_names(self):
+        assert rename_var(parse_expr("f x y"), "x", "z") == parse_expr("f z y")
+
+
+class TestUncurry:
+    def test_uncurry_app_of_non_app(self):
+        head, args = uncurry_app(parse_expr("x"))
+        assert head == Var(name="x") and args == []
+
+    def test_uncurry_roundtrip(self):
+        expr = parse_expr("f a b c")
+        head, args = uncurry_app(expr)
+        assert len(args) == 3

@@ -1,0 +1,123 @@
+"""Tests for the benchmark-support package (workloads, tables, figures)
+and the storage-metrics model."""
+
+import pytest
+
+from repro.bench.figures import spine_census, spine_figure, spine_figure_of_expr
+from repro.bench.tables import render_table
+from repro.bench.workloads import (
+    literal,
+    ps_create_list_program,
+    ps_program,
+    random_int_list,
+    random_nested_list,
+    reference_ps,
+    reference_rev,
+    rev_program,
+)
+from repro.lang.prelude import prelude_program
+from repro.semantics.interp import Interpreter, run_program
+from repro.semantics.metrics import StorageMetrics
+
+
+class TestWorkloads:
+    def test_random_int_list_is_deterministic(self):
+        assert random_int_list(10, seed=3) == random_int_list(10, seed=3)
+
+    def test_random_int_list_varies_with_seed(self):
+        assert random_int_list(10, seed=1) != random_int_list(10, seed=2)
+
+    def test_random_nested_shape(self):
+        nested = random_nested_list(4, 3, seed=0)
+        assert len(nested) == 4 and all(len(row) == 3 for row in nested)
+
+    def test_literal_rendering(self):
+        assert literal([1, 2]) == "[1, 2]"
+        assert literal([[1], []]) == "[[1], []]"
+        assert literal(True) == "true"
+        assert literal(-3) == "-3"
+
+    def test_literal_round_trips_through_interpreter(self):
+        values = [[1, 2], [], [3]]
+        interp = Interpreter()
+        result = interp.eval_in(prelude_program([]), literal(values))
+        assert interp.to_python(result) == values
+
+    def test_ps_program_runs(self):
+        values = random_int_list(12, seed=5)
+        result, _ = run_program(ps_program(values))
+        assert result == reference_ps(values)
+
+    def test_rev_program_runs(self):
+        values = random_int_list(8, seed=6)
+        result, _ = run_program(rev_program(values))
+        assert result == reference_rev(values)
+
+    def test_ps_create_list_program(self):
+        result, _ = run_program(ps_create_list_program(6))
+        assert result == [1, 2, 3, 4, 5, 6]
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "333" in text
+
+    def test_render_with_title(self):
+        text = render_table(["x"], [["1"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_columns_align(self):
+        text = render_table(["col"], [["short"], ["much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("much longer cell")  # separator width
+
+    def test_non_string_cells(self):
+        text = render_table(["n"], [[42], [None]])
+        assert "42" in text and "None" in text
+
+
+class TestFigures:
+    def test_spine_figure_flat(self):
+        fig = spine_figure([1, 2, 3])
+        assert "1 spine(s), 3 cell(s)" in fig
+
+    def test_spine_figure_of_expr(self):
+        program = prelude_program(["iota"])
+        fig = spine_figure_of_expr(program, "iota 4")
+        assert "1 spine(s), 4 cell(s)" in fig
+
+    def test_census_empty(self):
+        interp = Interpreter()
+        assert spine_census(interp, interp.from_python([])) == {}
+
+
+class TestMetricsModel:
+    def test_totals(self):
+        metrics = StorageMetrics(heap_allocs=5, region_allocs=2, reused=3)
+        assert metrics.total_allocs == 7
+        assert metrics.cells_constructed == 10
+
+    def test_snapshot_and_diff(self):
+        metrics = StorageMetrics()
+        before = metrics.snapshot()
+        metrics.heap_allocs += 4
+        metrics.gc_runs += 1
+        delta = metrics.diff(before)
+        assert delta["heap_allocs"] == 4
+        assert delta["gc_runs"] == 1
+        assert delta["reused"] == 0
+
+    def test_region_kind_breakdown(self):
+        from repro.lang.ast import Prim
+        from repro.semantics.heap import AllocKind, Heap
+        from repro.semantics.values import NIL, VInt
+
+        heap = Heap()
+        heap.open_region(AllocKind.STACK, "act")
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        heap.allocate(VInt(1), NIL, site=prim)
+        assert heap.metrics.by_region_kind == {"stack:act": 1}

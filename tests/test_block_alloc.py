@@ -1,0 +1,93 @@
+"""Block allocation / reclamation (§A.3.3) tests."""
+
+import pytest
+
+from repro.lang.errors import OptimizationError
+from repro.lang.prelude import prelude_program
+from repro.opt.block_alloc import block_allocate_producer
+from repro.semantics.interp import Interpreter, run_program
+
+
+class TestPaperScenario:
+    def _program(self, n=10):
+        return prelude_program(["ps", "create_list"], f"ps (create_list {n})")
+
+    def test_producer_specialized(self):
+        result = block_allocate_producer(self._program(), "create_list")
+        assert result.new_name == "create_list_block"
+        assert result.new_name in result.program.binding_names()
+        assert result.annotated_sites == 1
+        assert result.consumer_prefix == 1
+
+    def test_result_unchanged(self):
+        program = self._program(8)
+        optimized = block_allocate_producer(program, "create_list")
+        assert run_program(optimized.program)[0] == run_program(program)[0]
+
+    def test_spine_cells_block_reclaimed(self):
+        n = 12
+        program = self._program(n)
+        optimized = block_allocate_producer(program, "create_list")
+        _, metrics = run_program(optimized.program)
+        assert metrics.region_allocs == n
+        assert metrics.block_reclaimed == n
+        _, baseline = run_program(program)
+        assert metrics.heap_allocs == baseline.heap_allocs - n
+
+    def test_block_cells_exempt_from_gc_sweep(self):
+        # With auto-GC on, the block's cells are never swept individually.
+        n = 15
+        optimized = block_allocate_producer(self._program(n), "create_list")
+        interp = Interpreter(auto_gc=True, gc_threshold=10)
+        value = interp.run(optimized.program)
+        assert interp.to_python(value) == list(range(1, n + 1))
+        assert interp.metrics.block_reclaimed == n
+
+    def test_original_producer_still_available(self):
+        result = block_allocate_producer(self._program(), "create_list")
+        assert "create_list" in result.program.binding_names()
+
+
+class TestOtherProducers:
+    def test_iota_producer(self):
+        program = prelude_program(["ps", "iota"], "ps (iota 7)")
+        result = block_allocate_producer(program, "iota")
+        output, metrics = run_program(result.program)
+        assert output == list(range(1, 8))
+        assert metrics.block_reclaimed == 7
+
+    def test_replicate_producer_with_sum(self):
+        program = prelude_program(["sum", "replicate"], "sum (replicate 5 3)")
+        result = block_allocate_producer(program, "replicate")
+        output, metrics = run_program(result.program)
+        assert output == 15
+        assert metrics.block_reclaimed == 5
+
+
+class TestRefusals:
+    def test_consumer_keeps_spine_refused(self):
+        # drop returns the produced cells: freeing the block would free
+        # live data, so the optimizer must refuse.
+        program = prelude_program(["drop", "create_list"], "drop 1 (create_list 5)")
+        with pytest.raises(OptimizationError):
+            block_allocate_producer(program, "create_list")
+
+    def test_unknown_producer(self):
+        program = prelude_program(["ps", "create_list"], "ps (create_list 3)")
+        with pytest.raises(OptimizationError):
+            block_allocate_producer(program, "ghost")
+
+    def test_producer_not_in_body(self):
+        program = prelude_program(["ps", "create_list"], "ps [1, 2]")
+        with pytest.raises(OptimizationError):
+            block_allocate_producer(program, "create_list")
+
+    def test_non_application_body(self):
+        program = prelude_program(["create_list"], "")
+        with pytest.raises(OptimizationError):
+            block_allocate_producer(program, "create_list")
+
+    def test_name_collision(self):
+        program = prelude_program(["ps", "create_list"], "ps (create_list 3)")
+        with pytest.raises(OptimizationError):
+            block_allocate_producer(program, "create_list", new_name="ps")

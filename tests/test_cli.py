@@ -1,0 +1,157 @@
+"""CLI tests: every subcommand, both program sources (file, -e), errors."""
+
+import pytest
+
+from repro.cli import main
+from repro.lang.prelude import prelude_source
+
+APPEND = prelude_source(["append"], "append [1, 2] [3]")
+
+
+@pytest.fixture
+def append_file(tmp_path):
+    path = tmp_path / "append.nml"
+    path.write_text(APPEND)
+    return str(path)
+
+
+class TestRun:
+    def test_run_file(self, append_file, capsys):
+        assert main(["run", append_file]) == 0
+        assert "[1, 2, 3]" in capsys.readouterr().out
+
+    def test_run_inline(self, capsys):
+        assert main(["run", "-e", "1 + 2 * 3"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_run_with_metrics(self, capsys):
+        assert main(["run", "-e", "[1, 2, 3]", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "heap_allocs: 3" in out
+
+    def test_run_with_gc(self, capsys):
+        source = prelude_source(["rev", "iota"], "rev (iota 20)")
+        assert main(["run", "-e", source, "--gc", "--gc-threshold", "30", "--metrics"]) == 0
+        assert "gc_runs" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.nml"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_runtime_error(self, capsys):
+        assert main(["run", "-e", "car nil"]) == 1
+        assert "car of nil" in capsys.readouterr().err
+
+
+class TestReportAndAnalyze:
+    def test_report(self, append_file, capsys):
+        assert main(["report", append_file]) == 0
+        out = capsys.readouterr().out
+        assert "G(append, 1) = <1,0>" in out
+        assert "sharing" in out
+
+    def test_analyze_all_functions(self, append_file, capsys):
+        assert main(["analyze", append_file]) == 0
+        out = capsys.readouterr().out
+        assert "G(append, 1)" in out and "G(append, 2)" in out
+
+    def test_analyze_single_function(self, capsys):
+        source = prelude_source(["ps"])
+        assert main(["analyze", "-e", source, "--function", "ps"]) == 0
+        out = capsys.readouterr().out
+        assert "G(ps, 1) = <1,0>" in out
+        assert "G(append" not in out
+
+    def test_analyze_with_sharing(self, capsys):
+        assert main(["analyze", "-e", prelude_source(["ps"]), "--function", "ps", "--sharing"]) == 0
+        assert "unshared" in capsys.readouterr().out
+
+    def test_analyze_local(self, capsys):
+        source = prelude_source(["map", "pair"])
+        assert main(["analyze", "-e", source, "--local", "map pair [[1, 2], [3, 4]]"]) == 0
+        out = capsys.readouterr().out
+        assert "L(map, 1)" in out and "L(map, 2)" in out
+
+    def test_parse_error_reported(self, capsys):
+        assert main(["analyze", "-e", "f x = ((("]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestObserve:
+    def test_observe_no_escape(self, append_file, capsys):
+        assert main(["observe", append_file, "append", "[1, 2]", "[3]", "-i", "1"]) == 0
+        assert "<0,0>" in capsys.readouterr().out
+
+    def test_observe_escape(self, append_file, capsys):
+        assert main(["observe", append_file, "append", "[1, 2]", "[3]", "-i", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "<1,1>" in out and "level(s) 1" in out
+
+    def test_observe_function_arg(self, capsys):
+        source = prelude_source(["map", "pair"])
+        assert main(
+            ["observe", "-e", source, "map", "@pair", "[[1, 2], [3, 4]]", "-i", "2"]
+        ) == 0
+        assert "<0,0>" in capsys.readouterr().out
+
+
+class TestSpines:
+    def test_spines(self, capsys):
+        assert main(["spines", "[[1, 2], [3]]"]) == 0
+        out = capsys.readouterr().out
+        assert "2 spine(s)" in out
+
+    def test_spines_flat(self, capsys):
+        assert main(["spines", "[1, 2, 3]"]) == 0
+        assert "1 spine(s), 3 cell(s)" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_reuse(self, capsys):
+        assert main(["optimize", "-e", prelude_source(["append"]), "--reuse", "append:1"]) == 0
+        out = capsys.readouterr().out
+        assert "dcons" in out and "append_reuse" in out
+
+    def test_reuse_default_index(self, capsys):
+        assert main(["optimize", "-e", prelude_source(["rev"]), "--reuse", "rev"]) == 0
+        assert "rev_reuse" in capsys.readouterr().out
+
+    def test_stack(self, capsys):
+        source = prelude_source(["ps"], "ps [5, 2, 7]")
+        assert main(["optimize", "-e", source, "--stack"]) == 0
+        assert "cons site(s) moved" in capsys.readouterr().out
+
+    def test_block(self, capsys):
+        source = prelude_source(["ps", "create_list"], "ps (create_list 5)")
+        assert main(["optimize", "-e", source, "--block", "create_list"]) == 0
+        out = capsys.readouterr().out
+        assert "create_list_block" in out
+
+    def test_unsound_reuse_refused(self, capsys):
+        assert main(["optimize", "-e", prelude_source(["append"]), "--reuse", "append:2"]) == 1
+        assert "unsound" in capsys.readouterr().err
+
+
+class TestMachineFlag:
+    def test_run_on_machine(self, capsys):
+        source = prelude_source(["ps"], "ps [5, 2, 7, 1, 3, 4]")
+        assert main(["run", "-e", source, "--machine", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "[1, 2, 3, 4, 5, 7]" in out
+        assert "heap_allocs: 64" in out  # same count as the interpreter
+
+    def test_machine_with_gc(self, capsys):
+        source = prelude_source(["rev", "iota"], "rev (iota 25)")
+        assert main(
+            ["run", "-e", source, "--machine", "--gc", "--gc-threshold", "40", "--metrics"]
+        ) == 0
+        assert "gc_runs" in capsys.readouterr().out
+
+
+class TestDisasm:
+    def test_disassembles_program(self, append_file, capsys):
+        assert main(["disasm", append_file]) == 0
+        out = capsys.readouterr().out
+        assert "closure append(x)" in out
+        assert "branch" in out
+        assert "push_prim cons" in out

@@ -1,0 +1,196 @@
+"""Abstract value domain tests: EscapeValue, err, joins, primitives'
+abstract semantics, and the worst-case functions W^τ."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.escape.domain import (
+    BOTTOM,
+    ERR,
+    ErrFun,
+    EscapeValue,
+    JoinFun,
+    PrimFun,
+    join_values,
+)
+from repro.escape.lattice import Escapement, NONE_ESCAPES
+from repro.escape.primitives import abstract_prim, sub_s
+from repro.escape.worst import worst_fun, worst_value
+from repro.lang.ast import Prim
+from repro.types.types import BOOL, INT, TFun, TList, list_of, spines
+
+E10 = EscapeValue(Escapement(1, 0))
+E11 = EscapeValue(Escapement(1, 1))
+E12 = EscapeValue(Escapement(1, 2))
+
+
+class TestErr:
+    def test_err_is_singleton(self):
+        assert ErrFun() is ERR
+
+    def test_applying_err_gives_bottom(self):
+        assert ERR.apply(E11) == BOTTOM
+
+    def test_err_join_is_identity(self):
+        fn = PrimFun(("t",), lambda x: x)
+        assert ERR.join(fn) is fn
+        assert fn.join(ERR) is fn
+
+
+class TestEscapeValue:
+    def test_bottom(self):
+        assert BOTTOM.be == NONE_ESCAPES
+        assert isinstance(BOTTOM.fn, ErrFun)
+
+    def test_join_on_be_components(self):
+        assert E10.join(E11).be == Escapement(1, 1)
+
+    def test_join_values_empty(self):
+        assert join_values([]) == BOTTOM
+
+    def test_join_values_many(self):
+        assert join_values([BOTTOM, E10, E12]).be == Escapement(1, 2)
+
+    def test_join_of_functions_is_pointwise(self):
+        f = PrimFun(("f",), lambda x: E10)
+        g = PrimFun(("g",), lambda x: E11)
+        joined = EscapeValue(NONE_ESCAPES, f).join(EscapeValue(NONE_ESCAPES, g))
+        assert joined.apply(BOTTOM).be == Escapement(1, 1)
+
+    def test_join_dedupes_equal_prims(self):
+        f1 = PrimFun(("same",), lambda x: E10)
+        f2 = PrimFun(("same",), lambda x: E10)
+        joined = f1.join(f2)
+        assert not isinstance(joined, JoinFun)
+
+    def test_with_be(self):
+        assert E10.with_be(Escapement(1, 2)).be == Escapement(1, 2)
+
+
+class TestSubS:
+    """The paper's sub^s case analysis for car."""
+
+    def test_exact_spine_match_decrements(self):
+        assert sub_s(E11, 1).be == Escapement(1, 0)
+
+    def test_deeper_container_unchanged(self):
+        # list has 2 spines, object occupies bottom 1: car keeps it
+        assert sub_s(E11, 2) == E11
+
+    def test_none_unchanged(self):
+        assert sub_s(BOTTOM, 1) == BOTTOM
+
+    def test_indivisible_object_unchanged(self):
+        assert sub_s(E10, 1) == E10
+
+    def test_two_spines_decrement(self):
+        assert sub_s(E12, 2).be == Escapement(1, 1)
+
+    def test_preserves_function_component(self):
+        fn = PrimFun(("keep",), lambda x: x)
+        value = EscapeValue(Escapement(1, 1), fn)
+        assert sub_s(value, 1).fn is fn
+
+
+class TestAbstractPrims:
+    def _typed_prim(self, name, ty):
+        prim = Prim(name=name)
+        prim.ty = ty
+        return prim
+
+    def test_arith_result_contains_nothing(self):
+        plus = abstract_prim(Prim(name="+"))
+        result = plus.apply(E11).apply(E12)
+        assert result == BOTTOM
+
+    def test_arith_partial_application_holds_argument(self):
+        plus = abstract_prim(Prim(name="+"))
+        assert plus.apply(E11).be == Escapement(1, 1)
+
+    def test_cons_joins(self):
+        cons = abstract_prim(Prim(name="cons"))
+        assert cons.apply(E10).apply(E11).be == Escapement(1, 1)
+
+    def test_cons_partial_holds_head(self):
+        cons = abstract_prim(Prim(name="cons"))
+        assert cons.apply(E12).be == Escapement(1, 2)
+
+    def test_car_uses_annotation(self):
+        car = self._typed_prim("car", TFun(TList(INT), INT))
+        value = abstract_prim(car)
+        assert value.apply(E11).be == Escapement(1, 0)
+
+    def test_car2_on_depth1_containment(self):
+        car2 = self._typed_prim("car", TFun(list_of(INT, 2), TList(INT)))
+        assert abstract_prim(car2).apply(E11) == E11
+
+    def test_cdr_is_identity(self):
+        cdr = self._typed_prim("cdr", TFun(TList(INT), TList(INT)))
+        assert abstract_prim(cdr).apply(E11) == E11
+
+    def test_null_gives_bottom(self):
+        null = abstract_prim(Prim(name="null"))
+        assert null.apply(E12) == BOTTOM
+
+    def test_dcons_contains_everything(self):
+        dcons = abstract_prim(Prim(name="dcons"))
+        result = dcons.apply(E10).apply(BOTTOM).apply(E11)
+        assert result.be == Escapement(1, 1)
+
+    def test_car_without_type_raises(self):
+        from repro.lang.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            abstract_prim(Prim(name="car"))
+
+
+class TestWorstCase:
+    def test_base_type_is_err(self):
+        assert worst_fun(INT) is ERR
+        assert worst_fun(TList(INT)) is ERR
+
+    def test_unary_function(self):
+        w = worst_fun(TFun(TList(INT), TList(INT)))
+        assert w.apply(E11).be == Escapement(1, 1)
+
+    def test_accumulates_across_arguments(self):
+        w = worst_fun(TFun(INT, TFun(INT, INT)))
+        partial = w.apply(E10)
+        assert partial.be == Escapement(1, 0)
+        final = partial.apply(E11)
+        assert final.be == Escapement(1, 1)
+        assert isinstance(final.fn, ErrFun)
+
+    def test_list_of_functions_strips_list(self):
+        w = worst_fun(TList(TFun(INT, INT)))
+        assert not isinstance(w, ErrFun)
+        assert w.apply(E12).be == Escapement(1, 2)
+
+    def test_worst_value_interesting(self):
+        value = worst_value(list_of(INT, 2), interesting=True)
+        assert value.be == Escapement(1, 2)
+
+    def test_worst_value_uninteresting(self):
+        value = worst_value(list_of(INT, 2), interesting=False)
+        assert value.be == NONE_ESCAPES
+
+    def test_worst_value_function_type(self):
+        value = worst_value(TFun(INT, INT), interesting=True)
+        assert value.be == Escapement(1, 0)  # spines(fn type) = 0
+        assert not isinstance(value.fn, ErrFun)
+
+
+class TestJoinLaws:
+    bes = st.sampled_from(
+        [NONE_ESCAPES, Escapement(1, 0), Escapement(1, 1), Escapement(1, 2)]
+    )
+
+    @given(bes, bes)
+    def test_value_join_commutes_on_be(self, a, b):
+        va, vb = EscapeValue(a), EscapeValue(b)
+        assert va.join(vb).be == vb.join(va).be
+
+    @given(bes)
+    def test_bottom_identity(self, a):
+        v = EscapeValue(a)
+        assert BOTTOM.join(v) == v

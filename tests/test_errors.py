@@ -1,0 +1,79 @@
+"""Error-module tests: spans, formatting, the exception hierarchy."""
+
+import pytest
+
+from repro.lang.errors import (
+    NO_SPAN,
+    AnalysisError,
+    EvalError,
+    LexError,
+    NmlError,
+    OptimizationError,
+    ParseError,
+    SourceSpan,
+    TypeInferenceError,
+    UseAfterFreeError,
+)
+
+
+class TestSourceSpan:
+    def test_single_line_str(self):
+        assert str(SourceSpan(1, 2, 1, 5)) == "1:2-5"
+
+    def test_multi_line_str(self):
+        assert str(SourceSpan(1, 2, 3, 4)) == "1:2-3:4"
+
+    def test_point(self):
+        span = SourceSpan.point(7, 3)
+        assert (span.line, span.column, span.end_line, span.end_column) == (7, 3, 7, 3)
+
+    def test_merge_orders_endpoints(self):
+        a = SourceSpan(2, 5, 2, 9)
+        b = SourceSpan(1, 1, 1, 4)
+        merged = a.merge(b)
+        assert (merged.line, merged.column) == (1, 1)
+        assert (merged.end_line, merged.end_column) == (2, 9)
+
+    def test_merge_is_commutative(self):
+        a = SourceSpan(1, 1, 1, 4)
+        b = SourceSpan(2, 5, 2, 9)
+        assert a.merge(b) == b.merge(a)
+
+    def test_spans_are_hashable(self):
+        assert len({SourceSpan(1, 1, 1, 2), SourceSpan(1, 1, 1, 2)}) == 1
+
+
+class TestFormatting:
+    def test_message_with_span(self):
+        error = ParseError("unexpected thing", SourceSpan(3, 7, 3, 9))
+        assert error.format() == "3:7-9: unexpected thing"
+        assert str(error) == "3:7-9: unexpected thing"
+
+    def test_message_without_span(self):
+        assert NmlError("plain").format() == "plain"
+
+    def test_no_span_sentinel_suppressed(self):
+        assert NmlError("plain", NO_SPAN).format() == "plain"
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            LexError,
+            ParseError,
+            TypeInferenceError,
+            EvalError,
+            AnalysisError,
+            OptimizationError,
+        ],
+    )
+    def test_all_derive_from_nml_error(self, cls):
+        assert issubclass(cls, NmlError)
+
+    def test_use_after_free_is_an_eval_error(self):
+        assert issubclass(UseAfterFreeError, EvalError)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(NmlError):
+            raise TypeInferenceError("mismatch")

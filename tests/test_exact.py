@@ -1,0 +1,119 @@
+"""Exact escape semantics and dynamic observer tests.
+
+The two ground-truth formulations (§3.2's lock-step semantics and the
+heap-level observer) must agree on the whole corpus, and a handful of
+hand-checked cases pin their exact values.
+"""
+
+import pytest
+
+from repro.escape.exact import ObservedEscape, Source, exact_escape, observe_escape
+from repro.lang.prelude import prelude_program
+
+
+class TestObservedEscapeModel:
+    def test_no_escape(self):
+        o = ObservedEscape(param_spines=1, escaped_levels=frozenset())
+        assert not o.escaped
+        assert o.escaping_spines == 0
+        assert str(o.as_escapement()) == "<0,0>"
+
+    def test_full_escape(self):
+        o = ObservedEscape(param_spines=1, escaped_levels=frozenset({1}))
+        assert o.escaping_spines == 1
+        assert str(o.as_escapement()) == "<1,1>"
+
+    def test_partial_escape_two_spines(self):
+        # only level-2 cells escaped: bottom 1 of 2 spines
+        o = ObservedEscape(param_spines=2, escaped_levels=frozenset({2}))
+        assert o.escaping_spines == 1
+
+    def test_topmost_level_dominates(self):
+        o = ObservedEscape(param_spines=2, escaped_levels=frozenset({1, 2}))
+        assert o.escaping_spines == 2
+
+
+class TestHandCheckedCases:
+    @pytest.mark.parametrize(
+        "names,function,args,i,expected",
+        [
+            (["append"], "append", [[1, 2], [3]], 1, "<0,0>"),  # spine copied
+            (["append"], "append", [[1, 2], [3]], 2, "<1,1>"),  # shared
+            (["drop"], "drop", [1, [1, 2, 3]], 2, "<1,1>"),  # suffix shared
+            (["take"], "take", [2, [1, 2, 3]], 2, "<0,0>"),  # copied
+            (["copy"], "copy", [[1, 2]], 1, "<0,0>"),
+            (["length"], "length", [[1, 2]], 1, "<0,0>"),
+            (["ps"], "ps", [[5, 2, 7]], 1, "<0,0>"),
+            (["rev"], "rev", [[1, 2, 3]], 1, "<0,0>"),
+            (["tails_tops"], "tails_tops", [[[1, 2], [3]]], 1, "<1,1>"),
+            (["heads"], "heads", [[[1, 2], [3]]], 1, "<0,0>"),
+        ],
+    )
+    def test_observer(self, names, function, args, i, expected):
+        program = prelude_program(names)
+        assert str(observe_escape(program, function, args, i).as_escapement()) == expected
+
+    def test_identity_escapes_whole_list(self):
+        program = prelude_program(["id_fn"])
+        o = observe_escape(program, "id_fn", [[1, 2]], 1)
+        assert str(o.as_escapement()) == "<1,1>"
+
+    def test_function_argument_via_source(self):
+        program = prelude_program(["map", "pair"])
+        o = observe_escape(program, "map", [Source("pair"), [[1, 2], [3, 4]]], 2)
+        assert not o.escaped
+
+    def test_closure_capture_counts_as_escape(self):
+        # The result closure captures the list: it escapes inside the closure.
+        program = prelude_program(["const_fn"])
+        o = observe_escape(program, "const_fn", [[1, 2], 0], 1)
+        assert o.escaped
+
+
+class TestExactAgreesWithObserver:
+    def test_corpus_agreement(self, corpus_case):
+        program, function, args, i = corpus_case
+        dynamic = observe_escape(program, function, args, i)
+        exact = exact_escape(program, function, args, i)
+        assert dynamic.escaped_levels == exact.escaped_levels, (
+            f"{function}@{i}: dynamic {set(dynamic.escaped_levels)} != "
+            f"exact {set(exact.escaped_levels)}"
+        )
+
+    def test_oracle_follows_concrete_branches(self):
+        # take 0 shares nothing even though take n generally copies; with
+        # n == 0 it returns nil immediately (the oracle picks that branch).
+        program = prelude_program(["take", "drop"])
+        assert not exact_escape(program, "take", [0, [1, 2]], 2).escaped
+        # drop 0 returns the list itself: full escape, oracle picks 'then'.
+        o = exact_escape(program, "drop", [0, [1, 2]], 2)
+        assert o.escaping_spines == 1
+
+    def test_dcons_preserves_donor_tag(self):
+        # rev' would reuse cells; the exact semantics tracks the reused
+        # cell's tag through dcons.
+        program = prelude_program(["append"])
+        from repro.lang.parser import parse_program
+
+        prog = parse_program(
+            "keep x = dcons x 1 (cdr x);"  # reuses x's first cell
+        )
+        o = exact_escape(prog, "keep", [[9, 8, 7]], 1)
+        assert o.escaped
+        assert 1 in o.escaped_levels
+
+
+class TestErrors:
+    def test_bad_index(self):
+        from repro.lang.errors import AnalysisError
+
+        program = prelude_program(["length"])
+        with pytest.raises(AnalysisError):
+            observe_escape(program, "length", [[1]], 2)
+
+    def test_exact_bad_index(self):
+        from repro.lang.errors import AnalysisError
+
+        program = prelude_program(["length"])
+        with pytest.raises(AnalysisError):
+            exact_escape(program, "length", [[1]], 0)

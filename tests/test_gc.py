@@ -1,0 +1,109 @@
+"""Mark-sweep GC tests, including interplay with regions and auto-GC."""
+
+from repro.lang.parser import parse_program
+from repro.lang.prelude import prelude_program
+from repro.semantics.gc import MarkSweepGC
+from repro.semantics.heap import AllocKind, Heap
+from repro.semantics.interp import Interpreter
+from repro.semantics.values import NIL, Env, VCons, VInt
+
+
+def alloc_list(heap, values):
+    result = NIL
+    for v in reversed(values):
+        result = VCons(heap.allocate(VInt(v), result))
+    return result
+
+
+class TestCollect:
+    def test_unreachable_cells_swept(self):
+        heap = Heap()
+        alloc_list(heap, [1, 2, 3])  # garbage
+        keep = alloc_list(heap, [4])
+        stats = MarkSweepGC(heap).collect([keep])
+        assert stats.swept == 3
+        assert stats.marked == 1
+        assert heap.metrics.gc_swept == 3
+
+    def test_reachable_cells_survive(self):
+        heap = Heap()
+        keep = alloc_list(heap, [1, 2])
+        MarkSweepGC(heap).collect([keep])
+        assert len(heap.reachable_cells(keep)) == 2
+
+    def test_roots_through_env(self):
+        heap = Heap()
+        lst = alloc_list(heap, [1, 2])
+        env = Env().bind("x", lst)
+        stats = MarkSweepGC(heap).collect([env])
+        assert stats.swept == 0
+
+    def test_collect_with_no_roots_sweeps_everything(self):
+        heap = Heap()
+        alloc_list(heap, [1, 2, 3, 4])
+        stats = MarkSweepGC(heap).collect([])
+        assert stats.swept == 4
+        assert stats.live_after == 0
+
+    def test_swept_cells_are_marked_freed(self):
+        heap = Heap()
+        lst = alloc_list(heap, [1])
+        cell = lst.cell
+        MarkSweepGC(heap).collect([])
+        assert cell.freed
+
+    def test_region_cells_not_swept(self):
+        heap = Heap()
+        heap.open_region(AllocKind.BLOCK)
+        from repro.lang.ast import Prim
+
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        heap.allocate(VInt(1), NIL, site=prim)
+        stats = MarkSweepGC(heap).collect([])
+        assert stats.swept == 0  # region owns its cells
+
+    def test_gc_runs_counted(self):
+        heap = Heap()
+        gc = MarkSweepGC(heap)
+        gc.collect([])
+        gc.collect([])
+        assert heap.metrics.gc_runs == 2
+
+
+class TestThreshold:
+    def test_maybe_collect_below_threshold_is_noop(self):
+        heap = Heap()
+        alloc_list(heap, [1, 2])
+        assert MarkSweepGC(heap, threshold=100).maybe_collect([]) is None
+
+    def test_maybe_collect_above_threshold_runs(self):
+        heap = Heap()
+        alloc_list(heap, [1, 2, 3, 4, 5])
+        stats = MarkSweepGC(heap, threshold=3).maybe_collect([])
+        assert stats is not None and stats.swept == 5
+
+
+class TestAutoGcInInterpreter:
+    def test_auto_gc_collects_garbage_during_run(self):
+        # rev allocates a quadratic amount of garbage; with a low threshold
+        # the collector must run and the result must still be correct.
+        program = prelude_program(["rev", "iota"], "rev (iota 30)")
+        interp = Interpreter(auto_gc=True, gc_threshold=50)
+        value = interp.run(program)
+        assert interp.to_python(value) == list(range(1, 31))
+        assert interp.metrics.gc_runs >= 1
+        assert interp.metrics.gc_swept > 0
+
+    def test_auto_gc_never_frees_live_data(self):
+        program = prelude_program(["ps"], "ps [5, 2, 7, 1, 3, 4, 9, 0]")
+        interp = Interpreter(auto_gc=True, gc_threshold=10)
+        value = interp.run(program)
+        assert interp.to_python(value) == [0, 1, 2, 3, 4, 5, 7, 9]
+
+    def test_gc_work_scales_with_live_data(self):
+        small = Interpreter(auto_gc=True, gc_threshold=20)
+        small.run(prelude_program(["rev", "iota"], "rev (iota 10)"))
+        large = Interpreter(auto_gc=True, gc_threshold=20)
+        large.run(prelude_program(["rev", "iota"], "rev (iota 40)"))
+        assert large.metrics.gc_marked > small.metrics.gc_marked

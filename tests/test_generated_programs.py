@@ -1,0 +1,107 @@
+"""Grammar-level property tests over hypothesis-generated well-typed
+programs: the whole pipeline must hold up on programs nobody hand-wrote."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import observe_escape
+from repro.lang.errors import EvalError
+from repro.lang.parser import parse_expr
+from repro.lang.pretty import pretty, pretty_program
+from repro.semantics.interp import Interpreter
+from repro.types.infer import infer_expr, infer_program
+from repro.types.types import INT, TList
+
+from .strategies import INT_LIST, list_function_program, typed_expr
+
+RELAXED = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestGeneratedExpressions:
+    @RELAXED
+    @given(expr=typed_expr(INT, {"l": INT_LIST}))
+    def test_pretty_round_trips(self, expr):
+        assert parse_expr(pretty(expr)) == expr
+
+    @RELAXED
+    @given(expr=typed_expr(INT, {"l": INT_LIST}))
+    def test_inference_gives_declared_type(self, expr):
+        from repro.types.types import TypeScheme
+
+        ty = infer_expr(expr, {"l": TypeScheme.mono(INT_LIST)})
+        assert ty == INT
+
+    @RELAXED
+    @given(expr=typed_expr(INT_LIST, {"l": INT_LIST}))
+    def test_list_expressions_infer(self, expr):
+        from repro.types.types import TypeScheme
+
+        ty = infer_expr(expr, {"l": TypeScheme.mono(INT_LIST)})
+        assert ty == INT_LIST
+
+
+class TestGeneratedPrograms:
+    @RELAXED
+    @given(case=list_function_program())
+    def test_whole_program_round_trips(self, case):
+        program, _ = case
+        from repro.lang.parser import parse_program
+
+        assert parse_program(pretty_program(program)) == program
+
+    @RELAXED
+    @given(case=list_function_program())
+    def test_inference_succeeds(self, case):
+        program, _ = case
+        infer_program(program)  # must not raise
+
+    @RELAXED
+    @given(case=list_function_program())
+    def test_analysis_terminates_within_chain(self, case):
+        program, _ = case
+        analysis = EscapeAnalysis(program)
+        result = analysis.global_test("f", 1)
+        solved = analysis.last_solved
+        assert solved is not None
+        # the result is a point of the program's B_e chain
+        assert result.result in solved.evaluator.chain
+        for trace in solved.traces:
+            assert trace.converged or trace.widened
+
+    @RELAXED
+    @given(case=list_function_program())
+    def test_safety_on_generated_programs(self, case):
+        """§3.5 on arbitrary programs: if a cell of the argument reaches the
+        result at run time, the abstract *local* test (which analyzes the
+        call at its own instance — the global default instance may have a
+        different spine count, cf. Theorem 1) must predict it."""
+        program, values = case
+        interp = Interpreter()
+        try:
+            interp.run(program)
+        except EvalError:
+            return  # e.g. car of an empty fallback branch: fine, skip
+        observed = observe_escape(program, "f", [values], 1)
+        local = EscapeAnalysis(program).local_test(program.body, i=1)
+        if observed.escaped:
+            assert not local.nothing_escapes
+            assert observed.escaping_spines <= local.escaping_spines
+
+    @RELAXED
+    @given(case=list_function_program())
+    def test_interpreter_type_soundness(self, case):
+        """Well-typed programs don't go wrong: the only permissible dynamic
+        failures are the partial primitives (car/cdr of nil)."""
+        program, _ = case
+        interp = Interpreter()
+        try:
+            value = interp.run(program)
+        except EvalError as error:
+            assert "nil" in error.message
+            return
+        from repro.semantics.values import VCons, VInt, VNil
+
+        assert isinstance(value, (VInt, VCons, VNil))

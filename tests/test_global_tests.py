@@ -1,0 +1,146 @@
+"""Global escape test results.
+
+``TestPaperTable`` pins the exact Appendix A.1 values; ``TestPreludeGolden``
+pins a broad golden table over the prelude so any regression in the
+analysis is caught function by function.
+"""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.errors import AnalysisError
+from repro.lang.prelude import prelude_program
+from repro.types.types import INT, TFun, TList, list_of
+
+
+class TestPaperTable:
+    """The table computed in Appendix A.1 of the paper."""
+
+    @pytest.mark.parametrize(
+        "function,i,expected",
+        [
+            ("append", 1, "<1,0>"),
+            ("append", 2, "<1,1>"),
+            ("split", 1, "<0,0>"),
+            ("split", 2, "<1,0>"),
+            ("split", 3, "<1,1>"),
+            ("split", 4, "<1,1>"),
+            ("ps", 1, "<1,0>"),
+        ],
+    )
+    def test_global_value(self, ps_analysis, function, i, expected):
+        assert str(ps_analysis.global_test(function, i).result) == expected
+
+    def test_append_conclusion_sentences(self, ps_analysis):
+        # "APPEND returns all of its second argument y, and all but the top
+        # spine of the first argument x."
+        r1 = ps_analysis.global_test("append", 1)
+        assert r1.non_escaping_spines == 1
+        r2 = ps_analysis.global_test("append", 2)
+        assert r2.non_escaping_spines == 0 and r2.escaping_spines == 1
+
+    def test_ps_conclusion(self, ps_analysis):
+        # "PS returns all but the top spine of its argument x."
+        r = ps_analysis.global_test("ps", 1)
+        assert r.param_spines == 1 and r.non_escaping_spines == 1
+
+    def test_split_p_never_escapes(self, ps_analysis):
+        assert ps_analysis.global_test("split", 1).nothing_escapes
+
+    def test_fixpoints_converge_quickly(self, ps_analysis):
+        ps_analysis.solve(None)
+        for trace in ps_analysis.last_solved.traces:
+            assert trace.converged and not trace.widened
+            assert trace.iterations <= 4
+
+
+#: Golden values over the whole prelude (simplest instances).
+PRELUDE_GOLDEN = [
+    ("append", ["<1,0>", "<1,1>"]),
+    ("compose", ["<0,0>", "<0,0>", "<1,0>"]),
+    ("concat", ["<1,0>"]),
+    ("const_fn", ["<1,0>", "<0,0>"]),
+    ("copy", ["<1,0>"]),
+    ("create_list", ["<1,0>"]),
+    ("drop", ["<0,0>", "<1,1>"]),
+    ("filter", ["<0,0>", "<1,0>"]),
+    ("foldl", ["<0,0>", "<1,0>", "<1,0>"]),
+    ("foldr", ["<0,0>", "<1,0>", "<1,0>"]),
+    ("heads", ["<1,0>"]),
+    ("id_fn", ["<1,0>"]),
+    ("insert", ["<1,0>", "<1,1>"]),
+    ("interleave", ["<1,1>", "<1,1>"]),
+    ("iota", ["<1,0>"]),
+    ("isort", ["<1,0>"]),
+    ("last", ["<1,0>"]),
+    ("length", ["<0,0>"]),
+    ("map", ["<0,0>", "<1,0>"]),
+    ("member", ["<0,0>", "<0,0>"]),
+    ("nth", ["<0,0>", "<1,0>"]),
+    ("pair", ["<0,0>"]),
+    ("ps", ["<1,0>"]),
+    ("replicate", ["<0,0>", "<1,0>"]),
+    ("rev", ["<1,0>"]),
+    ("rev_acc", ["<1,0>", "<1,1>"]),
+    ("snoc", ["<1,0>", "<1,0>"]),
+    ("split", ["<0,0>", "<1,0>", "<1,1>", "<1,1>"]),
+    ("sum", ["<0,0>"]),
+    ("tails_tops", ["<1,1>"]),
+    ("take", ["<0,0>", "<1,0>"]),
+    ("twice", ["<0,0>", "<1,0>"]),
+]
+
+
+class TestPreludeGolden:
+    @pytest.mark.parametrize("function,expected", PRELUDE_GOLDEN, ids=lambda v: v if isinstance(v, str) else "")
+    def test_golden(self, function, expected):
+        analysis = EscapeAnalysis(prelude_program([function]))
+        rows = analysis.global_all(function)
+        assert [str(r.result) for r in rows] == expected
+
+    def test_interpretations_make_sense(self):
+        # take's list argument never donates spine cells; drop's always does.
+        take = EscapeAnalysis(prelude_program(["take"])).global_test("take", 2)
+        drop = EscapeAnalysis(prelude_program(["drop"])).global_test("drop", 2)
+        assert take.non_escaping_spines == 1
+        assert drop.non_escaping_spines == 0
+
+
+class TestInstances:
+    def test_append_at_two_spines(self):
+        analysis = EscapeAnalysis(prelude_program(["append"]))
+        instance = TFun(list_of(INT, 2), TFun(list_of(INT, 2), list_of(INT, 2)))
+        r1 = analysis.global_test("append", 1, instance=instance)
+        # bottom 1 of 2 spines escape: still exactly one non-escaping spine
+        assert str(r1.result) == "<1,1>"
+        assert r1.non_escaping_spines == 1
+
+    def test_map_elements_escape_with_worst_function(self):
+        analysis = EscapeAnalysis(prelude_program(["map"]))
+        r = analysis.global_test("map", 2)
+        assert str(r.result) == "<1,0>"  # spine survives; elements may escape
+
+
+class TestErrors:
+    def test_unknown_function(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.global_test("nonexistent", 1)
+
+    def test_index_out_of_range(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.global_test("ps", 2)
+
+    def test_zero_index(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.global_test("ps", 0)
+
+    def test_non_function_binding(self):
+        from repro.lang.parser import parse_program
+
+        analysis = EscapeAnalysis(parse_program("x = 1; x"))
+        with pytest.raises(AnalysisError):
+            analysis.global_all("x")
+
+    def test_too_many_args_requested(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.global_test("append", 1, n_args=3)

@@ -1,0 +1,188 @@
+"""Heap, region, and value-plumbing tests."""
+
+import pytest
+
+from repro.lang.ast import Prim
+from repro.lang.errors import EvalError, UseAfterFreeError
+from repro.semantics.heap import AllocKind, Heap
+from repro.semantics.values import NIL, Env, VCons, VInt
+
+
+def alloc_list(heap, values):
+    result = NIL
+    for v in reversed(values):
+        result = VCons(heap.allocate(VInt(v), result))
+    return result
+
+
+class TestAllocation:
+    def test_allocate_counts_heap(self):
+        heap = Heap()
+        heap.allocate(VInt(1), NIL)
+        assert heap.metrics.heap_allocs == 1
+        assert heap.metrics.region_allocs == 0
+
+    def test_cells_get_unique_ids(self):
+        heap = Heap()
+        a = heap.allocate(VInt(1), NIL)
+        b = heap.allocate(VInt(2), NIL)
+        assert a.id != b.id
+
+    def test_site_uid_recorded(self):
+        heap = Heap()
+        prim = Prim(name="cons")
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        assert cell.site_uid == prim.uid
+
+    def test_annotated_site_without_region_goes_to_heap(self):
+        heap = Heap()
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        assert cell.kind is AllocKind.HEAP
+
+    def test_annotated_site_with_open_region(self):
+        heap = Heap()
+        region = heap.open_region(AllocKind.STACK, "act")
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        assert cell.kind is AllocKind.STACK
+        assert cell in region.cells
+        assert heap.metrics.region_allocs == 1
+
+    def test_unannotated_site_ignores_open_region(self):
+        heap = Heap()
+        heap.open_region(AllocKind.STACK)
+        cell = heap.allocate(VInt(1), NIL, site=Prim(name="cons"))
+        assert cell.kind is AllocKind.HEAP
+
+
+class TestReuse:
+    def test_reuse_overwrites_in_place(self):
+        heap = Heap()
+        cell = heap.allocate(VInt(1), NIL)
+        same = heap.reuse(cell, VInt(9), NIL)
+        assert same is cell
+        assert cell.car == VInt(9)
+        assert heap.metrics.reused == 1
+
+    def test_reuse_of_freed_cell_raises(self):
+        heap = Heap()
+        region = heap.open_region(AllocKind.STACK)
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        heap.close_region(region)
+        with pytest.raises(UseAfterFreeError):
+            heap.reuse(cell, VInt(2), NIL)
+
+
+class TestRegions:
+    def _region_cell(self, heap, region_kind):
+        region = heap.open_region(region_kind)
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        return region, cell
+
+    def test_close_stack_region_frees_and_counts(self):
+        heap = Heap()
+        region, cell = self._region_cell(heap, AllocKind.STACK)
+        freed = heap.close_region(region)
+        assert freed == 1
+        assert cell.freed
+        assert heap.metrics.stack_reclaimed == 1
+
+    def test_close_block_region_counts_separately(self):
+        heap = Heap()
+        region, _ = self._region_cell(heap, AllocKind.BLOCK)
+        heap.close_region(region)
+        assert heap.metrics.block_reclaimed == 1
+        assert heap.metrics.stack_reclaimed == 0
+
+    def test_read_freed_cell_raises(self):
+        heap = Heap()
+        region, cell = self._region_cell(heap, AllocKind.STACK)
+        heap.close_region(region)
+        with pytest.raises(UseAfterFreeError):
+            heap.read_car(cell)
+
+    def test_escape_check_catches_leak(self):
+        heap = Heap()
+        region, cell = self._region_cell(heap, AllocKind.STACK)
+        with pytest.raises(UseAfterFreeError):
+            heap.close_region(region, escaping=VCons(cell))
+
+    def test_escape_check_passes_for_fresh_value(self):
+        heap = Heap()
+        region, _ = self._region_cell(heap, AllocKind.STACK)
+        other = VCons(heap.allocate(VInt(5), NIL))
+        heap.close_region(region, escaping=other)  # must not raise
+
+    def test_double_close_is_idempotent(self):
+        heap = Heap()
+        region, _ = self._region_cell(heap, AllocKind.STACK)
+        assert heap.close_region(region) == 1
+        assert heap.close_region(region) == 0
+
+    def test_heap_region_rejected(self):
+        with pytest.raises(EvalError):
+            Heap().open_region(AllocKind.HEAP)
+
+    def test_nested_regions_innermost_wins(self):
+        heap = Heap()
+        outer = heap.open_region(AllocKind.BLOCK, "outer")
+        inner = heap.open_region(AllocKind.STACK, "inner")
+        prim = Prim(name="cons")
+        prim.annotations["alloc"] = "region"
+        cell = heap.allocate(VInt(1), NIL, site=prim)
+        assert cell.region is inner
+        heap.close_region(inner)
+        heap.close_region(outer)
+
+
+class TestReachability:
+    def test_reachable_through_spine(self):
+        heap = Heap()
+        lst = alloc_list(heap, [1, 2, 3])
+        assert len(heap.reachable_cells(lst)) == 3
+
+    def test_reachable_through_env(self):
+        heap = Heap()
+        lst = alloc_list(heap, [1])
+        env = Env().bind("x", lst)
+        assert len(heap.reachable_cells(env)) == 1
+
+    def test_nothing_reachable_from_nil(self):
+        heap = Heap()
+        alloc_list(heap, [1, 2])
+        assert heap.reachable_cells(NIL) == set()
+
+
+class TestSpineMap:
+    def test_flat_list_single_level(self):
+        heap = Heap()
+        lst = alloc_list(heap, [1, 2, 3])
+        levels = heap.spine_levels(lst)
+        assert set(levels) == {1}
+        assert len(levels[1]) == 3
+
+    def test_nested_list_two_levels(self):
+        heap = Heap()
+        inner1 = alloc_list(heap, [1, 2])
+        inner2 = alloc_list(heap, [3])
+        spine = VCons(heap.allocate(inner1, VCons(heap.allocate(inner2, NIL))))
+        levels = heap.spine_levels(spine)
+        assert len(levels[1]) == 2  # outer spine
+        assert len(levels[2]) == 3  # element spines
+
+    def test_shared_cell_appears_once_per_level(self):
+        heap = Heap()
+        shared = alloc_list(heap, [7])
+        spine = VCons(heap.allocate(shared, VCons(heap.allocate(shared, NIL))))
+        levels = heap.spine_levels(spine)
+        assert len(levels[2]) == 1  # the shared inner cell, deduplicated
+
+    def test_nil_has_no_spine(self):
+        assert Heap().spine_levels(NIL) == {}

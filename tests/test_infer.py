@@ -1,0 +1,209 @@
+"""Type inference tests: prelude schemes, annotations, pins, defaulting,
+and inference errors."""
+
+import pytest
+
+from repro.lang.ast import Prim, walk
+from repro.lang.errors import TypeInferenceError
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.types.infer import infer_expr, infer_program, prim_scheme
+from repro.types.instantiate import simplest_instance, uniform_instances
+from repro.types.spines import (
+    annotate_cars,
+    argument_spines,
+    car_spine_count,
+    program_spine_bound,
+)
+from repro.types.types import BOOL, INT, TFun, TList, TypeScheme, list_of
+
+
+def scheme_str(program, name):
+    return str(infer_program(program).scheme(name))
+
+
+class TestExpressionInference:
+    def test_int_literal(self):
+        assert infer_expr(parse_expr("42")) == INT
+
+    def test_bool_literal(self):
+        assert infer_expr(parse_expr("true")) == BOOL
+
+    def test_nil_defaults_to_int_list(self):
+        assert infer_expr(parse_expr("nil")) == TList(INT)
+
+    def test_arithmetic(self):
+        assert infer_expr(parse_expr("1 + 2 * 3")) == INT
+
+    def test_comparison(self):
+        assert infer_expr(parse_expr("1 < 2")) == BOOL
+
+    def test_list_literal(self):
+        assert infer_expr(parse_expr("[1, 2, 3]")) == TList(INT)
+
+    def test_nested_list(self):
+        assert infer_expr(parse_expr("[[1], [2]]")) == TList(TList(INT))
+
+    def test_car_cdr(self):
+        assert infer_expr(parse_expr("car [1]")) == INT
+        assert infer_expr(parse_expr("cdr [1]")) == TList(INT)
+
+    def test_identity_lambda_defaults(self):
+        assert infer_expr(parse_expr("lambda x. x")) == TFun(INT, INT)
+
+    def test_if_branches_unify(self):
+        assert infer_expr(parse_expr("if true then [1] else nil")) == TList(INT)
+
+    def test_letrec_polymorphic_use(self):
+        # id used at int and at int list in the same body
+        expr = parse_expr("letrec id x = x in (id 1) :: id nil")
+        assert infer_expr(expr) == TList(INT)
+
+    def test_unbound_identifier(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("mystery"))
+
+    def test_condition_must_be_bool(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("if 1 then 2 else 3"))
+
+    def test_branch_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("if true then 1 else nil"))
+
+    def test_heterogeneous_list_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("[1, true]"))
+
+    def test_self_application_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("lambda x. x x"))
+
+    def test_applying_non_function(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("1 2"))
+
+
+class TestPreludeSchemes:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("append", "t list -> t list -> t list"),
+            ("length", "t list -> int"),
+            ("map", "(t -> u) -> t list -> u list"),
+            ("rev", "t list -> t list"),
+            ("filter", "(t -> bool) -> t list -> t list"),
+            ("concat", "t list list -> t list"),
+            ("create_list", "int -> int list"),
+        ],
+    )
+    def test_scheme_shape(self, name, expected):
+        deps = {"rev": ["rev"], "concat": ["concat"]}.get(name, [name])
+        scheme = infer_program(prelude_program(deps)).scheme(name)
+        # Compare shapes after normalizing variable names.
+        rendered = str(scheme)
+        import re
+
+        normalized = rendered
+        for i, var in enumerate(re.findall(r"\bt\d+\b", rendered)):
+            normalized = normalized.replace(var, "tu"[i] if i < 2 else f"v{i}")
+        normalized = normalized.replace("forall t u. ", "").replace("forall t. ", "")
+        assert normalized == expected
+
+    def test_partition_sort_types(self, partition_sort):
+        result = infer_program(partition_sort)
+        assert str(result.scheme("ps")) == "int list -> int list"
+        assert (
+            str(result.scheme("split"))
+            == "int -> int list -> int list -> int list -> int list list"
+        )
+        assert result.result_type == TList(INT)
+
+    def test_every_prelude_function_typechecks(self):
+        from repro.lang.prelude import PRELUDE_DEFS
+
+        for name in PRELUDE_DEFS:
+            infer_program(prelude_program([name]))  # must not raise
+
+
+class TestAnnotations:
+    def test_every_node_gets_a_type(self, partition_sort):
+        infer_program(partition_sort)
+        for node in walk(partition_sort.letrec):
+            assert node.ty is not None
+
+    def test_car_spine_annotation(self, partition_sort):
+        infer_program(partition_sort)
+        table = annotate_cars(partition_sort)
+        values = set(table.values())
+        assert values == {1, 2}  # car¹ on int lists, car² on split results
+
+    def test_car_spine_count_requires_types(self):
+        prim = Prim(name="car")
+        from repro.lang.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            car_spine_count(prim)
+
+    def test_program_spine_bound(self, partition_sort, map_pair):
+        infer_program(partition_sort)
+        assert program_spine_bound(partition_sort) == 2
+        infer_program(map_pair)
+        assert program_spine_bound(map_pair) == 2
+
+    def test_argument_spines(self, partition_sort):
+        result = infer_program(partition_sort)
+        split_ty = simplest_instance(result.scheme("split"))
+        assert argument_spines(split_ty, 4) == [0, 1, 1, 1]
+
+
+class TestPins:
+    def test_pin_forces_instance(self):
+        program = prelude_program(["append"])
+        instance = TFun(
+            list_of(INT, 2), TFun(list_of(INT, 2), list_of(INT, 2))
+        )
+        result = infer_program(program, pins={"append": instance})
+        assert str(result.scheme("append")) == str(instance)
+        assert program.binding("append").expr.ty == instance
+
+    def test_pin_unknown_binding_raises(self):
+        with pytest.raises(TypeInferenceError):
+            infer_program(prelude_program(["append"]), pins={"nope": INT})
+
+    def test_conflicting_pin_raises(self):
+        with pytest.raises(TypeInferenceError):
+            infer_program(prelude_program(["length"]), pins={"length": INT})
+
+
+class TestInstantiation:
+    def test_simplest_instance_maps_vars_to_int(self):
+        scheme = infer_program(prelude_program(["append"])).scheme("append")
+        assert str(simplest_instance(scheme)) == "int list -> int list -> int list"
+
+    def test_uniform_instances(self):
+        scheme = infer_program(prelude_program(["append"])).scheme("append")
+        instances = uniform_instances(scheme, [BOOL, TList(INT)])
+        assert str(instances[0]) == "bool list -> bool list -> bool list"
+        assert str(instances[1]) == "int list list -> int list list -> int list list"
+
+    def test_uniform_instances_needs_polymorphism(self):
+        from repro.lang.errors import AnalysisError
+
+        scheme = TypeScheme.mono(INT)
+        with pytest.raises(AnalysisError):
+            uniform_instances(scheme, [INT])
+
+
+class TestPrimSchemes:
+    @pytest.mark.parametrize("name", ["+", "==", "cons", "car", "cdr", "null", "dcons"])
+    def test_prim_scheme_exists(self, name):
+        prim_scheme(name)
+
+    def test_cons_scheme_shape(self):
+        scheme = prim_scheme("cons")
+        assert len(scheme.vars) == 1
+
+    def test_unknown_prim(self):
+        with pytest.raises(TypeInferenceError):
+            prim_scheme("bogus")

@@ -1,0 +1,91 @@
+"""End-to-end integration stories exercising the whole public API."""
+
+import repro
+from repro.bench.figures import spine_census, spine_figure
+from repro.bench.workloads import literal, random_int_list
+from repro.escape.exact import observe_escape
+from repro.opt.pipeline import paper_ps_double_prime
+from repro.semantics.interp import Interpreter, run_program
+
+
+class TestPublicApi:
+    def test_analyze_from_source(self):
+        analysis = repro.analyze(
+            "append x y = if (null x) then y"
+            " else cons (car x) (append (cdr x) y);"
+        )
+        result = analysis.global_test("append", 1)
+        assert str(result.result) == "<1,0>"
+
+    def test_analyze_from_program(self):
+        analysis = repro.analyze(repro.paper_partition_sort())
+        assert str(analysis.global_test("ps", 1).result) == "<1,0>"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_run_program_helper(self):
+        result, metrics = repro.run_program(repro.paper_partition_sort())
+        assert result == [1, 2, 3, 4, 5, 7]
+        assert metrics.heap_allocs > 0
+
+
+class TestFigure1:
+    def test_paper_list_spines(self):
+        figure = spine_figure([[1, 2], [3, 4], [5, 6]])
+        assert "2 spine(s), 9 cell(s)" in figure
+        assert "top spine 1 (= bottom spine 2)" in figure
+
+    def test_census(self):
+        interp = Interpreter()
+        value = interp.from_python([[1, 2], [3, 4], [5, 6]])
+        assert spine_census(interp, value) == {1: 3, 2: 6}
+
+    def test_nil_figure(self):
+        assert "no spine" in spine_figure([])
+
+
+class TestFullStory:
+    """Parse -> analyze -> observe -> optimize -> run, on one program."""
+
+    def test_analysis_drives_a_sound_optimization(self):
+        values = random_int_list(30, seed=42)
+        source = f"ps {literal(values)}"
+        program = repro.prelude_program(["ps"], source)
+
+        # 1. the analysis proves the top spine reusable
+        analysis = repro.analyze(program)
+        assert analysis.global_test("append", 1).non_escaping_spines == 1
+
+        # 2. dynamic observation confirms it on this input
+        observed = observe_escape(program, "ps", [values], 1)
+        assert not observed.escaped
+
+        # 3. the optimization applies and preserves the result
+        optimized = paper_ps_double_prime(source)
+        base_result, base_metrics = run_program(program)
+        opt_result, opt_metrics = run_program(optimized.program)
+        assert opt_result == base_result == sorted(values)
+
+        # 4. and the storage behaviour improves as the paper promises
+        assert opt_metrics.reused > 0
+        assert opt_metrics.heap_allocs < base_metrics.heap_allocs
+
+    def test_gc_pressure_drops_with_block_allocation(self):
+        from repro.opt.pipeline import paper_block_allocated
+
+        n = 60
+        base = repro.prelude_program(["ps", "create_list"], f"ps (create_list {n})")
+        base_interp = Interpreter(auto_gc=True, gc_threshold=40)
+        base_interp.run(base)
+
+        optimized = paper_block_allocated(n)
+        opt_interp = Interpreter(auto_gc=True, gc_threshold=40)
+        opt_interp.run(optimized.program)
+
+        assert opt_interp.metrics.block_reclaimed == n
+        assert opt_interp.metrics.heap_allocs < base_interp.metrics.heap_allocs
+
+    def test_report_end_to_end(self):
+        report = repro.analysis_report(repro.paper_map_pair())
+        assert "G(map, 2) = <1,0>" in report

@@ -1,0 +1,146 @@
+"""B_e lattice tests, including hypothesis-checked lattice laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.escape.lattice import (
+    BeChain,
+    Escapement,
+    NONE_ESCAPES,
+    escapes_bottom,
+    join_all,
+)
+from repro.lang.errors import AnalysisError
+
+D = 4
+POINTS = BeChain(D).points()
+points = st.sampled_from(POINTS)
+
+
+class TestConstruction:
+    def test_none_escapes(self):
+        assert NONE_ESCAPES == Escapement(0, 0)
+        assert NONE_ESCAPES.is_none
+
+    def test_escapes_bottom(self):
+        assert escapes_bottom(2) == Escapement(1, 2)
+
+    def test_invalid_escapes_flag(self):
+        with pytest.raises(AnalysisError):
+            Escapement(2, 0)
+
+    def test_invalid_zero_with_spines(self):
+        with pytest.raises(AnalysisError):
+            Escapement(0, 3)
+
+    def test_negative_spines(self):
+        with pytest.raises(AnalysisError):
+            Escapement(1, -1)
+
+    def test_str(self):
+        assert str(Escapement(1, 2)) == "<1,2>"
+
+
+class TestChainStructure:
+    def test_points_enumeration(self):
+        chain = BeChain(2)
+        assert chain.points() == [
+            Escapement(0, 0),
+            Escapement(1, 0),
+            Escapement(1, 1),
+            Escapement(1, 2),
+        ]
+
+    def test_height(self):
+        assert BeChain(2).height() == 4
+
+    def test_top_and_bottom(self):
+        chain = BeChain(3)
+        assert chain.bottom == NONE_ESCAPES
+        assert chain.top == Escapement(1, 3)
+
+    def test_membership(self):
+        chain = BeChain(1)
+        assert Escapement(1, 1) in chain
+        assert Escapement(1, 2) not in chain
+        assert NONE_ESCAPES in chain
+
+    def test_check_raises_beyond_bound(self):
+        with pytest.raises(AnalysisError):
+            BeChain(1).check(Escapement(1, 2))
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(AnalysisError):
+            BeChain(-1)
+
+    def test_total_order(self):
+        pts = BeChain(3).points()
+        for i, a in enumerate(pts):
+            for j, b in enumerate(pts):
+                assert a.leq(b) == (i <= j)
+
+
+class TestOperations:
+    def test_join_is_max_on_chain(self):
+        assert Escapement(1, 0).join(Escapement(1, 2)) == Escapement(1, 2)
+        assert NONE_ESCAPES.join(Escapement(1, 0)) == Escapement(1, 0)
+
+    def test_meet(self):
+        assert Escapement(1, 2).meet(Escapement(1, 1)) == Escapement(1, 1)
+        assert Escapement(1, 2).meet(NONE_ESCAPES) == NONE_ESCAPES
+
+    def test_join_all_empty(self):
+        assert join_all([]) == NONE_ESCAPES
+
+    def test_join_all_many(self):
+        assert join_all([NONE_ESCAPES, Escapement(1, 1), Escapement(1, 0)]) == Escapement(1, 1)
+
+
+class TestLatticeLaws:
+    @given(points)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(points, points)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(points, points, points)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(points, points)
+    def test_join_is_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(points, points)
+    def test_join_is_least_upper_bound(self, a, b):
+        j = a.join(b)
+        for candidate in POINTS:
+            if a.leq(candidate) and b.leq(candidate):
+                assert j.leq(candidate)
+
+    @given(points)
+    def test_bottom_is_identity(self, a):
+        assert NONE_ESCAPES.join(a) == a
+
+    @given(points, points)
+    def test_leq_antisymmetric(self, a, b):
+        if a.leq(b) and b.leq(a):
+            assert a == b
+
+    @given(points, points, points)
+    def test_leq_transitive(self, a, b, c):
+        if a.leq(b) and b.leq(c):
+            assert a.leq(c)
+
+    @given(points, points)
+    def test_meet_is_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert m.leq(a) and m.leq(b)
+
+    @given(points, points)
+    def test_absorption(self, a, b):
+        assert a.join(a.meet(b)) == a
+        assert a.meet(a.join(b)) == a

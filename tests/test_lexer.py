@@ -1,0 +1,155 @@
+"""Lexer unit tests: token kinds, values, spans, comments, errors."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_is_just_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \t \n ") == [TokenKind.EOF]
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT
+        assert token.value == 42
+
+    def test_zero(self):
+        assert tokenize("0")[0].value == 0
+
+    def test_multi_digit_integer(self):
+        assert tokenize("123456789")[0].value == 123456789
+
+    def test_identifier(self):
+        token = tokenize("foo")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "foo"
+
+    def test_identifier_with_underscore_digits_prime(self):
+        assert tokenize("rev_acc2'")[0].value == "rev_acc2'"
+
+    def test_identifier_starting_with_underscore(self):
+        assert tokenize("_tmp")[0].value == "_tmp"
+
+    def test_uppercase_identifier(self):
+        assert tokenize("APPEND")[0].value == "APPEND"
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("if", TokenKind.IF),
+            ("then", TokenKind.THEN),
+            ("else", TokenKind.ELSE),
+            ("letrec", TokenKind.LETREC),
+            ("let", TokenKind.LET),
+            ("in", TokenKind.IN),
+            ("lambda", TokenKind.LAMBDA),
+            ("true", TokenKind.TRUE),
+            ("false", TokenKind.FALSE),
+            ("nil", TokenKind.NIL),
+            ("and", TokenKind.AND_KW),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert kinds(word) == [kind, TokenKind.EOF]
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("iffy")[0].kind is TokenKind.IDENT
+
+    def test_nil_inside_identifier(self):
+        assert tokenize("nils")[0].kind is TokenKind.IDENT
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert texts("== <> <= >= :: ->") == ["==", "<>", "<=", ">=", "::", "->"]
+
+    def test_one_char_operators(self):
+        assert texts("( ) [ ] , ; = < > + - * / .") == [
+            "(", ")", "[", "]", ",", ";", "=", "<", ">", "+", "-", "*", "/", ".",
+        ]
+
+    def test_eq_vs_eqeq(self):
+        assert kinds("= ==")[:2] == [TokenKind.EQ, TokenKind.EQEQ]
+
+    def test_maximal_munch_coloncolon(self):
+        assert kinds("x::y") == [
+            TokenKind.IDENT,
+            TokenKind.COLONCOLON,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_minus_then_digit_tokenizes_separately(self):
+        assert kinds("-3") == [TokenKind.MINUS, TokenKind.INT, TokenKind.EOF]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 -- a comment\n2") == [TokenKind.INT, TokenKind.INT, TokenKind.EOF]
+
+    def test_line_comment_at_eof(self):
+        assert kinds("1 -- trailing") == [TokenKind.INT, TokenKind.EOF]
+
+    def test_block_comment(self):
+        assert kinds("1 (* hi *) 2") == [TokenKind.INT, TokenKind.INT, TokenKind.EOF]
+
+    def test_nested_block_comment(self):
+        assert kinds("(* outer (* inner *) still *) 7") == [TokenKind.INT, TokenKind.EOF]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("(* never closed")
+
+    def test_paren_star_requires_comment_close(self):
+        # "(*)" opens a comment containing ")" — unterminated.
+        with pytest.raises(LexError):
+            tokenize("(*)")
+
+
+class TestSpans:
+    def test_token_line_and_column(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].span.line, tokens[0].span.column) == (1, 1)
+        assert (tokens[1].span.line, tokens[1].span.column) == (2, 3)
+
+    def test_span_end_column(self):
+        token = tokenize("hello")[0]
+        assert token.span.end_column == 6
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("\n  ?")
+        assert exc.value.span.line == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["?", "@", "#", "$", "&", "!"])
+    def test_unexpected_character(self, bad):
+        with pytest.raises(LexError):
+            tokenize(bad)
+
+    def test_whole_program_lexes(self):
+        source = (
+            "ps x = if (null x) then nil\n"
+            "  else append (ps lo) (cons (car x) (ps hi));\n"
+            "ps [5, 2, 7]\n"
+        )
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert len(tokens) > 30

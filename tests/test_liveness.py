@@ -1,0 +1,122 @@
+"""Last-use (liveness) analysis tests for the reuse transformation."""
+
+from repro.lang.ast import App, Prim, uncurry_app, walk
+from repro.lang.parser import parse_expr
+from repro.opt.liveness import uses_var, var_used_after
+
+
+def find_cons(expr):
+    """The first saturated cons application in ``expr``."""
+    for node in walk(expr):
+        if isinstance(node, App):
+            head, args = uncurry_app(node)
+            if isinstance(head, Prim) and head.name == "cons" and len(args) == 2:
+                return node
+    raise AssertionError("no cons in expression")
+
+
+class TestUsesVar:
+    def test_direct_use(self):
+        assert uses_var(parse_expr("x + 1"), "x")
+
+    def test_no_use(self):
+        assert not uses_var(parse_expr("y + 1"), "x")
+
+    def test_lambda_shadowing(self):
+        assert not uses_var(parse_expr("lambda x. x"), "x")
+
+    def test_letrec_shadowing(self):
+        assert not uses_var(parse_expr("letrec x = 1 in x"), "x")
+
+    def test_use_under_lambda(self):
+        assert uses_var(parse_expr("lambda y. x"), "x")
+
+
+class TestVarUsedAfter:
+    def test_target_not_found(self):
+        body = parse_expr("f y")
+        assert var_used_after(body, -1, "x") is None
+
+    def test_append_pattern_is_dead_after(self):
+        # cons (car x) (append (cdr x) y): all uses of x are inside the cons
+        body = parse_expr("cons (car x) (append (cdr x) y)")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is False
+
+    def test_use_after_in_application(self):
+        # f (cons 1 nil) x — x evaluated after the cons
+        body = parse_expr("f (cons 1 nil) x")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_use_before_in_application(self):
+        # f x (cons 1 nil) — x evaluated before the cons
+        body = parse_expr("f x (cons 1 nil)")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is False
+
+    def test_cons_in_condition_sees_branch_uses(self):
+        body = parse_expr("if null (cons 1 nil) then x else 0")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_cons_in_then_branch_ignores_else(self):
+        # once we're in the then branch, the else branch never runs
+        body = parse_expr("if b then cons 1 nil else x")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is False
+
+    def test_cons_in_else_branch(self):
+        body = parse_expr("if b then x else cons 1 nil")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is False
+
+    def test_target_under_lambda_is_conservative(self):
+        body = parse_expr("lambda y. cons 1 nil")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_captured_var_is_conservative(self):
+        # a closure capturing x may run after the cons
+        body = parse_expr("f (cons 1 nil) (lambda y. x)")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_stored_closure_capture_is_conservative(self):
+        # the lambda capturing x is evaluated BEFORE the cons but could be
+        # applied after — conservatively "used after".
+        body = parse_expr("letrec g = lambda y. car x in f (g 0) (cons 1 nil)")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_letrec_body_after_binding(self):
+        body = parse_expr("letrec a = cons 1 nil in x")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is True
+
+    def test_shadowed_use_not_counted(self):
+        body = parse_expr("f (cons 1 nil) (lambda x. x)")
+        cons = find_cons(body)
+        assert var_used_after(body, cons.uid, "x") is False
+
+    def test_ps_body_cons_is_dead_after(self):
+        body = parse_expr(
+            "if (null x) then nil"
+            " else append (ps (car (split (car x) (cdr x) nil nil)))"
+            " (cons (car x) (ps (car (cdr (split (car x) (cdr x) nil nil)))))"
+        )
+        # the interesting cons is the one whose first arg is (car x)
+        target = None
+        for node in walk(body):
+            if isinstance(node, App):
+                head, args = uncurry_app(node)
+                if (
+                    isinstance(head, Prim)
+                    and head.name == "cons"
+                    and len(args) == 2
+                    and str(args[0].__class__.__name__) == "App"
+                ):
+                    target = node
+                    break
+        assert target is not None
+        assert var_used_after(body, target.uid, "x") is False

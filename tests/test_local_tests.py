@@ -1,0 +1,90 @@
+"""Local escape test results, including the Section 1 motivating example."""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.errors import AnalysisError
+from repro.lang.prelude import prelude_program
+
+
+class TestSection1Example:
+    """Properties 1-3 the paper's introduction claims for pair/map."""
+
+    def test_pair_top_spine_does_not_escape(self, map_pair):
+        analysis = EscapeAnalysis(map_pair)
+        result = analysis.global_test("pair", 1)
+        assert result.non_escaping_spines >= 1  # property 1
+
+    def test_map_top_spine_does_not_escape_globally(self, map_pair):
+        analysis = EscapeAnalysis(map_pair)
+        result = analysis.global_test("map", 2)
+        assert result.non_escaping_spines >= 1  # property 2
+
+    def test_call_top_two_spines_do_not_escape(self, map_pair):
+        # property 3: in (map pair [[1,2],[3,4],[5,6]]) the top TWO spines
+        # of the second argument do not escape.
+        analysis = EscapeAnalysis(map_pair)
+        result = analysis.local_test("map pair [[1, 2], [3, 4], [5, 6]]", i=2)
+        assert result.param_spines == 2
+        assert result.non_escaping_spines == 2
+
+    def test_local_on_program_body(self, map_pair):
+        analysis = EscapeAnalysis(map_pair)
+        results = analysis.local_test(map_pair.body)
+        assert len(results) == 2
+        assert all(r.kind == "local" for r in results)
+
+
+class TestLocalRefinesGlobal:
+    def test_map_with_identity_keeps_elements(self):
+        # Globally map's elements may escape; locally with a projecting f
+        # nothing does, and with the identity the elements do.
+        program = prelude_program(["map", "id_fn", "pair"])
+        analysis = EscapeAnalysis(program)
+        keeping = analysis.local_test("map id_fn [[1, 2], [3, 4]]", i=2)
+        assert str(keeping.result) == "<1,1>"  # elements (inner spines) escape
+        dropping = analysis.local_test("map pair [[1, 2], [3, 4]]", i=2)
+        assert str(dropping.result) == "<0,0>"
+
+    def test_local_never_exceeds_global_at_same_instance(self):
+        # L uses actual argument behaviour; G uses the worst case, so
+        # L(f, i, ...) ⊑ G(f, i) at the call's instance.
+        from repro.types.types import INT, TFun, TList, list_of
+
+        program = prelude_program(["map", "pair"])
+        analysis = EscapeAnalysis(program)
+        local = analysis.local_test("map pair [[1, 2]]", i=2)
+        instance = TFun(TFun(TList(INT), INT), TFun(list_of(INT, 2), TList(INT)))
+        global_ = analysis.global_test("map", 2, instance=instance)
+        assert local.result.leq(global_.result)
+
+    def test_append_local_matches_global_for_worstlike_args(self):
+        program = prelude_program(["append"])
+        analysis = EscapeAnalysis(program)
+        results = analysis.local_test("append [1, 2] [3]")
+        assert [str(r.result) for r in results] == ["<1,0>", "<1,1>"]
+
+
+class TestLocalForms:
+    def test_lambda_head(self):
+        program = prelude_program(["append"])
+        analysis = EscapeAnalysis(program)
+        result = analysis.local_test("(lambda x. x) [1, 2]", i=1)
+        assert str(result.result) == "<1,1>"
+
+    def test_non_application_raises(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.local_test("ps")
+
+    def test_index_out_of_range(self, ps_analysis):
+        with pytest.raises(AnalysisError):
+            ps_analysis.local_test("ps [1]", i=2)
+
+    def test_all_params_when_index_omitted(self, ps_analysis):
+        results = ps_analysis.local_test("split 3 [1, 2] nil nil")
+        assert len(results) == 4
+        assert [r.param_index for r in results] == [1, 2, 3, 4]
+
+    def test_ps_call_top_spine_safe(self, ps_analysis):
+        result = ps_analysis.local_test("ps [5, 2, 7, 1, 3, 4]", i=1)
+        assert result.non_escaping_spines == 1

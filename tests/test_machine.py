@@ -1,0 +1,191 @@
+"""Abstract machine tests: compilation, execution, differential equivalence
+with the tree-walking interpreter (results AND storage counters), regions,
+dcons, GC, and deep recursion."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang.errors import EvalError, UseAfterFreeError
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import prelude_program
+from repro.machine.compiler import compile_expr, compile_program
+from repro.machine.instructions import (
+    Apply,
+    Branch,
+    Load,
+    MakeClosure,
+    PushInt,
+    PushPrim,
+    disassemble,
+)
+from repro.machine.machine import Machine, run_compiled
+from repro.semantics.interp import run_program
+
+from .strategies import list_function_program
+
+
+def run(source: str):
+    machine = Machine()
+    value = machine.run(parse_program(source))
+    return machine.to_python(value)
+
+
+class TestCompilation:
+    def test_literal(self):
+        assert compile_expr(parse_expr("42")) == (PushInt(42),)
+
+    def test_application_is_fn_arg_apply(self):
+        code = compile_expr(parse_expr("f x"))
+        assert code == (Load("f"), Load("x"), Apply())
+
+    def test_if_compiles_to_branch(self):
+        code = compile_expr(parse_expr("if b then 1 else 2"))
+        assert isinstance(code[-1], Branch)
+        assert code[-1].then_code == (PushInt(1),)
+
+    def test_lambda_compiles_to_closure(self):
+        code = compile_expr(parse_expr("lambda x. x"))
+        assert isinstance(code[0], MakeClosure)
+        assert code[0].body == (Load("x"),)
+
+    def test_prim_site_preserved(self):
+        expr = parse_expr("cons 1 nil")
+        expr_prim = expr.fn.fn  # the Prim node
+        code = compile_expr(expr)
+        pushes = [i for i in code if isinstance(i, PushPrim)]
+        assert pushes[0].prim is expr_prim  # same node: annotations survive
+
+    def test_disassemble_renders(self):
+        text = disassemble(compile_expr(parse_expr("if b then f 1 else 2")))
+        assert "branch" in text and "Load" in text
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("[1, 2, 3]", [1, 2, 3]),
+            ("car [9, 8]", 9),
+            ("if 1 < 2 then 10 else 20", 10),
+            ("(lambda x. x + 1) 41", 42),
+            ("letrec f x = if x == 0 then 0 else 2 + f (x - 1) in f 5", 10),
+            ("fst (1, 2) + snd (3, 4)", 5),
+            ("letrec x = 1 in (letrec x = 2 in x) + x", 3),  # scope restore
+        ],
+    )
+    def test_programs(self, source, expected):
+        assert run(source) == expected
+
+    def test_runtime_errors_propagate(self):
+        with pytest.raises(EvalError):
+            run("car nil")
+        with pytest.raises(EvalError):
+            run("1 2")
+        with pytest.raises(EvalError):
+            run("1 / 0")
+
+    def test_deep_recursion_needs_no_python_stack(self):
+        program = prelude_program(["create_list", "length"], "length (create_list 50000)")
+        result, _ = run_compiled(program)
+        assert result == 50000
+
+    def test_dcons_reuses_on_machine(self):
+        machine = Machine()
+        value = machine.run(parse_program("letrec x = [9, 9] in dcons x 1 nil"))
+        assert machine.to_python(value) == [1]
+        assert machine.metrics.reused == 1
+
+
+CORPUS_SOURCES = [
+    (["ps"], "ps [5, 2, 7, 1, 3, 4]"),
+    (["rev"], "rev [1, 2, 3, 4]"),
+    (["map", "pair"], "map pair [[1, 2], [3, 4]]"),
+    (["zip", "unzip"], "unzip (zip [1, 2] [3, 4])"),
+    (["foldr"], "foldr (+) 0 [1, 2, 3, 4]"),
+    (["isort"], "isort [3, 1, 2]"),
+    (["filter"], "filter (lambda x. x > 1) [0, 1, 2, 3]"),
+    (["concat"], "concat [[1], [], [2, 3]]"),
+    (["ps_pair"], "ps_pair [4, 1, 3]"),
+]
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("names,expr", CORPUS_SOURCES, ids=lambda v: v if isinstance(v, str) else "")
+    def test_results_and_counters_match_interpreter(self, names, expr):
+        program = prelude_program(names, expr)
+        interp_result, interp_metrics = run_program(program)
+        machine_result, machine_metrics = run_compiled(program)
+        assert machine_result == interp_result
+        # identical storage behaviour, event for event
+        assert machine_metrics.heap_allocs == interp_metrics.heap_allocs
+        assert machine_metrics.reused == interp_metrics.reused
+        assert machine_metrics.applications == interp_metrics.applications
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(case=list_function_program())
+    def test_generated_programs_agree(self, case):
+        program, _ = case
+        try:
+            interp_result, interp_metrics = run_program(program)
+        except EvalError as error:
+            with pytest.raises(EvalError):
+                run_compiled(program)
+            return
+        machine_result, machine_metrics = run_compiled(program)
+        assert machine_result == interp_result
+        assert machine_metrics.heap_allocs == interp_metrics.heap_allocs
+
+
+class TestOptimizedProgramsOnMachine:
+    def test_stack_allocation(self):
+        from repro.opt.pipeline import paper_stack_allocated
+
+        result, metrics = run_compiled(paper_stack_allocated().program)
+        assert result == [1, 2, 3, 4, 5, 7]
+        assert metrics.stack_reclaimed == 6
+
+    def test_reuse_ps_double_prime(self):
+        from repro.opt.pipeline import paper_ps_double_prime
+
+        result, metrics = run_compiled(paper_ps_double_prime().program)
+        assert result == [1, 2, 3, 4, 5, 7]
+        assert metrics.reused == 14  # identical to the interpreter
+
+    def test_block_allocation(self):
+        from repro.opt.pipeline import paper_block_allocated
+
+        result, metrics = run_compiled(paper_block_allocated(12).program)
+        assert result == list(range(1, 13))
+        assert metrics.block_reclaimed == 12
+
+    def test_unsound_region_caught_on_machine(self):
+        from repro.lang.ast import Prim, walk
+
+        program = prelude_program(["drop"], "drop 1 [1, 2, 3]")
+        for node in walk(program.body):
+            if isinstance(node, Prim) and node.name == "cons":
+                node.annotations["alloc"] = "region"
+        program.body.annotations["region"] = {"kind": "stack", "label": "bogus"}
+        with pytest.raises(UseAfterFreeError):
+            run_compiled(program)
+
+
+class TestMachineGc:
+    def test_auto_gc_preserves_results(self):
+        program = prelude_program(["rev", "iota"], "rev (iota 30)")
+        machine = Machine(auto_gc=True, gc_threshold=50)
+        value = machine.run(program)
+        assert machine.to_python(value) == list(range(1, 31))
+        assert machine.metrics.gc_runs >= 1
+        assert machine.metrics.gc_swept > 0
+
+    def test_gc_roots_cover_machine_closures(self):
+        # a closure on the operand stack keeps its captured list alive
+        program = prelude_program(
+            ["const_fn", "rev", "iota"],
+            "letrec keep = const_fn [7, 8, 9] in (lambda z. keep 0) (rev (iota 20))",
+        )
+        machine = Machine(auto_gc=True, gc_threshold=10)
+        value = machine.run(program)
+        assert machine.to_python(value) == [7, 8, 9]

@@ -1,0 +1,95 @@
+"""Mergesort: a reuse-hostile workload, contrasted with partition sort.
+
+`msort` returns its argument unchanged for singleton lists and `merge`
+returns a suffix of either input when the other runs out — so *every* spine
+escapes, the analysis refuses in-place reuse, and the dynamic observer
+confirms the escapes are real.  This is the analysis earning its keep in
+the negative direction: partition sort is optimizable, mergesort is not.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import literal
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import exact_escape, observe_escape
+from repro.lang.errors import OptimizationError
+from repro.lang.prelude import prelude_program
+from repro.opt.reuse import make_reuse_specialization
+from repro.semantics.interp import Interpreter
+
+int_lists = st.lists(st.integers(min_value=-50, max_value=50), max_size=10)
+
+
+def run(names, expr):
+    interp = Interpreter()
+    return interp.to_python(interp.eval_in(prelude_program(names), expr))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "values",
+        [[], [1], [2, 1], [5, 2, 7, 1, 3, 4], [1, 1, 1], [3, 2, 1, 0, -1]],
+    )
+    def test_msort_sorts(self, values):
+        assert run(["msort"], f"msort {literal(values)}") == sorted(values)
+
+    def test_merge_merges(self):
+        assert run(["merge"], "merge [1, 3, 5] [2, 4]") == [1, 2, 3, 4, 5]
+
+    def test_halve_alternates(self):
+        assert run(["halve"], "halve [1, 2, 3, 4, 5]") == ([1, 3, 5], [2, 4])
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_msort_equals_sorted(self, xs):
+        assert run(["msort"], f"msort {literal(xs)}") == sorted(xs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists, ys=int_lists)
+    def test_merge_of_sorted_inputs(self, xs, ys):
+        xs, ys = sorted(xs), sorted(ys)
+        assert run(["merge"], f"merge {literal(xs)} {literal(ys)}") == sorted(xs + ys)
+
+
+class TestEscapeBehaviour:
+    def test_every_spine_escapes(self):
+        analysis = EscapeAnalysis(prelude_program(["msort"]))
+        for name, arity in (("merge", 2), ("halve", 1), ("msort", 1)):
+            for result in analysis.global_all(name):
+                assert str(result.result) == "<1,1>"
+                assert result.non_escaping_spines == 0
+
+    def test_contrast_with_partition_sort(self):
+        msort = EscapeAnalysis(prelude_program(["msort"])).global_test("msort", 1)
+        ps = EscapeAnalysis(prelude_program(["ps"])).global_test("ps", 1)
+        assert msort.non_escaping_spines == 0  # reuse-hostile
+        assert ps.non_escaping_spines == 1  # reuse-friendly
+
+    def test_reuse_refused_for_msort(self):
+        program = prelude_program(["msort"])
+        with pytest.raises(OptimizationError):
+            make_reuse_specialization(program, "msort", 1)
+        with pytest.raises(OptimizationError):
+            make_reuse_specialization(program, "merge", 1)
+
+    def test_escape_is_real_not_imprecision(self):
+        # the dynamic observer sees the singleton case return the argument
+        program = prelude_program(["msort"])
+        observed = observe_escape(program, "msort", [[7]], 1)
+        assert observed.escaping_spines == 1
+        exact = exact_escape(program, "msort", [[7]], 1)
+        assert exact.escaping_spines == 1
+
+    def test_merge_suffix_sharing_observed(self):
+        program = prelude_program(["merge"])
+        observed = observe_escape(program, "merge", [[1, 9], [2, 3]], 1)
+        assert observed.escaped  # x's tail cell survives into the result
+
+    @settings(max_examples=20, deadline=None)
+    @given(xs=int_lists)
+    def test_abstract_dominates_observed(self, xs):
+        program = prelude_program(["msort"])
+        observed = observe_escape(program, "msort", [xs], 1)
+        # abstract <1,1> dominates any observation
+        assert observed.escaping_spines <= 1

@@ -1,0 +1,241 @@
+"""Parser unit tests: every syntactic form, sugar, precedence, errors."""
+
+import pytest
+
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Var,
+    uncurry_app,
+    uncurry_lambda,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_program
+
+
+class TestAtoms:
+    def test_int(self):
+        assert parse_expr("42") == IntLit(value=42)
+
+    def test_true_false(self):
+        assert parse_expr("true") == BoolLit(value=True)
+        assert parse_expr("false") == BoolLit(value=False)
+
+    def test_nil(self):
+        assert parse_expr("nil") == NilLit()
+
+    def test_variable(self):
+        assert parse_expr("x") == Var(name="x")
+
+    def test_primitive_name_resolves_to_prim(self):
+        assert parse_expr("cons") == Prim(name="cons")
+
+    def test_parenthesized(self):
+        assert parse_expr("(7)") == IntLit(value=7)
+
+
+class TestApplication:
+    def test_simple_application(self):
+        expr = parse_expr("f x")
+        assert expr == App(fn=Var(name="f"), arg=Var(name="x"))
+
+    def test_application_is_left_associative(self):
+        head, args = uncurry_app(parse_expr("f x y z"))
+        assert head == Var(name="f")
+        assert args == [Var(name="x"), Var(name="y"), Var(name="z")]
+
+    def test_parens_override_application(self):
+        head, args = uncurry_app(parse_expr("f (g x)"))
+        assert head == Var(name="f")
+        assert args == [App(fn=Var(name="g"), arg=Var(name="x"))]
+
+    def test_application_binds_tighter_than_plus(self):
+        head, args = uncurry_app(parse_expr("f x + g y"))
+        assert isinstance(head, Prim) and head.name == "+"
+
+
+class TestOperators:
+    def test_addition(self):
+        head, args = uncurry_app(parse_expr("1 + 2"))
+        assert isinstance(head, Prim) and head.name == "+"
+        assert args == [IntLit(value=1), IntLit(value=2)]
+
+    def test_left_associative_subtraction(self):
+        # (10 - 3) - 2
+        head, args = uncurry_app(parse_expr("10 - 3 - 2"))
+        assert isinstance(head, Prim) and head.name == "-"
+        inner_head, inner_args = uncurry_app(args[0])
+        assert isinstance(inner_head, Prim) and inner_head.name == "-"
+        assert inner_args == [IntLit(value=10), IntLit(value=3)]
+
+    def test_multiplication_binds_tighter_than_addition(self):
+        head, args = uncurry_app(parse_expr("1 + 2 * 3"))
+        assert isinstance(head, Prim) and head.name == "+"
+        mul_head, _ = uncurry_app(args[1])
+        assert isinstance(mul_head, Prim) and mul_head.name == "*"
+
+    def test_comparison_is_loosest(self):
+        head, args = uncurry_app(parse_expr("1 + 2 == 3"))
+        assert isinstance(head, Prim) and head.name == "=="
+
+    @pytest.mark.parametrize("op", ["==", "<>", "<", "<=", ">", ">="])
+    def test_all_comparisons(self, op):
+        head, _ = uncurry_app(parse_expr(f"1 {op} 2"))
+        assert isinstance(head, Prim) and head.name == op
+
+    def test_unary_minus_on_literal_folds(self):
+        assert parse_expr("-5") == IntLit(value=-5)
+
+    def test_unary_minus_on_expression_desugars(self):
+        assert parse_expr("-(x)") == parse_expr("0 - x")
+
+    def test_cons_operator(self):
+        assert parse_expr("1 :: nil") == parse_expr("cons 1 nil")
+
+    def test_cons_is_right_associative(self):
+        assert parse_expr("1 :: 2 :: nil") == parse_expr("cons 1 (cons 2 nil)")
+
+    def test_cons_looser_than_plus(self):
+        assert parse_expr("1 + 2 :: nil") == parse_expr("cons (1 + 2) nil")
+
+
+class TestListLiterals:
+    def test_empty_list(self):
+        assert parse_expr("[]") == NilLit()
+
+    def test_singleton(self):
+        assert parse_expr("[1]") == parse_expr("cons 1 nil")
+
+    def test_list_desugars_to_cons_chain(self):
+        assert parse_expr("[1, 2, 3]") == parse_expr("cons 1 (cons 2 (cons 3 nil))")
+
+    def test_nested_list(self):
+        assert parse_expr("[[1], [2]]") == parse_expr("cons (cons 1 nil) (cons (cons 2 nil) nil)")
+
+    def test_expressions_inside_literal(self):
+        assert parse_expr("[1 + 2]") == parse_expr("cons (1 + 2) nil")
+
+
+class TestLambdaAndIf:
+    def test_paper_style_lambda(self):
+        expr = parse_expr("lambda(x). x")
+        assert expr == Lambda(param="x", body=Var(name="x"))
+
+    def test_multi_param_lambda_curries(self):
+        params, body = uncurry_lambda(parse_expr("lambda x y. x"))
+        assert params == ["x", "y"]
+        assert body == Var(name="x")
+
+    def test_lambda_body_extends_right(self):
+        params, body = uncurry_lambda(parse_expr("lambda x. x + 1"))
+        assert params == ["x"]
+        head, _ = uncurry_app(body)
+        assert isinstance(head, Prim) and head.name == "+"
+
+    def test_if(self):
+        expr = parse_expr("if true then 1 else 2")
+        assert expr == If(cond=BoolLit(value=True), then=IntLit(value=1), otherwise=IntLit(value=2))
+
+    def test_nested_if_in_else(self):
+        expr = parse_expr("if a then 1 else if b then 2 else 3")
+        assert isinstance(expr, If)
+        assert isinstance(expr.otherwise, If)
+
+    def test_lambda_missing_params_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("lambda . x")
+
+
+class TestLetrec:
+    def test_letrec_expression(self):
+        expr = parse_expr("letrec f x = x in f 1")
+        assert isinstance(expr, Letrec)
+        assert expr.binding_names() == ("f",)
+        assert isinstance(expr.find("f").expr, Lambda)
+
+    def test_let_is_letrec(self):
+        assert parse_expr("let x = 1 in x") == parse_expr("letrec x = 1 in x")
+
+    def test_multiple_bindings_semicolon(self):
+        expr = parse_expr("letrec f x = x; g y = y in f (g 1)")
+        assert expr.binding_names() == ("f", "g")
+
+    def test_multiple_bindings_and_keyword(self):
+        expr = parse_expr("letrec f x = x and g y = y in 0")
+        assert expr.binding_names() == ("f", "g")
+
+    def test_binding_shadows_primitive(self):
+        expr = parse_expr("letrec car x = x in car 1")
+        # car is a user binding here, not the primitive
+        body_head, _ = uncurry_app(expr.body)
+        assert body_head == Var(name="car")
+
+
+class TestPrograms:
+    def test_script_form(self):
+        program = parse_program("id x = x;\nid 3\n")
+        assert program.binding_names() == ("id",)
+        assert program.body == App(fn=Var(name="id"), arg=IntLit(value=3))
+
+    def test_script_without_result_defaults_to_nil(self):
+        program = parse_program("id x = x;")
+        assert program.body == NilLit()
+
+    def test_script_multiple_definitions(self):
+        program = parse_program("f x = x; g y = f y; g 1")
+        assert program.binding_names() == ("f", "g")
+
+    def test_multi_parameter_definition_curries(self):
+        program = parse_program("k x y = x;")
+        params, _ = uncurry_lambda(program.binding("k").expr)
+        assert params == ["x", "y"]
+
+    def test_bare_expression_program(self):
+        program = parse_program("1 + 2")
+        assert program.binding_names() == ()
+
+    def test_letrec_program_form(self):
+        program = parse_program("letrec f x = x in f 9")
+        assert program.binding_names() == ("f",)
+
+    def test_definition_lookalike_comparison_is_expression(self):
+        # `x == 1` must not be taken as a definition of x.
+        program = parse_program("x == 1")
+        head, _ = uncurry_app(program.body)
+        assert isinstance(head, Prim) and head.name == "=="
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "if true then 1",  # missing else
+            "f (x",  # unclosed paren
+            "[1, 2",  # unclosed bracket
+            "letrec in 1",  # no bindings
+            "lambda x",  # missing dot/body
+            "1 +",  # dangling operator
+            "",  # empty expression
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_expr(bad)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 2 3 )")
+
+
+class TestPaperPrograms:
+    def test_partition_sort_parses(self, partition_sort):
+        assert partition_sort.binding_names() == ("append", "split", "ps")
+
+    def test_map_pair_parses(self, map_pair):
+        assert map_pair.binding_names() == ("pair", "map")

@@ -1,0 +1,81 @@
+"""Polymorphic invariance (Theorem 1) tests."""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.poly import DEFAULT_FILLERS, check_invariance
+from repro.lang.errors import AnalysisError
+from repro.lang.prelude import prelude_program
+from repro.types.types import BOOL, INT, TList
+
+POLY_FUNCTIONS = [
+    "append",
+    "rev",
+    "length",
+    "copy",
+    "take",
+    "drop",
+    "last",
+    "map",
+    "filter",
+    "snoc",
+    "interleave",
+    "rev_acc",
+    "concat",
+]
+
+
+@pytest.mark.parametrize("name", POLY_FUNCTIONS)
+def test_invariance_holds(name):
+    deps = [name]
+    analysis = EscapeAnalysis(prelude_program(deps))
+    report = check_invariance(analysis, name)
+    assert report.holds, f"Theorem 1 violated for {name}: {report.rows}"
+
+
+def test_report_contains_all_params():
+    analysis = EscapeAnalysis(prelude_program(["append"]))
+    report = check_invariance(analysis, "append")
+    assert {row.param_index for row in report.rows} == {1, 2}
+    assert len(report.rows_for_param(1)) >= 4
+
+
+def test_invariant_quantity_for_append():
+    analysis = EscapeAnalysis(prelude_program(["append"]))
+    report = check_invariance(analysis, "append")
+    # s_i - k is 1 for the first parameter at every instance, 0 for the
+    # second (which escapes entirely).
+    assert {row.non_escaping for row in report.rows_for_param(1)} == {1}
+    assert {row.non_escaping for row in report.rows_for_param(2)} == {0}
+
+
+def test_spine_counts_differ_across_instances():
+    analysis = EscapeAnalysis(prelude_program(["rev"]))
+    report = check_invariance(analysis, "rev")
+    spine_counts = {row.param_spines for row in report.rows_for_param(1)}
+    assert len(spine_counts) >= 2  # instances genuinely differ
+
+
+def test_monomorphic_function_rejected():
+    analysis = EscapeAnalysis(prelude_program(["create_list"]))
+    with pytest.raises(AnalysisError):
+        check_invariance(analysis, "create_list")
+
+
+def test_custom_fillers():
+    analysis = EscapeAnalysis(prelude_program(["copy"]))
+    report = check_invariance(analysis, "copy", fillers=[INT, TList(TList(INT))])
+    assert report.holds
+    assert len({str(row.instance) for row in report.rows}) == 2
+
+
+def test_too_few_instances_raises():
+    analysis = EscapeAnalysis(prelude_program(["copy"]))
+    with pytest.raises(AnalysisError):
+        check_invariance(analysis, "copy", fillers=[INT])
+
+
+def test_nothing_escapes_is_instance_independent():
+    analysis = EscapeAnalysis(prelude_program(["length"]))
+    report = check_invariance(analysis, "length")
+    assert all(row.nothing_escapes for row in report.rows)

@@ -1,0 +1,116 @@
+"""Differential tests: every prelude function against a Python reference,
+on fixed and hypothesis-generated inputs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import literal
+from repro.lang.prelude import prelude_program
+from repro.semantics.interp import Interpreter
+
+ints = st.integers(min_value=-99, max_value=99)
+int_lists = st.lists(ints, max_size=10)
+
+
+def run(names, expr):
+    interp = Interpreter()
+    return interp.to_python(interp.eval_in(prelude_program(names), expr))
+
+
+class TestFixedCases:
+    @pytest.mark.parametrize(
+        "names,expr,expected",
+        [
+            (["append"], "append [1, 2] [3]", [1, 2, 3]),
+            (["append"], "append nil [1]", [1]),
+            (["append"], "append [1] nil", [1]),
+            (["rev"], "rev [1, 2, 3]", [3, 2, 1]),
+            (["rev"], "rev nil", []),
+            (["length"], "length [1, 2, 3, 4]", 4),
+            (["sum"], "sum [1, 2, 3]", 6),
+            (["last"], "last [1, 2, 3]", 3),
+            (["member"], "member 2 [1, 2]", True),
+            (["member"], "member 9 [1, 2]", False),
+            (["take"], "take 2 [1, 2, 3]", [1, 2]),
+            (["take"], "take 9 [1, 2]", [1, 2]),
+            (["drop"], "drop 2 [1, 2, 3]", [3]),
+            (["drop"], "drop 9 [1, 2]", []),
+            (["filter"], "filter (lambda x. x > 1) [0, 1, 2, 3]", [2, 3]),
+            (["foldr"], "foldr (+) 0 [1, 2, 3]", 6),
+            (["foldl"], "foldl (-) 10 [1, 2]", 7),
+            (["rev_acc"], "rev_acc [1, 2] [9]", [2, 1, 9]),
+            (["concat"], "concat [[1], [2, 3], []]", [1, 2, 3]),
+            (["replicate"], "replicate 3 7", [7, 7, 7]),
+            (["iota"], "iota 4", [4, 3, 2, 1]),
+            (["copy"], "copy [1, 2]", [1, 2]),
+            (["insert"], "insert 2 [1, 3]", [1, 2, 3]),
+            (["isort"], "isort [3, 1, 2]", [1, 2, 3]),
+            (["interleave"], "interleave [1, 3] [2, 4]", [1, 2, 3, 4]),
+            (["nth"], "nth 1 [10, 20, 30]", 20),
+            (["snoc"], "snoc [1, 2] 3", [1, 2, 3]),
+            (["heads"], "heads [[1, 2], [3]]", [1, 3]),
+            (["tails_tops"], "tails_tops [[1, 2], [3]]", [[2], []]),
+            (["map"], "map (lambda x. x * 2) [1, 2]", [2, 4]),
+            (["pair"], "pair [3, 4]", 7),
+            (["pair"], "pair nil", 0),
+            (["compose"], "compose (lambda x. x + 1) (lambda x. x * 2) 5", 11),
+            (["twice"], "twice (lambda x. x + 3) 1", 7),
+            (["id_fn"], "id_fn 9", 9),
+            (["const_fn"], "const_fn 1 2", 1),
+            (["create_list"], "create_list 3", [3, 2, 1]),
+            (["ps"], "ps [3, 1, 2]", [1, 2, 3]),
+            (["split"], "split 2 [3, 1, 0, 5] nil nil", [[0, 1], [5, 3]]),
+        ],
+    )
+    def test_case(self, names, expr, expected):
+        assert run(names, expr) == expected
+
+
+class TestRandomized:
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists, ys=int_lists)
+    def test_append(self, xs, ys):
+        assert run(["append"], f"append {literal(xs)} {literal(ys)}") == xs + ys
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_rev(self, xs):
+        assert run(["rev"], f"rev {literal(xs)}") == list(reversed(xs))
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_ps_sorts(self, xs):
+        assert run(["ps"], f"ps {literal(xs)}") == sorted(xs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_isort_sorts(self, xs):
+        assert run(["isort"], f"isort {literal(xs)}") == sorted(xs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists, n=st.integers(min_value=0, max_value=12))
+    def test_take_drop_partition(self, xs, n):
+        taken = run(["take"], f"take {n} {literal(xs)}")
+        dropped = run(["drop"], f"drop {n} {literal(xs)}")
+        assert taken + dropped == xs
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_length(self, xs):
+        assert run(["length"], f"length {literal(xs)}") == len(xs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=int_lists)
+    def test_sum(self, xs):
+        assert run(["sum"], f"sum {literal(xs)}") == sum(xs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(xss=st.lists(int_lists, max_size=5))
+    def test_concat(self, xss):
+        expected = [x for xs in xss for x in xs]
+        assert run(["concat"], f"concat {literal(xss)}") == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(xs=int_lists)
+    def test_rev_is_involution(self, xs):
+        assert run(["rev"], f"rev (rev {literal(xs)})") == xs

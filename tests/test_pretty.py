@@ -1,0 +1,85 @@
+"""Pretty-printer tests: round-tripping through the parser and notation
+recovery (lists, infix, letrec)."""
+
+import pytest
+
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import PRELUDE_DEFS, paper_partition_sort, prelude_program
+from repro.lang.pretty import pretty, pretty_program
+
+ROUND_TRIP_CASES = [
+    "42",
+    "true",
+    "nil",
+    "x",
+    "f x y",
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "10 - 3 - 2",
+    "10 - (3 - 2)",
+    "a == b",
+    "1 :: 2 :: nil",
+    "(1 :: nil) :: nil",
+    "[1, 2, 3]",
+    "[[1], [2, 3]]",
+    "if a then 1 else 2",
+    "lambda x. x + 1",
+    "lambda f. lambda x. f (f x)",
+    "letrec f x = f x in f 1",
+    "letrec f x = x; g y = f y in g 2",
+    "car (cdr [1, 2])",
+    "null nil",
+    "dcons x 1 nil",
+    "f (if a then 1 else 2)",
+    "(lambda x. x) 3",
+    "0 - 5",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_CASES)
+def test_round_trip(source):
+    expr = parse_expr(source)
+    assert parse_expr(pretty(expr)) == expr
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_CASES)
+def test_pretty_is_idempotent(source):
+    expr = parse_expr(source)
+    once = pretty(expr)
+    assert pretty(parse_expr(once)) == once
+
+
+@pytest.mark.parametrize("name", sorted(PRELUDE_DEFS))
+def test_prelude_definitions_round_trip(name):
+    program = prelude_program([name])
+    reparsed = parse_program(pretty_program(program))
+    assert reparsed == program
+
+
+def test_paper_program_round_trips():
+    program = paper_partition_sort()
+    assert parse_program(pretty_program(program)) == program
+
+
+def test_list_literal_notation_recovered():
+    assert pretty(parse_expr("cons 1 (cons 2 nil)")) == "[1, 2]"
+
+
+def test_partial_cons_chain_uses_infix():
+    assert "::" in pretty(parse_expr("cons 1 xs"))
+
+
+def test_infix_recovered():
+    assert pretty(parse_expr("1 + 2")) == "1 + 2"
+
+
+def test_bare_operator_section_parenthesized():
+    text = pretty(parse_expr("f (+)"))
+    assert parse_expr(text) == parse_expr("f (+)")
+
+
+def test_program_script_rendering():
+    program = prelude_program(["length"], "length [1, 2]")
+    text = pretty_program(program)
+    assert text.startswith("length l = ")
+    assert text.rstrip().endswith("length [1, 2]")

@@ -1,0 +1,52 @@
+"""Analysis report rendering tests."""
+
+from repro.escape.report import analysis_report, global_table
+from repro.lang.prelude import paper_partition_sort, prelude_program
+
+
+class TestAnalysisReport:
+    def test_report_contains_paper_table(self, partition_sort):
+        report = analysis_report(partition_sort)
+        for fact in [
+            "G(append, 1) = <1,0>",
+            "G(append, 2) = <1,1>",
+            "G(split, 1) = <0,0>",
+            "G(split, 2) = <1,0>",
+            "G(split, 3) = <1,1>",
+            "G(split, 4) = <1,1>",
+            "G(ps, 1) = <1,0>",
+        ]:
+            assert fact in report
+
+    def test_report_contains_sharing_facts(self, partition_sort):
+        report = analysis_report(partition_sort)
+        assert "top 1 spine(s) of ps's result are unshared" in report
+        assert "top 1 spine(s) of split's result are unshared" in report
+
+    def test_report_shows_spine_bound(self, partition_sort):
+        assert "d = 2" in analysis_report(partition_sort)
+
+    def test_report_shows_convergence(self, partition_sort):
+        report = analysis_report(partition_sort)
+        assert "converged" in report
+        assert "WIDENED" not in report
+
+    def test_report_without_sharing(self, partition_sort):
+        report = analysis_report(partition_sort, include_sharing=False)
+        assert "sharing" not in report
+
+    def test_non_function_bindings_skipped(self):
+        from repro.lang.parser import parse_program
+
+        report = analysis_report(parse_program("x = 1; f y = y; f x"))
+        assert "not a function; skipped" in report
+        assert "G(f, 1)" in report
+
+
+class TestGlobalTable:
+    def test_rows_cover_all_params(self, partition_sort):
+        rows = global_table(partition_sort)
+        assert len(rows) == 7  # append:2 + split:4 + ps:1
+
+    def test_rows_are_global(self, partition_sort):
+        assert all(r.kind == "global" for r in global_table(partition_sort))

@@ -1,0 +1,95 @@
+"""The §3.5 safety property, validated empirically:
+
+    observed escapement  ⊑  exact escapement  ⊑  abstract escapement
+
+for every corpus function and for hypothesis-generated inputs.  "Whenever an
+object escapes under the exact escape semantics it escapes in the abstract
+escape semantics."
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import exact_escape, observe_escape
+from repro.lang.prelude import prelude_program
+
+int_lists = st.lists(st.integers(min_value=-50, max_value=50), max_size=8)
+nested_lists = st.lists(int_lists, max_size=5)
+
+
+def abstract_escaping_spines(program, function, i):
+    analysis = EscapeAnalysis(program)
+    result = analysis.global_test(function, i)
+    if result.nothing_escapes:
+        return 0, True
+    return result.escaping_spines, False
+
+
+class TestCorpusSafety:
+    def test_abstract_dominates_observed(self, corpus_case):
+        program, function, args, i = corpus_case
+        observed = observe_escape(program, function, args, i)
+        analysis = EscapeAnalysis(program)
+        abstract = analysis.global_test(function, i)
+        if observed.escaped:
+            assert not abstract.nothing_escapes, (
+                f"{function}@{i}: dynamic escape {observed.escaped_levels} "
+                f"but abstract says nothing escapes"
+            )
+            assert observed.escaping_spines <= abstract.escaping_spines
+
+
+class TestRandomizedSafety:
+    @settings(max_examples=30, deadline=None)
+    @given(xs=int_lists, ys=int_lists)
+    def test_append_first_arg(self, xs, ys):
+        program = prelude_program(["append"])
+        observed = observe_escape(program, "append", [xs, ys], 1)
+        # abstract G(append,1) = <1,0>: spine cells never escape
+        assert all(level > 1 for level in observed.escaped_levels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(xs=int_lists)
+    def test_ps_spine_never_escapes(self, xs):
+        program = prelude_program(["ps"])
+        observed = observe_escape(program, "ps", [xs], 1)
+        assert not observed.escaped  # G(ps,1) = <1,0> permits only elements
+
+    @settings(max_examples=30, deadline=None)
+    @given(xs=nested_lists)
+    def test_concat_outer_spines_never_escape(self, xs):
+        program = prelude_program(["concat"])
+        observed = observe_escape(program, "concat", [xs], 1)
+        # G(concat,1) = <1,0> at 2 spines: levels 1 and 2 must stay home
+        assert not observed.escaped_levels & {1, 2}
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=6), xs=int_lists)
+    def test_take_and_drop(self, n, xs):
+        program = prelude_program(["take", "drop"])
+        take_obs = observe_escape(program, "take", [n, xs], 2)
+        assert not take_obs.escaped  # take copies: <1,0>
+        drop_obs = observe_escape(program, "drop", [n, xs], 2)
+        assert drop_obs.escaping_spines <= 1  # G(drop,2) = <1,1>
+
+    @settings(max_examples=20, deadline=None)
+    @given(xs=int_lists)
+    def test_exact_equals_observed_on_random_inputs(self, xs):
+        program = prelude_program(["rev_acc"])
+        for i in (1, 2):
+            dynamic = observe_escape(program, "rev_acc", [xs, [0, 1]], i)
+            exact = exact_escape(program, "rev_acc", [xs, [0, 1]], i)
+            assert dynamic.escaped_levels == exact.escaped_levels
+
+
+class TestLocalSafety:
+    def test_local_dominates_observed_for_map_call(self, map_pair):
+        analysis = EscapeAnalysis(map_pair)
+        local = analysis.local_test("map pair [[1, 2], [3, 4]]", i=2)
+        from repro.escape.exact import Source
+
+        observed = observe_escape(map_pair, "map", [Source("pair"), [[1, 2], [3, 4]]], 2)
+        if observed.escaped:
+            assert not local.nothing_escapes
+            assert observed.escaping_spines <= local.escaping_spines

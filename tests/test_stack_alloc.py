@@ -1,0 +1,89 @@
+"""Stack allocation (§A.3.1) tests."""
+
+import pytest
+
+from repro.lang.errors import OptimizationError, UseAfterFreeError
+from repro.lang.prelude import prelude_program
+from repro.opt.stack_alloc import stack_allocate_body
+from repro.semantics.interp import run_program
+
+
+class TestPaperScenario:
+    def test_ps_literal_spine_goes_to_stack(self, partition_sort):
+        result = stack_allocate_body(partition_sort)
+        assert result.annotated_sites == 6  # the 6 top-spine cells
+        assert result.prefixes == {1: 1}
+
+    def test_optimized_result_unchanged(self, partition_sort):
+        result = stack_allocate_body(partition_sort)
+        assert run_program(result.program)[0] == run_program(partition_sort)[0]
+
+    def test_heap_traffic_reduced_by_literal_cells(self, partition_sort):
+        _, baseline = run_program(partition_sort)
+        optimized = stack_allocate_body(partition_sort)
+        _, metrics = run_program(optimized.program)
+        assert metrics.region_allocs == 6
+        assert metrics.stack_reclaimed == 6
+        assert metrics.heap_allocs == baseline.heap_allocs - 6
+
+    def test_input_program_not_mutated(self, partition_sort):
+        stack_allocate_body(partition_sort)
+        _, metrics = run_program(partition_sort)
+        assert metrics.region_allocs == 0
+
+
+class TestNestedSpines:
+    def test_map_pair_both_spines_stack_allocated(self, map_pair):
+        # §1: "the spine of [[1,2],[3,4],[5,6]] and the spine of each
+        # element could be allocated in the activation record for map"
+        result = stack_allocate_body(map_pair)
+        assert result.prefixes == {2: 2}
+        # 3 outer + 6 inner cells
+        assert result.annotated_sites == 9
+        output, metrics = run_program(result.program)
+        assert output == [3, 7, 11]
+        assert metrics.stack_reclaimed == 9
+
+    def test_partial_prefix_limits_depth(self):
+        # heads keeps the inner lists' elements, tails_tops keeps inner
+        # cells: only the outer spine is safe for tails_tops.
+        program = prelude_program(["heads"], "heads [[1, 2], [3, 4]]")
+        result = stack_allocate_body(program)
+        output, metrics = run_program(result.program)
+        assert output == [1, 3]
+        assert metrics.stack_reclaimed == result.annotated_sites
+
+
+class TestRefusals:
+    def test_escaping_argument_refused(self):
+        # drop returns its argument's cells: nothing stack-allocatable
+        program = prelude_program(["drop"], "drop 1 [1, 2, 3]")
+        with pytest.raises(OptimizationError):
+            stack_allocate_body(program)
+
+    def test_non_application_body_refused(self):
+        program = prelude_program(["length"], "")
+        with pytest.raises(OptimizationError):
+            stack_allocate_body(program)
+
+    def test_opaque_argument_refused(self):
+        # the argument is produced by a call: no visible cons chain
+        program = prelude_program(["ps", "create_list"], "ps (create_list 5)")
+        with pytest.raises(OptimizationError):
+            stack_allocate_body(program)
+
+
+class TestSafetyNet:
+    def test_unsound_manual_annotation_is_caught(self):
+        # Manually stack-allocate the argument of drop (which escapes):
+        # the region close must detect the leak.
+        from repro.lang.ast import App, Prim, uncurry_app, walk
+
+        program = prelude_program(["drop"], "drop 1 [1, 2, 3]")
+        body = program.body
+        for node in walk(body):
+            if isinstance(node, Prim) and node.name == "cons":
+                node.annotations["alloc"] = "region"
+        body.annotations["region"] = {"kind": "stack", "label": "bogus"}
+        with pytest.raises(UseAfterFreeError):
+            run_program(program)

@@ -1,0 +1,243 @@
+"""The tuple (product) extension — §7's "Our approach for lists could be
+applied to other data structures such as tuples".
+
+Covers: surface syntax, typing, the standard semantics, GC reachability,
+the abstract escape semantics (collapse-by-join with identity projections),
+both ground-truth observers, polymorphic invariance with tuple fillers, and
+the headline validation: the tuple-returning SPLIT produces exactly the
+paper's escape table.
+"""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.exact import exact_escape, observe_escape
+from repro.escape.poly import check_invariance
+from repro.lang.errors import EvalError, TypeInferenceError
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import prelude_program
+from repro.lang.pretty import pretty
+from repro.semantics.interp import Interpreter, run_program
+from repro.types.infer import infer_expr, infer_program
+from repro.types.types import INT, BOOL, TList, TProd, spines, max_spines_in
+
+
+def run(names, expr):
+    interp = Interpreter()
+    return interp.to_python(interp.eval_in(prelude_program(names), expr))
+
+
+class TestSyntax:
+    def test_tuple_literal_desugars_to_mkpair(self):
+        assert parse_expr("(1, 2)") == parse_expr("mkpair 1 2")
+
+    def test_triple_right_nests(self):
+        assert parse_expr("(1, 2, 3)") == parse_expr("mkpair 1 (mkpair 2 3)")
+
+    def test_parenthesized_expr_is_not_a_tuple(self):
+        assert parse_expr("(1 + 2)") == parse_expr("1 + 2")
+
+    def test_tuple_of_expressions(self):
+        assert parse_expr("(1 + 2, [3])") == parse_expr("mkpair (1 + 2) (cons 3 nil)")
+
+    def test_pretty_prints_tuple_notation(self):
+        assert pretty(parse_expr("(1, 2)")) == "(1, 2)"
+
+    def test_pretty_round_trip(self):
+        for source in ["(1, 2)", "(1, (2, 3))", "(fst p, snd p)", "[(1, 2), (3, 4)]"]:
+            expr = parse_expr(source)
+            assert parse_expr(pretty(expr)) == expr
+
+
+class TestTyping:
+    def test_tuple_type(self):
+        assert infer_expr(parse_expr("(1, true)")) == TProd(INT, BOOL)
+
+    def test_fst_snd(self):
+        assert infer_expr(parse_expr("fst (1, true)")) == INT
+        assert infer_expr(parse_expr("snd (1, true)")) == BOOL
+
+    def test_heterogeneous_components_allowed(self):
+        assert infer_expr(parse_expr("([1], true)")) == TProd(TList(INT), BOOL)
+
+    def test_tuple_str_renders_with_parens_in_lists(self):
+        assert str(TList(TProd(INT, BOOL))) == "(int * bool) list"
+
+    def test_fst_of_non_tuple_rejected(self):
+        with pytest.raises(TypeInferenceError):
+            infer_expr(parse_expr("fst 1"))
+
+    def test_tuples_have_no_spines(self):
+        assert spines(TProd(TList(INT), TList(INT))) == 0
+
+    def test_max_spines_looks_inside_tuples(self):
+        assert max_spines_in(TProd(TList(TList(INT)), INT)) == 2
+
+    def test_prelude_tuple_schemes(self):
+        from repro.types.instantiate import simplest_instance
+
+        result = infer_program(prelude_program(["zip", "unzip", "swap"]))
+        assert (
+            str(simplest_instance(result.scheme("zip")))
+            == "int list -> int list -> (int * int) list"
+        )
+        assert (
+            str(simplest_instance(result.scheme("unzip")))
+            == "(int * int) list -> int list * int list"
+        )
+        assert str(simplest_instance(result.scheme("swap"))) == "int * int -> int * int"
+
+
+class TestStandardSemantics:
+    def test_construct_and_project(self):
+        assert run([], "fst (1, 2)") == 1
+        assert run([], "snd (1, 2)") == 2
+
+    def test_nested(self):
+        assert run([], "fst (snd (1, (2, 3)))") == 2
+
+    def test_tuple_of_lists(self):
+        assert run([], "(car (fst ([1, 2], [3])), snd ([1, 2], [3]))") == (1, [3])
+
+    def test_zip(self):
+        assert run(["zip"], "zip [1, 2, 3] [4, 5, 6]") == [(1, 4), (2, 5), (3, 6)]
+
+    def test_zip_uneven(self):
+        assert run(["zip"], "zip [1] [4, 5]") == [(1, 4)]
+
+    def test_unzip_inverts_zip(self):
+        assert run(["zip", "unzip"], "unzip (zip [1, 2] [5, 6])") == ([1, 2], [5, 6])
+
+    def test_swap_dup(self):
+        assert run(["swap"], "swap (1, 2)") == (2, 1)
+        assert run(["dup"], "dup 7") == (7, 7)
+
+    def test_split_pair_matches_split(self):
+        pair_result = run(["split_pair"], "split_pair 3 [5, 2, 7, 1] nil nil")
+        list_result = run(["split"], "split 3 [5, 2, 7, 1] nil nil")
+        assert pair_result == tuple(list_result)
+
+    def test_ps_pair_sorts(self):
+        assert run(["ps_pair"], "ps_pair [5, 2, 7, 1, 3, 4]") == [1, 2, 3, 4, 5, 7]
+
+    def test_fst_of_int_is_runtime_error(self):
+        program = parse_program("fst (car [1])")
+        with pytest.raises(EvalError):
+            run_program(program)
+
+    def test_interop_round_trip(self):
+        interp = Interpreter()
+        for obj in [(1, 2), (1, (2, 3)), ([1], True), (1, [2, 3])]:
+            assert interp.to_python(interp.from_python(obj)) == obj
+
+    def test_gc_traces_through_tuples(self):
+        # a list reachable only through a tuple must survive collection
+        from repro.semantics.gc import MarkSweepGC
+        from repro.semantics.values import VTuple, VInt
+
+        interp = Interpreter()
+        lst = interp.from_python([1, 2, 3])
+        root = VTuple(VInt(0), lst)
+        stats = MarkSweepGC(interp.heap).collect([root])
+        assert stats.swept == 0
+        assert len(interp.heap.reachable_cells(root)) == 3
+
+    def test_dup_aliases_not_copies(self):
+        interp = Interpreter()
+        value = interp.eval_in(prelude_program(["dup"]), "dup [1, 2]")
+        from repro.semantics.values import VTuple
+
+        assert isinstance(value, VTuple)
+        assert value.fst is value.snd  # same cells: (x, x) shares
+
+
+TUPLE_GOLDEN = [
+    ("swap", ["<1,0>"]),
+    ("dup", ["<1,0>"]),
+    ("zip", ["<1,0>", "<1,0>"]),
+    ("unzip", ["<1,0>"]),
+    ("split_pair", ["<0,0>", "<1,0>", "<1,1>", "<1,1>"]),
+    ("ps_pair", ["<1,0>"]),
+    ("pair_up", ["<1,0>"]),
+    ("firsts", ["<1,0>"]),
+]
+
+
+class TestEscapeAnalysis:
+    @pytest.mark.parametrize("function,expected", TUPLE_GOLDEN, ids=lambda v: v if isinstance(v, str) else "")
+    def test_golden(self, function, expected):
+        analysis = EscapeAnalysis(prelude_program([function]))
+        rows = analysis.global_all(function)
+        assert [str(r.result) for r in rows] == expected
+
+    def test_split_pair_reproduces_paper_split_table(self):
+        """The tuple-returning SPLIT has the same escape behaviour as the
+        paper's two-spine-list encoding — the §7 extension is conservative
+        over the paper's results."""
+        pair_rows = EscapeAnalysis(prelude_program(["split_pair"])).global_all("split_pair")
+        list_rows = EscapeAnalysis(prelude_program(["split"])).global_all("split")
+        assert [str(r.result) for r in pair_rows] == [str(r.result) for r in list_rows]
+
+    def test_ps_pair_matches_ps(self):
+        pair = EscapeAnalysis(prelude_program(["ps_pair"])).global_test("ps_pair", 1)
+        ps = EscapeAnalysis(prelude_program(["ps"])).global_test("ps", 1)
+        assert str(pair.result) == str(ps.result) == "<1,0>"
+
+    def test_zip_spine_never_escapes(self):
+        # zip copies both spines into fresh cells; only elements flow in.
+        result = EscapeAnalysis(prelude_program(["zip"])).global_test("zip", 1)
+        assert result.non_escaping_spines == 1
+
+    def test_local_test_with_tuple_arg(self):
+        analysis = EscapeAnalysis(prelude_program(["swap"]))
+        result = analysis.local_test("swap ([1], [2])", i=1)
+        assert result.param_spines == 0  # tuples are spine-less
+        assert not result.nothing_escapes  # the components are returned
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize(
+        "names,function,args,i",
+        [
+            (["zip"], "zip", [[1, 2], [3, 4]], 1),
+            (["zip"], "zip", [[1, 2], [3, 4]], 2),
+            (["unzip"], "unzip", [[(1, 2), (3, 4)]], 1),
+            (["ps_pair"], "ps_pair", [[5, 2, 7, 1]], 1),
+            (["firsts"], "firsts", [[(1, 2), (3, 4)]], 1),
+            (["pair_up"], "pair_up", [[1, 2, 3, 4]], 1),
+        ],
+    )
+    def test_exact_agrees_with_observer(self, names, function, args, i):
+        program = prelude_program(names)
+        dynamic = observe_escape(program, function, args, i)
+        exact = exact_escape(program, function, args, i)
+        assert dynamic.escaped_levels == exact.escaped_levels
+
+    def test_abstract_dominates_for_tuple_functions(self):
+        for names, function, args, i in [
+            (["zip"], "zip", [[1, 2], [3, 4]], 1),
+            (["ps_pair"], "ps_pair", [[5, 2, 7, 1]], 1),
+            (["firsts"], "firsts", [[(1, 2), (3, 4)]], 1),
+        ]:
+            program = prelude_program(names)
+            observed = observe_escape(program, function, args, i)
+            abstract = EscapeAnalysis(program).global_test(function, i)
+            if observed.escaped:
+                assert not abstract.nothing_escapes
+                assert observed.escaping_spines <= abstract.escaping_spines
+
+
+class TestPolymorphicInvariance:
+    def test_invariance_with_tuple_fillers(self):
+        from repro.types.types import TProd
+
+        fillers = [INT, TProd(INT, INT), TProd(TList(INT), INT), TList(TProd(INT, INT))]
+        for name in ("append", "rev", "zip"):
+            analysis = EscapeAnalysis(prelude_program([name]))
+            report = check_invariance(analysis, name, fillers=fillers)
+            assert report.holds, name
+
+    def test_swap_invariance(self):
+        analysis = EscapeAnalysis(prelude_program(["swap"]))
+        report = check_invariance(analysis, "swap")
+        assert report.holds

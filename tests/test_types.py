@@ -1,0 +1,149 @@
+"""Type representation and unification tests."""
+
+import pytest
+
+from repro.lang.errors import TypeInferenceError
+from repro.types.types import (
+    BOOL,
+    INT,
+    TFun,
+    TList,
+    TVar,
+    TypeScheme,
+    arity,
+    contains_function,
+    fresh_tvar,
+    free_type_vars,
+    fun_args,
+    list_of,
+    max_spines_in,
+    spines,
+)
+from repro.types.unify import Substitution, unify
+
+
+class TestTypeStructure:
+    def test_str_rendering(self):
+        assert str(TFun(INT, TList(INT))) == "int -> int list"
+
+    def test_function_argument_parenthesized(self):
+        assert str(TFun(TFun(INT, INT), BOOL)) == "(int -> int) -> bool"
+
+    def test_list_of_functions_parenthesized(self):
+        assert str(TList(TFun(INT, INT))) == "(int -> int) list"
+
+    def test_types_are_hashable_and_equal_structurally(self):
+        assert TList(INT) == TList(INT)
+        assert hash(TFun(INT, BOOL)) == hash(TFun(INT, BOOL))
+
+    def test_fresh_tvars_are_distinct(self):
+        assert fresh_tvar() != fresh_tvar()
+
+
+class TestSpines:
+    @pytest.mark.parametrize(
+        "ty,expected",
+        [
+            (INT, 0),
+            (BOOL, 0),
+            (TFun(INT, INT), 0),
+            (TList(INT), 1),
+            (TList(TList(INT)), 2),
+            (list_of(INT, 3), 3),
+            (TList(TFun(INT, INT)), 1),
+        ],
+    )
+    def test_spine_count(self, ty, expected):
+        assert spines(ty) == expected
+
+    def test_tvar_counts_zero(self):
+        assert spines(TVar(999)) == 0
+
+    def test_max_spines_in_looks_inside_functions(self):
+        ty = TFun(TList(TList(INT)), TList(INT))
+        assert max_spines_in(ty) == 2
+
+    def test_max_spines_in_list_of_lists_of_functions(self):
+        ty = TList(TFun(list_of(INT, 3), INT))
+        assert max_spines_in(ty) == 3
+
+
+class TestDecomposition:
+    def test_fun_args(self):
+        args, result = fun_args(TFun(INT, TFun(BOOL, TList(INT))))
+        assert args == [INT, BOOL]
+        assert result == TList(INT)
+
+    def test_arity(self):
+        assert arity(INT) == 0
+        assert arity(TFun(INT, TFun(INT, INT))) == 2
+
+    def test_contains_function(self):
+        assert contains_function(TList(TFun(INT, INT)))
+        assert not contains_function(TList(TList(INT)))
+
+
+class TestUnify:
+    def test_unify_identical_bases(self):
+        subst = Substitution()
+        unify(INT, INT, subst)
+        assert subst.mapping == {}
+
+    def test_unify_var_binds(self):
+        subst = Substitution()
+        v = fresh_tvar()
+        unify(v, TList(INT), subst)
+        assert subst.apply(v) == TList(INT)
+
+    def test_unify_through_structure(self):
+        subst = Substitution()
+        v = fresh_tvar()
+        unify(TList(v), TList(BOOL), subst)
+        assert subst.apply(v) == BOOL
+
+    def test_unify_functions(self):
+        subst = Substitution()
+        a, b = fresh_tvar(), fresh_tvar()
+        unify(TFun(a, b), TFun(INT, TList(INT)), subst)
+        assert subst.apply(a) == INT
+        assert subst.apply(b) == TList(INT)
+
+    def test_var_chains_resolve(self):
+        subst = Substitution()
+        a, b = fresh_tvar(), fresh_tvar()
+        unify(a, b, subst)
+        unify(b, INT, subst)
+        assert subst.apply(a) == INT
+
+    def test_mismatch_raises(self):
+        with pytest.raises(TypeInferenceError):
+            unify(INT, BOOL, Substitution())
+
+    def test_list_vs_function_mismatch(self):
+        with pytest.raises(TypeInferenceError):
+            unify(TList(INT), TFun(INT, INT), Substitution())
+
+    def test_occurs_check(self):
+        subst = Substitution()
+        v = fresh_tvar()
+        with pytest.raises(TypeInferenceError):
+            unify(v, TList(v), subst)
+
+    def test_self_unification_is_noop(self):
+        subst = Substitution()
+        v = fresh_tvar()
+        unify(v, v, subst)
+        assert subst.mapping == {}
+
+
+class TestScheme:
+    def test_mono_scheme_str(self):
+        assert str(TypeScheme.mono(INT)) == "int"
+
+    def test_poly_scheme_str(self):
+        v = TVar(7)
+        assert "forall" in str(TypeScheme((v,), TList(v)))
+
+    def test_free_type_vars(self):
+        v = fresh_tvar()
+        assert free_type_vars(TFun(v, TList(v))) == {v}
