@@ -32,6 +32,12 @@ from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.semantics.interp import Interpreter
 
+#: exit codes: 0 ok, 1 error, 3 "answered, but soundly degraded" — distinct
+#: so scripts can tell a W^tau fallback from a hard failure
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_DEGRADED = 3
+
 
 def _load_program(args: argparse.Namespace) -> Program:
     if args.expr:
@@ -46,14 +52,71 @@ def _add_program_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--robust",
+        action="store_true",
+        help="run through the hardened engine (degrade to W^tau, never crash)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, help="wall-clock budget (implies --robust)"
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, help="fixpoint iteration budget (implies --robust)"
+    )
+    parser.add_argument(
+        "--max-steps", type=int, help="abstract-evaluation step budget (implies --robust)"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat a degraded (non-exact) answer as a hard error (exit 1)",
+    )
+
+
+def _budget_from(args: argparse.Namespace):
+    from repro.robust.budget import AnalysisBudget
+
+    return AnalysisBudget(
+        deadline_s=args.deadline_ms / 1000.0 if args.deadline_ms is not None else None,
+        max_fixpoint_iterations=args.max_iterations,
+        max_eval_steps=args.max_steps,
+    )
+
+
+def _wants_robust(args: argparse.Namespace) -> bool:
+    return bool(
+        args.robust
+        or args.deadline_ms is not None
+        or args.max_iterations is not None
+        or args.max_steps is not None
+    )
+
+
+def _finish_degraded(args: argparse.Namespace, messages: list[str]) -> int:
+    if not messages:
+        return EXIT_OK
+    if args.strict:
+        for message in messages:
+            print(f"error: degraded: {message}", file=sys.stderr)
+        return EXIT_ERROR
+    for message in messages:
+        print(f"warning: degraded: {message}", file=sys.stderr)
+    return EXIT_DEGRADED
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args)
     if args.machine:
         from repro.machine.machine import Machine
 
-        runtime = Machine(auto_gc=args.gc, gc_threshold=args.gc_threshold)
+        runtime = Machine(
+            auto_gc=args.gc, gc_threshold=args.gc_threshold, sanitize=args.sanitize
+        )
     else:
-        runtime = Interpreter(auto_gc=args.gc, gc_threshold=args.gc_threshold)
+        runtime = Interpreter(
+            auto_gc=args.gc, gc_threshold=args.gc_threshold, sanitize=args.sanitize
+        )
     value = runtime.run(program)
     print(runtime.to_python(value))
     if args.metrics:
@@ -70,6 +133,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     program = _load_program(args)
+    if _wants_robust(args):
+        return _cmd_analyze_robust(args, program)
     analysis = EscapeAnalysis(program)
     if args.local:
         results = analysis.local_test(args.local)
@@ -91,6 +156,32 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             except NmlError:
                 pass
     return 0
+
+
+def _cmd_analyze_robust(args: argparse.Namespace, program: Program) -> int:
+    from repro.robust.engine import HardenedAnalysis
+
+    engine = HardenedAnalysis(program, budget=_budget_from(args))
+    degraded: list[str] = []
+
+    def show(robust) -> None:
+        result = robust.result
+        if robust.degraded:
+            d = robust.degradation
+            print(f"{result}  —  {result.describe()}  [degraded: {d.reason}]")
+            degraded.append(f"{result.function}/{result.param_index}: {d}")
+        else:
+            print(f"{result}  —  {result.describe()}")
+
+    if args.local:
+        for robust in engine.local_test(args.local):
+            show(robust)
+        return _finish_degraded(args, degraded)
+    names = [args.function] if args.function else list(program.binding_names())
+    for name in names:
+        for robust in engine.global_all(name):
+            show(robust)
+    return _finish_degraded(args, degraded)
 
 
 def _parse_observer_arg(text: str):
@@ -121,6 +212,16 @@ def _cmd_spines(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     program = _load_program(args)
+    if _wants_robust(args):
+        from repro.robust.pipeline import harden_optimize
+
+        outcome = harden_optimize(
+            program, budget=_budget_from(args), validate=args.validate
+        )
+        for line in outcome.summary().splitlines():
+            print(f"-- {line}")
+        print(pretty_program(outcome.program), end="")
+        return _finish_degraded(args, [str(d) for d in outcome.degradations])
     if args.reuse:
         from repro.opt.reuse import make_reuse_specialization
 
@@ -174,6 +275,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--machine", action="store_true", help="run on the compiled abstract machine"
     )
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the storage-safety sanitizer (halts on unsound reuse/reclaim)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = commands.add_parser("report", help="full analysis report")
@@ -185,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--function", help="only this top-level function")
     analyze_parser.add_argument("--local", help="a call expression for the local test")
     analyze_parser.add_argument("--sharing", action="store_true", help="add Theorem 2 facts")
+    _add_budget_args(analyze_parser)
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     observe_parser = commands.add_parser("observe", help="ground-truth escapement")
@@ -207,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--reuse", metavar="F:I", help="reuse-specialize F's param I")
     optimize_parser.add_argument("--stack", action="store_true", help="stack-allocate the body call")
     optimize_parser.add_argument("--block", metavar="PRODUCER", help="block-allocate PRODUCER")
+    optimize_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="with --robust: re-run the optimized program under the sanitizer "
+        "and discard the transforms if it misbehaves",
+    )
+    _add_budget_args(optimize_parser)
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
     return parser

@@ -52,7 +52,13 @@ from repro.lang.ast import (
     free_vars,
 )
 from repro.lang.errors import AnalysisError
+from repro.robust import faults
 from repro.types.types import TFun, TList, TProd, Type, contains_function, spines
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.budget import BudgetMeter
 
 AbsEnv = dict[str, EscapeValue]
 
@@ -150,9 +156,15 @@ class AbstractEvaluator:
         chain: BeChain,
         max_iterations: int | None = None,
         memoize: bool = False,
+        meter: "BudgetMeter | None" = None,
     ):
         self.chain = chain
         self.max_iterations = max_iterations
+        #: Optional budget meter (wall-clock deadline + work limits) from
+        #: the hardened engine; breaches raise
+        #: :class:`~repro.robust.errors.BudgetExceeded`, which the engine
+        #: turns into a sound W^τ degradation.
+        self.meter = meter
         self.steps = 0
         self.traces: list[FixpointTrace] = []
         # Optional application cache: abstract evaluation is pure, so a
@@ -170,6 +182,8 @@ class AbstractEvaluator:
     def eval(self, expr: Expr, env: AbsEnv) -> EscapeValue:
         """``E⟦expr⟧env``."""
         self.steps += 1
+        if self.meter is not None:
+            self.meter.tick_eval()
         if isinstance(expr, (IntLit, BoolLit, NilLit)):
             return BOTTOM
         if isinstance(expr, Prim):
@@ -222,6 +236,7 @@ class AbstractEvaluator:
     def solve_bindings(self, letrec: Letrec, env: AbsEnv) -> AbsEnv:
         """Kleene iteration: the least fixpoint of the letrec bindings,
         returned as ``env`` extended with the converged values."""
+        faults.check_stage("solve")
         bindings = letrec.bindings
         if not bindings:
             return env
@@ -244,6 +259,8 @@ class AbstractEvaluator:
         self.iterates = [dict(current)]
 
         for _ in range(cap):
+            if self.meter is not None:
+                self.meter.tick_iteration()
             iter_env = {**env, **current}
             new_values = {b.name: self.eval(b.expr, iter_env) for b in bindings}
             new_fps = {

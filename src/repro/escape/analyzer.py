@@ -31,6 +31,11 @@ from repro.types.infer import InferenceResult, infer_program
 from repro.types.spines import program_spine_bound
 from repro.types.types import Type, TypeScheme, arity, fun_args
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.budget import BudgetMeter
+
 
 @dataclass
 class SolvedProgram:
@@ -66,10 +71,15 @@ class EscapeAnalysis:
         program: Program,
         d: int | None = None,
         max_iterations: int | None = None,
+        meter: "BudgetMeter | None" = None,
     ):
         self.program = program
         self.d_override = d
         self.max_iterations = max_iterations
+        #: Optional budget meter from the hardened engine
+        #: (:mod:`repro.robust`): ticked on every abstract-evaluation step
+        #: and fixpoint iteration of every solve this analysis performs.
+        self.meter = meter
         # Base inference: exposes the (possibly polymorphic) schemes.
         self._base_inference = infer_program(program)
         #: The most recent solve — exposes fixpoint traces to callers.
@@ -97,9 +107,13 @@ class EscapeAnalysis:
     def _solve_letrec(
         self, program: Program, pins: dict[str, Type] | None
     ) -> SolvedProgram:
+        if self.meter is not None:
+            self.meter.check_deadline()
         inference = infer_program(program, pins=pins)
         d = self.d_override if self.d_override is not None else program_spine_bound(program)
-        evaluator = AbstractEvaluator(BeChain(d), max_iterations=self.max_iterations)
+        evaluator = AbstractEvaluator(
+            BeChain(d), max_iterations=self.max_iterations, meter=self.meter
+        )
         env = evaluator.solve_bindings(program.letrec, {})
         solved = SolvedProgram(inference=inference, evaluator=evaluator, env=env, d=d)
         self.last_solved = solved

@@ -70,3 +70,35 @@ def worst_value(ty: Type, interesting: bool) -> EscapeValue:
     ``⟨⟨1,sᵢ⟩, W^{τᵢ}⟩`` when interesting, ``⟨⟨0,0⟩, W^{τᵢ}⟩`` otherwise."""
     be = Escapement(1, spines(ty)) if interesting else NONE_ESCAPES
     return EscapeValue(be, worst_fun(ty))
+
+
+def worst_escapement(ty: Type) -> Escapement:
+    """The maximal escapement of an argument of type ``τ``: ⟨1, sᵢ⟩.
+
+    This is what applying any function to ``worst_value(τ, True)`` can at
+    most yield for that argument, so it is ⊒ every exact answer — the sound
+    fallback the hardened engine degrades to when a query breaches its
+    budget.
+    """
+    return Escapement(1, spines(ty))
+
+
+def worst_test_result(
+    function: str, i: int, param_type: Type, kind: str = "global"
+):
+    """A ``W^τ``-derived worst-case escape-test result for parameter ``i``.
+
+    Sound for every application (Definition 2): it reports that all ``sᵢ``
+    spines of the argument may escape, which over-approximates whatever the
+    exact analysis would have concluded.
+    """
+    from repro.escape.results import EscapeTestResult
+
+    return EscapeTestResult(
+        function=function,
+        param_index=i,
+        param_spines=spines(param_type),
+        param_type=param_type,
+        result=worst_escapement(param_type),
+        kind=kind,
+    )

@@ -92,6 +92,27 @@ class UseAfterFreeError(EvalError):
     """
 
 
+class HeapAllocationError(EvalError):
+    """Raised when a heap allocation cannot be satisfied.
+
+    In the real world this is memory pressure; here it is produced
+    deterministically by the fault-injection harness
+    (:mod:`repro.robust.faults`) so the engine's retry/degrade paths can be
+    exercised.  It is classified *retryable* by the robustness taxonomy.
+    """
+
+
+class StorageSafetyError(EvalError):
+    """Raised by the storage-safety sanitizer on a detected violation:
+    a read through a stale alias of a ``dcons``-reused cell, a read of a
+    region-reclaimed cell, or reclamation of a cell that is still live.
+
+    Distinct from :class:`UseAfterFreeError` (the always-on tripwire): the
+    sanitizer is opt-in instrumentation that also catches *reuse* hazards,
+    which do not involve freed cells at all.
+    """
+
+
 class AnalysisError(NmlError):
     """Raised on misuse of the escape analysis API (unknown function,
     argument index out of range, non-function analyzed as function)."""

@@ -36,8 +36,9 @@ from repro.machine.instructions import (
     RegionOpen,
     Store,
 )
+from repro.robust import faults
 from repro.semantics.gc import MarkSweepGC
-from repro.semantics.heap import AllocKind, Heap, Region
+from repro.semantics.heap import AllocKind, Heap, Region, StorageSanitizer
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.prims import exec_prim
 from repro.semantics.values import FALSE, NIL, TRUE, Env, Value, VBool, VInt, VPrim
@@ -67,9 +68,15 @@ class Frame:
 class Machine:
     """Executes compiled nml code over the instrumented heap."""
 
-    def __init__(self, gc_threshold: int = 10_000, auto_gc: bool = False):
+    def __init__(
+        self,
+        gc_threshold: int = 10_000,
+        auto_gc: bool = False,
+        sanitize: bool = False,
+    ):
         self.metrics = StorageMetrics()
-        self.heap = Heap(self.metrics)
+        self.sanitizer = StorageSanitizer() if sanitize else None
+        self.heap = Heap(self.metrics, sanitizer=self.sanitizer)
         self.gc = MarkSweepGC(self.heap, threshold=gc_threshold)
         self.auto_gc = auto_gc
         self.stack: list[Value] = []
@@ -134,6 +141,8 @@ class Machine:
             )
             return
         if isinstance(instr, Apply):
+            if faults.take_forced_gc():
+                self.gc.collect(self._roots())
             if self.auto_gc:
                 self.gc.maybe_collect(self._roots())
             arg = self.stack.pop()
@@ -163,7 +172,10 @@ class Machine:
             return
         if isinstance(instr, RegionClose):
             region = self._open_regions.pop()
-            self.heap.close_region(region, escaping=self.stack[-1])
+            live_roots = list(self._roots()) if self.sanitizer is not None else None
+            self.heap.close_region(
+                region, escaping=self.stack[-1], live_roots=live_roots
+            )
             return
         raise EvalError(f"unknown instruction {instr!r}")
 

@@ -35,6 +35,12 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import AnalysisError, NmlError, OptimizationError
 from repro.opt.reuse import make_reuse_specialization, redirect_body_calls, select_reuse_sites
+from repro.robust.errors import BudgetExceeded
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.budget import BudgetMeter
 
 
 @dataclass(frozen=True)
@@ -81,15 +87,24 @@ def _is_literal_chain(expr: Expr) -> bool:
         expr = args[1]
 
 
-def plan_optimizations(program: Program) -> OptimizationPlan:
-    """Survey the program and collect every licensed storage decision."""
-    analysis = EscapeAnalysis(program)
+def plan_optimizations(
+    program: Program, meter: "BudgetMeter | None" = None
+) -> OptimizationPlan:
+    """Survey the program and collect every licensed storage decision.
+
+    ``meter`` (from :mod:`repro.robust.budget`) bounds the survey's work:
+    budget breaches propagate — they are *not* swallowed like per-function
+    analysis failures — so the hardened pipeline can degrade as a whole.
+    """
+    analysis = EscapeAnalysis(program, meter=meter)
     plan = OptimizationPlan(program=program)
 
     # -- reuse candidates per function ----------------------------------
     for name in program.binding_names():
         try:
             results = analysis.global_all(name)
+        except BudgetExceeded:
+            raise
         except (AnalysisError, NmlError):
             continue
         params, body = uncurry_lambda(program.binding(name).expr)
@@ -123,6 +138,8 @@ def plan_optimizations(program: Program) -> OptimizationPlan:
     if args and isinstance(head, Var):
         try:
             locals_ = analysis.local_test(program.body)
+        except BudgetExceeded:
+            raise
         except (AnalysisError, NmlError):
             locals_ = []
         for result, arg in zip(locals_, args):
@@ -162,63 +179,81 @@ def plan_optimizations(program: Program) -> OptimizationPlan:
     return plan
 
 
+def apply_reuse_decision(
+    program: Program, decision: Decision
+) -> tuple[Program, list[str]]:
+    """Apply one *reuse* decision: add the specialization and, when the
+    result call's actual argument is a literal (fresh, therefore unshared),
+    redirect the body to it.  Raises ``OptimizationError`` if inapplicable;
+    the input program is returned unchanged on failure paths above this
+    call because every transformation builds a fresh program."""
+    log: list[str] = []
+    result = make_reuse_specialization(program, decision.function, decision.param_index)
+    program = result.program
+    log.append(f"added {result.new_name} ({result.rewritten_sites} DCONS site(s))")
+    head, args = uncurry_app(program.body)
+    body_callee = head.name if isinstance(head, Var) else None
+    if (
+        body_callee == decision.function
+        and decision.param_index <= len(args)
+        and _is_literal_chain(args[decision.param_index - 1])
+    ):
+        program = redirect_body_calls(program, decision.function, result.new_name)
+        log.append(
+            f"redirected the result call to {result.new_name} "
+            "(literal argument is unshared)"
+        )
+    return program, log
+
+
+def apply_stack_decision(program: Program) -> tuple[Program, list[str]]:
+    """Apply the (single) stack-allocation rewrite of the result call."""
+    from repro.opt.stack_alloc import stack_allocate_body
+
+    result = stack_allocate_body(program)
+    return result.program, [
+        f"stack-allocated {result.annotated_sites} literal cons site(s)"
+    ]
+
+
+def apply_block_decision(
+    program: Program, decision: Decision
+) -> tuple[Program, list[str]]:
+    """Apply one *block* decision: the producer's spine goes to a block."""
+    from repro.opt.block_alloc import block_allocate_producer
+
+    result = block_allocate_producer(program, decision.function)
+    return result.program, [
+        f"block-allocated {decision.function} ({result.annotated_sites} site(s))"
+    ]
+
+
 def apply_plan(plan: OptimizationPlan) -> tuple[Program, list[str]]:
     """Mechanically apply the plan's safe subset; returns the transformed
-    program and a log of the steps taken."""
+    program and a log of the steps taken.  Inapplicable steps are skipped
+    and logged; the program is never left partially transformed because
+    each step either returns a complete fresh program or raises."""
     program = plan.program
     log: list[str] = []
 
-    # Reuse specializations (and body redirection when the actual argument
-    # is a literal — fresh, therefore unshared).
-    head, args = uncurry_app(program.body)
-    body_callee = head.name if isinstance(head, Var) else None
     for decision in plan.by_kind("reuse"):
         try:
-            result = make_reuse_specialization(
-                program, decision.function, decision.param_index
-            )
+            program, step_log = apply_reuse_decision(program, decision)
+            log.extend(step_log)
         except OptimizationError as error:
             log.append(f"skip reuse {decision.function}: {error.message}")
-            continue
-        program = result.program
-        log.append(
-            f"added {result.new_name} ({result.rewritten_sites} DCONS site(s))"
-        )
-        if (
-            body_callee == decision.function
-            and decision.param_index <= len(args)
-            and _is_literal_chain(args[decision.param_index - 1])
-        ):
-            program = redirect_body_calls(program, decision.function, result.new_name)
-            log.append(
-                f"redirected the result call to {result.new_name} "
-                "(literal argument is unshared)"
-            )
 
-    # Stack allocation of the result call's literal arguments.
     if plan.by_kind("stack"):
-        from repro.opt.stack_alloc import stack_allocate_body
-
         try:
-            stack_result = stack_allocate_body(program)
-            program = stack_result.program
-            log.append(
-                f"stack-allocated {stack_result.annotated_sites} literal cons site(s)"
-            )
+            program, step_log = apply_stack_decision(program)
+            log.extend(step_log)
         except OptimizationError as error:
             log.append(f"skip stack allocation: {error.message}")
 
-    # Block allocation for producer arguments.
     for decision in plan.by_kind("block"):
-        from repro.opt.block_alloc import block_allocate_producer
-
         try:
-            block_result = block_allocate_producer(program, decision.function)
-            program = block_result.program
-            log.append(
-                f"block-allocated {decision.function} "
-                f"({block_result.annotated_sites} site(s))"
-            )
+            program, step_log = apply_block_decision(program, decision)
+            log.extend(step_log)
         except OptimizationError as error:
             log.append(f"skip block allocation of {decision.function}: {error.message}")
 

@@ -16,9 +16,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.escape.analyzer import EscapeAnalysis
+from repro.robust.errors import Degradation
 from repro.lang.ast import Program
 from repro.lang.prelude import paper_partition_sort, prelude_program
 from repro.opt.block_alloc import BlockAllocResult, block_allocate_producer
@@ -32,10 +33,20 @@ from repro.opt.stack_alloc import StackAllocResult, stack_allocate_body
 
 @dataclass
 class PipelineResult:
-    """A transformed program plus what was done to it."""
+    """A transformed program plus what was done to it.
+
+    ``degradations`` records every candidate that was *skipped* — an
+    analysis or transformation failure — with the original exception
+    preserved, so a skipped optimization is auditable, never silent.
+    """
 
     program: Program
     steps: list[str]
+    degradations: "list[Degradation]" = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
 
 
 def paper_ps_prime(result: str = "ps [5, 2, 7, 1, 3, 4]") -> PipelineResult:
@@ -111,15 +122,30 @@ def auto_reuse(program: Program, analysis: EscapeAnalysis | None = None) -> Pipe
     """Generic driver: reuse-specialize every (function, parameter) pair the
     analysis proves reusable.  The specializations are *added*; call sites
     are not redirected (that needs per-call sharing facts — see
-    :func:`redirect_calls`)."""
-    from repro.lang.errors import OptimizationError
+    :func:`redirect_calls`).
+
+    A function whose analysis fails, or a candidate whose specialization is
+    inapplicable, is skipped and recorded in ``degradations`` with the
+    original exception — budget breaches and unknown exceptions propagate.
+    """
+    from repro.lang.errors import AnalysisError, OptimizationError, TypeInferenceError
+    from repro.robust.errors import Degradation, reason_for
 
     analysis = analysis or EscapeAnalysis(program)
     steps: list[str] = []
+    degradations: list[Degradation] = []
     for name in list(program.binding_names()):
         try:
             results = analysis.global_all(name)
-        except Exception:
+        except (AnalysisError, TypeInferenceError, OptimizationError) as error:
+            degradations.append(
+                Degradation(
+                    reason=reason_for(error),
+                    stage=f"analyze:{name}",
+                    message=str(error),
+                    error=error,
+                )
+            )
             continue
         for result in results:
             if result.param_spines >= 1 and result.non_escaping_spines >= 1:
@@ -131,7 +157,15 @@ def auto_reuse(program: Program, analysis: EscapeAnalysis | None = None) -> Pipe
                         new_name=f"{name}_reuse{result.param_index}",
                         analysis=analysis,
                     )
-                except OptimizationError:
+                except OptimizationError as error:
+                    degradations.append(
+                        Degradation(
+                            reason="optimization-skipped",
+                            stage=f"reuse:{name}:{result.param_index}",
+                            message=str(error),
+                            error=error,
+                        )
+                    )
                     continue
                 program = reuse.program
                 analysis = EscapeAnalysis(program)
@@ -139,4 +173,4 @@ def auto_reuse(program: Program, analysis: EscapeAnalysis | None = None) -> Pipe
                     f"{name} param {result.param_index} -> {reuse.new_name} "
                     f"({reuse.rewritten_sites} site)"
                 )
-    return PipelineResult(program=program, steps=steps)
+    return PipelineResult(program=program, steps=steps, degradations=degradations)

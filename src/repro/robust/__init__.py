@@ -1,0 +1,58 @@
+"""``repro.robust`` — the hardened analysis engine layer.
+
+* :mod:`repro.robust.errors`  — the retryable/degradable/fatal taxonomy and
+  structured :class:`Degradation` records;
+* :mod:`repro.robust.budget`  — :class:`AnalysisBudget` (deadline + work
+  limits) and its runtime :class:`BudgetMeter`;
+* :mod:`repro.robust.faults`  — deterministic fault injection;
+* :mod:`repro.robust.engine`  — :class:`HardenedAnalysis`, escape queries
+  that degrade soundly to the ``W^τ`` worst case instead of failing;
+* :mod:`repro.robust.pipeline` — :func:`harden_optimize`, the optimization
+  pipeline that always yields a correct program plus a degradation report.
+
+``engine`` and ``pipeline`` are imported lazily: the low-level modules here
+are imported *by* the analysis and runtime layers (for budget metering and
+fault hooks), so the package root must not pull the high-level wrappers —
+which import those layers — back in at import time.
+"""
+
+from __future__ import annotations
+
+from repro.robust import faults
+from repro.robust.budget import AnalysisBudget, BudgetMeter
+from repro.robust.errors import (
+    BudgetExceeded,
+    BudgetSpent,
+    DeadlineExceeded,
+    Degradation,
+    InjectedFault,
+    IterationBudgetExceeded,
+    Severity,
+    WorkBudgetExceeded,
+    classify,
+    reason_for,
+)
+from repro.robust.faults import FaultInjector, FaultPlan, StageFault
+
+__all__ = [
+    "AnalysisBudget", "BudgetMeter", "BudgetExceeded", "BudgetSpent",
+    "DeadlineExceeded", "Degradation", "InjectedFault",
+    "IterationBudgetExceeded", "Severity", "WorkBudgetExceeded",
+    "classify", "reason_for", "faults", "FaultInjector", "FaultPlan",
+    "StageFault",
+    # lazy:
+    "HardenedAnalysis", "RobustResult", "HardenedPipelineResult",
+    "harden_optimize",
+]
+
+
+def __getattr__(name: str):
+    if name in ("HardenedAnalysis", "RobustResult"):
+        from repro.robust import engine
+
+        return getattr(engine, name)
+    if name in ("HardenedPipelineResult", "harden_optimize"):
+        from repro.robust import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

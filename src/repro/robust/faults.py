@@ -1,0 +1,147 @@
+"""Deterministic fault injection for the hardened engine and runtime.
+
+A :class:`FaultPlan` says *what* to break and *when*, by ordinal — the
+``n``-th heap allocation fails, every ``k``-th interpreter safepoint forces
+a full GC, the ``n``-th entry to a named stage raises — so a failing run is
+exactly reproducible.  Activating a plan installs a process-local
+:class:`FaultInjector`; the instrumented code calls the cheap module-level
+hooks (:func:`check_alloc`, :func:`check_stage`, :func:`take_forced_gc`),
+which are no-ops when no plan is active.
+
+Stages currently instrumented:
+
+* ``"solve"``    — entry to a letrec fixpoint solve
+  (:meth:`~repro.escape.abstract.AbstractEvaluator.solve_bindings`);
+* ``"query"``    — entry to one hardened-engine query attempt
+  (:class:`~repro.robust.engine.HardenedAnalysis`);
+* ``"plan"``, ``"reuse"``, ``"stack"``, ``"block"``, ``"validate"`` — the
+  hardened optimization pipeline (:mod:`repro.robust.pipeline`).
+
+Use as a context manager so a failing test cannot leak faults into the
+next one::
+
+    with faults.inject(FaultPlan(fail_alloc_at=5)):
+        ...
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.lang.errors import HeapAllocationError
+from repro.robust.errors import InjectedFault, Severity
+
+
+@dataclass(frozen=True)
+class StageFault:
+    """Fail the ``at``-th entry (1-based) to stage ``stage``."""
+
+    stage: str
+    at: int = 1
+    severity: Severity = Severity.DEGRADABLE
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject.  All ordinals are 1-based; ``None`` disables.
+
+    * ``fail_alloc_at``    — the single allocation ordinal that fails;
+    * ``fail_alloc_every`` — every ``n``-th allocation fails (adversarial
+      sustained memory pressure);
+    * ``gc_every``         — force a full collection at every ``n``-th
+      interpreter safepoint, regardless of thresholds;
+    * ``stage_faults``     — exceptions raised at chosen stage entries.
+    """
+
+    fail_alloc_at: int | None = None
+    fail_alloc_every: int | None = None
+    gc_every: int | None = None
+    stage_faults: tuple[StageFault, ...] = field(default_factory=tuple)
+
+
+class FaultInjector:
+    """The runtime counters for one active plan."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.allocs = 0
+        self.safepoints = 0
+        self.stage_entries: dict[str, int] = {}
+        #: every fault actually fired, for test assertions
+        self.fired: list[str] = []
+
+    def on_alloc(self) -> None:
+        self.allocs += 1
+        plan = self.plan
+        if plan.fail_alloc_at is not None and self.allocs == plan.fail_alloc_at:
+            self.fired.append(f"alloc@{self.allocs}")
+            raise HeapAllocationError(
+                f"injected allocation failure at allocation #{self.allocs}"
+            )
+        if plan.fail_alloc_every is not None and self.allocs % plan.fail_alloc_every == 0:
+            self.fired.append(f"alloc@{self.allocs}")
+            raise HeapAllocationError(
+                f"injected allocation failure at allocation #{self.allocs}"
+            )
+
+    def on_stage(self, stage: str) -> None:
+        count = self.stage_entries.get(stage, 0) + 1
+        self.stage_entries[stage] = count
+        for fault in self.plan.stage_faults:
+            if fault.stage == stage and fault.at == count:
+                self.fired.append(f"{stage}@{count}")
+                raise InjectedFault(
+                    fault.message or f"injected fault at stage {stage!r} entry #{count}",
+                    stage=stage,
+                    severity=fault.severity,
+                )
+
+    def take_forced_gc(self) -> bool:
+        if self.plan.gc_every is None:
+            return False
+        self.safepoints += 1
+        if self.safepoints % self.plan.gc_every == 0:
+            self.fired.append(f"gc@{self.safepoints}")
+            return True
+        return False
+
+
+#: The active injector, if any.  Process-local by design: the engine is
+#: synchronous and the harness is for tests.
+_ACTIVE: FaultInjector | None = None
+
+
+@contextlib.contextmanager
+def inject(plan: FaultPlan):
+    """Activate ``plan`` for the duration of the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    injector = FaultInjector(plan)
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = previous
+
+
+def active() -> FaultInjector | None:
+    return _ACTIVE
+
+
+# -- hooks called from instrumented code (no-ops when inactive) -------------
+
+
+def check_alloc() -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.on_alloc()
+
+
+def check_stage(stage: str) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.on_stage(stage)
+
+
+def take_forced_gc() -> bool:
+    return _ACTIVE is not None and _ACTIVE.take_forced_gc()

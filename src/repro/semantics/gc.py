@@ -63,11 +63,25 @@ class MarkSweepGC:
             else:
                 stack.append(root)
 
+        sanitizer = heap.sanitizer
         while stack:
             value = stack.pop()
             if isinstance(value, VCons):
                 cell = value.cell
-                if cell in marked or cell.freed:
+                if cell.freed:
+                    # A root-reachable freed cell: harmless unless read, but
+                    # worth surfacing — the sanitizer records it as a
+                    # warning (never a halt; sound region optimizations
+                    # leave dead references behind by design).
+                    if sanitizer is not None:
+                        sanitizer.warn(
+                            "dangling-reference",
+                            cell,
+                            "gc mark phase",
+                            f"freed {cell.kind.value} cell still reachable from roots",
+                        )
+                    continue
+                if cell in marked:
                     continue
                 marked.add(cell)
                 mark_work += 1

@@ -23,7 +23,8 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.lang.ast import Prim
-from repro.lang.errors import EvalError, UseAfterFreeError
+from repro.lang.errors import EvalError, StorageSafetyError, UseAfterFreeError
+from repro.robust import faults
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.values import Env, Value, VClosure, VCons, VPrim, VTuple
 
@@ -46,6 +47,9 @@ class Cell:
     region: "Region | None" = None
     site_uid: int | None = None
     freed: bool = False
+    #: reuse generation: bumped by every ``dcons`` that recycles this cell,
+    #: so references created before the reuse are detectably stale
+    version: int = 0
 
     def __hash__(self) -> int:
         return self.id
@@ -66,15 +70,79 @@ class Region:
     closed: bool = False
 
 
+@dataclass(frozen=True)
+class StorageViolation:
+    """One storage-safety violation detected by the sanitizer."""
+
+    kind: str  # "use-after-reuse" | "read-after-free" | "reclaim-live-cell" | "dangling-reference"
+    cell_id: int
+    context: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"{self.kind}: cell #{self.cell_id} in {self.context}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+class StorageSanitizer:
+    """Opt-in storage-safety instrumentation for one heap.
+
+    Detects the three ways an unsound optimization mis-executes:
+
+    * **use-after-reuse** — a read through a reference created before a
+      ``dcons`` recycled the cell (the reference observes the new contents
+      as if they were the old list);
+    * **read-after-free** — a read of a cell reclaimed with its stack or
+      block region (also covered by the always-on
+      :class:`~repro.lang.errors.UseAfterFreeError` tripwire; the sanitizer
+      records it with region provenance);
+    * **reclaim-live-cell** — a region close that frees cells still
+      reachable from the interpreter's live roots.
+
+    Violations are recorded; with ``halt`` (the default) they also raise
+    :class:`~repro.lang.errors.StorageSafetyError` at the faulting access.
+    GC-time *dangling-reference* findings (a freed cell still reachable
+    from a root) are recorded as warnings only: a dead-but-referenced cell
+    is harmless unless actually read, and sound region optimizations
+    routinely leave such references behind.
+    """
+
+    def __init__(self, halt: bool = True):
+        self.halt = halt
+        self.violations: list[StorageViolation] = []
+        self.warnings: list[StorageViolation] = []
+
+    def report(self, kind: str, cell: Cell, context: str, detail: str = "") -> None:
+        violation = StorageViolation(kind, cell.id, context, detail)
+        self.violations.append(violation)
+        if self.halt:
+            raise StorageSafetyError(f"storage sanitizer: {violation}")
+
+    def warn(self, kind: str, cell: Cell, context: str, detail: str = "") -> None:
+        self.warnings.append(StorageViolation(kind, cell.id, context, detail))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
 class Heap:
     """Allocation, regions, reachability, and the free/reuse events.
 
     One heap is owned by one :class:`~repro.semantics.interp.Interpreter`;
-    they share a :class:`~repro.semantics.metrics.StorageMetrics`.
+    they share a :class:`~repro.semantics.metrics.StorageMetrics`.  An
+    optional :class:`StorageSanitizer` adds reuse/reclamation safety checks.
     """
 
-    def __init__(self, metrics: StorageMetrics | None = None):
+    def __init__(
+        self,
+        metrics: StorageMetrics | None = None,
+        sanitizer: StorageSanitizer | None = None,
+    ):
         self.metrics = metrics or StorageMetrics()
+        self.sanitizer = sanitizer
         self._ids = itertools.count(1)
         self._region_ids = itertools.count(1)
         #: live cells, by id (freed cells are removed but still referenced
@@ -88,6 +156,7 @@ class Heap:
         """Allocate a fresh cell, honouring the site's ``alloc`` annotation:
         ``"region"`` targets the innermost open region, anything else (or no
         open region) goes to the GC heap."""
+        faults.check_alloc()
         placement = site.annotations.get("alloc") if site is not None else None
         region: Region | None = None
         if placement == "region" and self.region_stack:
@@ -114,10 +183,14 @@ class Heap:
         return cell
 
     def reuse(self, cell: Cell, car: Value, cdr: Value) -> Cell:
-        """``dcons``: destructively overwrite ``cell`` (§6's DCONS)."""
+        """``dcons``: destructively overwrite ``cell`` (§6's DCONS).
+
+        Bumps the cell's reuse generation so any reference created before
+        this reuse is detectably stale (see :meth:`check_ref`)."""
         self.check_live(cell, "dcons")
         cell.car = car
         cell.cdr = cdr
+        cell.version += 1
         self.metrics.reused += 1
         return cell
 
@@ -125,10 +198,33 @@ class Heap:
 
     def check_live(self, cell: Cell, context: str) -> None:
         if cell.freed:
+            if self.sanitizer is not None:
+                self.sanitizer.report(
+                    "read-after-free",
+                    cell,
+                    context,
+                    f"reclaimed with its {cell.kind.value} region",
+                )
             raise UseAfterFreeError(
                 f"{context}: cell #{cell.id} was reclaimed with its "
                 f"{cell.kind.value} region"
             )
+
+    def check_ref(self, ref: VCons, context: str) -> Cell:
+        """Sanitized access through a list reference: liveness plus the
+        use-after-reuse generation check."""
+        cell = ref.cell
+        self.check_live(cell, context)
+        if self.sanitizer is not None and ref.version != cell.version:
+            self.sanitizer.report(
+                "use-after-reuse",
+                cell,
+                context,
+                f"reference generation {ref.version}, cell generation "
+                f"{cell.version}: the cell was recycled by dcons after this "
+                "reference was created",
+            )
+        return cell
 
     def read_car(self, cell: Cell, context: str = "car") -> Value:
         self.check_live(cell, context)
@@ -137,6 +233,14 @@ class Heap:
     def read_cdr(self, cell: Cell, context: str = "cdr") -> Value:
         self.check_live(cell, context)
         return cell.cdr
+
+    def car_of(self, ref: VCons, context: str = "car") -> Value:
+        """Read ``car`` through a reference (sanitizer-aware)."""
+        return self.check_ref(ref, context).car
+
+    def cdr_of(self, ref: VCons, context: str = "cdr") -> Value:
+        """Read ``cdr`` through a reference (sanitizer-aware)."""
+        return self.check_ref(ref, context).cdr
 
     # -- regions -----------------------------------------------------------------
 
@@ -147,13 +251,24 @@ class Heap:
         self.region_stack.append(region)
         return region
 
-    def close_region(self, region: Region, escaping: "Value | None" = None) -> int:
+    def close_region(
+        self,
+        region: Region,
+        escaping: "Value | None" = None,
+        live_roots: "tuple[Value | Env, ...] | list[Value | Env] | None" = None,
+    ) -> int:
         """Free every cell of ``region`` at once.
 
         If ``escaping`` is given (the value the region's scope returned),
         raise :class:`UseAfterFreeError` immediately when any freed cell is
         still reachable from it — surfacing an unsound optimization at the
         point of deallocation rather than at a later read.
+
+        With a sanitizer installed and ``live_roots`` given (the
+        interpreter's full root set), reclamation of any region cell still
+        reachable from those roots is reported as a ``reclaim-live-cell``
+        violation — catching block reclamation of live cells even when the
+        escaping value itself is clean.
         """
         if self.region_stack and self.region_stack[-1] is region:
             self.region_stack.pop()
@@ -171,6 +286,17 @@ class Heap:
                     f"{region.label or region.id} escape its scope "
                     f"(first: #{leaked[0].id}) — the optimization that placed "
                     "them there is unsound for this program"
+                )
+
+        if self.sanitizer is not None and live_roots is not None:
+            still_live = self.reachable_cells(*live_roots)
+            held = [cell for cell in region.cells if cell in still_live]
+            if held:
+                self.sanitizer.report(
+                    "reclaim-live-cell",
+                    held[0],
+                    f"close {region.kind.value} region {region.label or region.id}",
+                    f"{len(held)} cell(s) still reachable from live roots",
                 )
 
         freed = 0

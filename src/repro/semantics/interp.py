@@ -39,8 +39,9 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import EvalError
 from repro.lang.parser import parse_expr
+from repro.robust import faults
 from repro.semantics.gc import MarkSweepGC
-from repro.semantics.heap import AllocKind, Heap
+from repro.semantics.heap import AllocKind, Heap, StorageSanitizer
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.values import (
     FALSE,
@@ -71,9 +72,14 @@ class Interpreter:
         gc_threshold: int = 10_000,
         auto_gc: bool = False,
         recursion_limit: int = 100_000,
+        sanitize: bool = False,
     ):
         self.metrics = StorageMetrics()
-        self.heap = Heap(self.metrics)
+        #: opt-in storage-safety sanitizer: detects use-after-reuse through
+        #: stale dcons aliases, reads of region-reclaimed cells, and
+        #: reclamation of cells still reachable from live roots
+        self.sanitizer = StorageSanitizer() if sanitize else None
+        self.heap = Heap(self.metrics, sanitizer=self.sanitizer)
         self.gc = MarkSweepGC(self.heap, threshold=gc_threshold)
         self.auto_gc = auto_gc
         self.recursion_limit = recursion_limit
@@ -109,6 +115,10 @@ class Interpreter:
         yield from self._temp_roots
 
     def _safepoint(self) -> None:
+        if faults.take_forced_gc():
+            # Injected adversarial GC: collect with the true root set, so a
+            # sound engine survives it and an unsound one trips a sanitizer.
+            self.gc.collect(self.roots())
         if self.auto_gc:
             self.gc.maybe_collect(self.roots())
 
@@ -126,7 +136,10 @@ class Interpreter:
             except BaseException:
                 self.heap.close_region(region)
                 raise
-            self.heap.close_region(region, escaping=result)
+            live_roots = (
+                [result, *self.roots()] if self.sanitizer is not None else None
+            )
+            self.heap.close_region(region, escaping=result, live_roots=live_roots)
             return result
         return self._eval_core(expr, env)
 

@@ -67,13 +67,13 @@ def exec_prim(
             raise EvalError("car of nil", span)
         if not isinstance(args[0], VCons):
             raise EvalError(f"car of non-list {args[0]}", span)
-        return heap.read_car(args[0].cell)
+        return heap.car_of(args[0])
     if name == "cdr":
         if isinstance(args[0], VNil):
             raise EvalError("cdr of nil", span)
         if not isinstance(args[0], VCons):
             raise EvalError(f"cdr of non-list {args[0]}", span)
-        return heap.read_cdr(args[0].cell)
+        return heap.cdr_of(args[0])
     if name == "null":
         if isinstance(args[0], (VNil, VCons)):
             return TRUE if isinstance(args[0], VNil) else FALSE

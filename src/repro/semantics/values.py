@@ -53,9 +53,20 @@ FALSE = VBool(False)
 
 @dataclass(frozen=True, slots=True)
 class VCons(Value):
-    """A non-empty list: a pointer to a heap cell."""
+    """A non-empty list: a pointer to a heap cell.
+
+    ``version`` snapshots the cell's reuse generation at the moment this
+    reference was created.  ``dcons`` bumps the cell's generation, so a
+    read through a reference older than the cell is a *use-after-reuse* —
+    the storage-safety sanitizer's tripwire for an unsound DCONS.
+    """
 
     cell: "Cell"
+    version: int = -1
+
+    def __post_init__(self) -> None:
+        if self.version < 0:
+            object.__setattr__(self, "version", self.cell.version)
 
     def __str__(self) -> str:
         return f"#<cons {self.cell.id}>"

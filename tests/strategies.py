@@ -144,6 +144,23 @@ def typed_expr(draw, ty: Type, env: dict[str, Type], depth: int = 3) -> Expr:
 
 
 @st.composite
+def analysis_budget(draw):
+    """A (usually tight) :class:`~repro.robust.budget.AnalysisBudget`.
+
+    Draws each limit independently, including ``None`` (unlimited) and
+    values small enough to cut real queries short — the property tests
+    assert that *whatever* the budget, a degraded answer stays ⊒ exact.
+    """
+    from repro.robust.budget import AnalysisBudget
+
+    return AnalysisBudget(
+        deadline_s=draw(st.sampled_from([None, 0.0, 10.0])),
+        max_fixpoint_iterations=draw(st.sampled_from([None, 1, 2, 100])),
+        max_eval_steps=draw(st.sampled_from([None, 1, 25, 500, 100_000])),
+    )
+
+
+@st.composite
 def list_function_program(draw) -> tuple[Program, list[int]]:
     """A program ``f l = <body>; f <literal>`` with ``l : int list`` and a
     body of type int list or int; returns (program, the literal input)."""

@@ -155,3 +155,54 @@ class TestDisasm:
         assert "closure append(x)" in out
         assert "branch" in out
         assert "push_prim cons" in out
+
+
+class TestRobustFlags:
+    def test_robust_exact_exit_zero(self, append_file, capsys):
+        assert main(["analyze", append_file, "--robust"]) == 0
+        out = capsys.readouterr().out
+        assert "G(append, 1) = <1,0>" in out
+        assert "degraded" not in out
+
+    def test_budget_flag_implies_robust_and_exit_three(self, append_file, capsys):
+        assert main(["analyze", append_file, "--max-iterations", "1"]) == 3
+        captured = capsys.readouterr()
+        assert "[degraded: iteration-budget-exceeded]" in captured.out
+        assert "warning: degraded" in captured.err
+        # The degraded answer is the sound worst case, not a crash.
+        assert "G(append, 1) = <1,1>" in captured.out
+
+    def test_strict_turns_degradation_into_an_error(self, append_file, capsys):
+        assert main(["analyze", append_file, "--max-iterations", "1", "--strict"]) == 1
+        assert "error: degraded" in capsys.readouterr().err
+
+    def test_strict_with_exact_result_is_fine(self, append_file):
+        assert main(["analyze", append_file, "--robust", "--strict"]) == 0
+
+    def test_deadline_flag(self, append_file, capsys):
+        assert main(["analyze", append_file, "--deadline-ms", "0"]) == 3
+        assert "deadline-exceeded" in capsys.readouterr().out
+
+    def test_robust_local_test(self, append_file, capsys):
+        assert (
+            main(["analyze", append_file, "--robust", "--local", "append [1] [2]"]) == 0
+        )
+        assert "L(append" in capsys.readouterr().out
+
+    def test_optimize_robust(self, capsys):
+        source = prelude_source(["append"], "append [1, 2] [3]")
+        code = main(["optimize", "-e", source, "--robust"])
+        out = capsys.readouterr().out
+        assert code in (0, 3)
+        assert "applied:" in out or "no storage optimization" in out
+
+    def test_optimize_robust_strict_degraded(self, capsys):
+        source = prelude_source(["ps"], "ps [5, 2, 7]")
+        code = main(["optimize", "-e", source, "--robust", "--max-steps", "1"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "degraded" in captured.err
+
+    def test_run_sanitize_clean_program(self, append_file, capsys):
+        assert main(["run", append_file, "--sanitize"]) == 0
+        assert "[1, 2, 3]" in capsys.readouterr().out
