@@ -1,0 +1,120 @@
+"""AB4 — ablation: the query engine (cached, SCC-scheduled solves).
+
+§7 names fixpoint cost as the practicality risk.  The pre-refactor
+analyzer re-inferred the program and re-solved the whole letrec fixpoint on
+every query, so building one Appendix A global escape table repeated the
+same work once per question.  The query engine (:mod:`repro.query`) keys
+solves by stable fingerprints and solves the binding graph per strongly
+connected component, so the table costs one fixpoint and six cache hits.
+
+The acceptance gate asserted here: the full Appendix A table (``append``,
+``split``, ``ps``, every parameter position) built through one
+``AnalysisSession`` performs **at least 3× fewer** total fixpoint
+iterations than the per-query baseline, and every lattice value is
+bit-identical (checked row by row and, for the converged environments,
+via the extensional ``fingerprint``).
+"""
+
+from repro.bench.tables import print_table
+from repro.escape.abstract import fingerprint
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.types.types import INT, TFun, TList
+
+#: Every (function, parameter) question of the Appendix A.1 table.
+APPENDIX_A_QUERIES = [
+    ("append", 1),
+    ("append", 2),
+    ("split", 1),
+    ("split", 2),
+    ("split", 3),
+    ("split", 4),
+    ("ps", 1),
+]
+
+
+def build_table_per_query(program):
+    """The pre-refactor protocol: one fresh, single-use analysis per
+    question — every query pays for a whole-program solve."""
+    rows = []
+    iterations = 0
+    for name, i in APPENDIX_A_QUERIES:
+        analysis = EscapeAnalysis(program)
+        rows.append(analysis.global_test(name, i))
+        iterations += analysis.stats.iterations
+    return rows, iterations
+
+
+def build_table_session(program):
+    """The query-engine protocol: one session answers every question."""
+    analysis = EscapeAnalysis(program)
+    rows = [analysis.global_test(name, i) for name, i in APPENDIX_A_QUERIES]
+    return rows, analysis.stats
+
+
+def test_ab4_query_engine_builds_table_with_fewer_iterations(benchmark):
+    program = paper_partition_sort()
+    baseline_rows, baseline_iterations = build_table_per_query(program)
+    session_rows, stats = build_table_session(program)
+
+    # Row-by-row: identical lattice values out of both protocols.
+    for base, cached in zip(baseline_rows, session_rows, strict=True):
+        assert base.function == cached.function
+        assert base.param_index == cached.param_index
+        assert base.result == cached.result
+        assert base.escaping_spines == cached.escaping_spines
+        assert base.non_escaping_spines == cached.non_escaping_spines
+
+    # Environment-by-environment: the session's converged abstract values
+    # are extensionally bit-identical to a fresh single-use solve.
+    fresh_solved = EscapeAnalysis(program).solve(None)
+    session_solved = EscapeAnalysis(program).solve(None)
+    for name in program.binding_names():
+        ty = fresh_solved.program.binding(name).expr.ty
+        assert fingerprint(
+            session_solved.env[name], ty, session_solved.evaluator.chain
+        ) == fingerprint(fresh_solved.env[name], ty, fresh_solved.evaluator.chain)
+
+    # The acceptance gate: >= 3x fewer total fixpoint iterations.
+    assert baseline_iterations >= 3 * stats.iterations
+    # All but the first question are solve-cache hits.
+    assert stats.solve_hits == len(APPENDIX_A_QUERIES) - 1
+    assert stats.solve_misses == 1
+
+    print_table(
+        ["protocol", "fixpoint iterations", "solve hits", "solve misses"],
+        [
+            ["per-query (baseline)", baseline_iterations, 0, len(APPENDIX_A_QUERIES)],
+            ["session (query engine)", stats.iterations, stats.solve_hits, stats.solve_misses],
+        ],
+        title="AB4: Appendix A table, per-query vs query engine",
+    )
+
+    benchmark(build_table_session, program)
+
+
+def test_ab4_pinned_query_resolves_only_affected_sccs(benchmark):
+    """A pinned query re-solves only the components the pin's types reach:
+    ``copy`` pinned at ``int list list`` misses its own SCC and reuses the
+    cached ``append`` and ``heads`` fixpoints verbatim."""
+    program = prelude_program(["append", "heads", "copy"])
+    analysis = EscapeAnalysis(program)
+    analysis.solve(None)  # warm: all three singleton SCCs solved once
+
+    deep = TFun(TList(TList(INT)), TList(TList(INT)))
+    pinned = analysis.global_test("copy", 1, instance=deep)
+    query = analysis.session.stats.last_query
+    assert query.scc_hits == 2  # append + heads reused
+    assert query.scc_misses == 1  # only copy's knot re-solved
+    assert analysis.last_solved is not None and analysis.last_solved.d == 2
+
+    # The cached answer is identical to a fresh single-use analysis.
+    fresh = EscapeAnalysis(program).global_test("copy", 1, instance=deep)
+    assert pinned.result == fresh.result
+    assert pinned.escaping_spines == fresh.escaping_spines
+
+    # Asking again is a pure solve-cache hit: zero fixpoint iterations.
+    analysis.global_test("copy", 1, instance=deep)
+    assert analysis.session.stats.last_query.iterations == 0
+
+    benchmark(analysis.global_test, "copy", 1, instance=deep)

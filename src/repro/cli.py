@@ -127,7 +127,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    print(analysis_report(_load_program(args)), end="")
+    print(analysis_report(_load_program(args), include_stats=args.stats), end="")
     return 0
 
 
@@ -140,6 +140,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         results = analysis.local_test(args.local)
         for result in results:
             print(f"{result}  —  {result.describe()}")
+        if args.stats:
+            print(f"-- stats: {analysis.stats.summary()}")
         return 0
     names = [args.function] if args.function else list(program.binding_names())
     for name in names:
@@ -155,6 +157,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 print(f"  {sharing_global(analysis, name).describe()}")
             except NmlError:
                 pass
+    if args.stats:
+        print(f"-- stats: {analysis.stats.summary()}")
     return 0
 
 
@@ -176,11 +180,15 @@ def _cmd_analyze_robust(args: argparse.Namespace, program: Program) -> int:
     if args.local:
         for robust in engine.local_test(args.local):
             show(robust)
+        if args.stats:
+            print(f"-- stats: {engine.session.stats.summary()}")
         return _finish_degraded(args, degraded)
     names = [args.function] if args.function else list(program.binding_names())
     for name in names:
         for robust in engine.global_all(name):
             show(robust)
+    if args.stats:
+        print(f"-- stats: {engine.session.stats.summary()}")
     return _finish_degraded(args, degraded)
 
 
@@ -284,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = commands.add_parser("report", help="full analysis report")
     _add_program_arg(report_parser)
+    report_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="append query-session accounting (cache hits, iterations, steps)",
+    )
     report_parser.set_defaults(handler=_cmd_report)
 
     analyze_parser = commands.add_parser("analyze", help="escape tests")
@@ -291,6 +304,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--function", help="only this top-level function")
     analyze_parser.add_argument("--local", help="a call expression for the local test")
     analyze_parser.add_argument("--sharing", action="store_true", help="add Theorem 2 facts")
+    analyze_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query-session accounting (cache hits, iterations, steps)",
+    )
     _add_budget_args(analyze_parser)
     analyze_parser.set_defaults(handler=_cmd_analyze)
 

@@ -7,28 +7,30 @@ Ties the pieces together for one program:
 3. the abstract evaluator and its letrec fixpoint,
 4. the global (§4.1) and local (§4.2) escape tests.
 
-Because the ``car^s`` annotations — and therefore the abstract values of the
-functions — depend on the monotype instance being analyzed, every query
-re-infers the program with the instance pinned and re-solves the fixpoint.
-Programs in this domain are small; re-solving keeps annotations, chain bound
-and environment mutually consistent by construction.
+Since the query-engine refactor, :class:`EscapeAnalysis` is a thin facade
+over an :class:`~repro.query.AnalysisSession`: solves are keyed by stable
+fingerprints ``(program, pins, d, max_iterations)`` and cached, the letrec
+fixpoint is solved per strongly connected component in callees-first order
+(:mod:`repro.escape.scc`) with per-SCC reuse across queries, and every
+solve runs on a session-private clone of the program — queries never
+mutate the caller's AST, and repeated questions cost cache lookups instead
+of whole-program re-analysis.  Because the ``car^s`` annotations — and
+therefore the abstract values of the functions — depend on the monotype
+instance being analyzed, a pinned query still re-infers its private clone
+with the instance pinned; only the components the pin's types reach are
+re-solved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
-from repro.escape.domain import EscapeValue
 from repro.escape.global_test import run_global_test
-from repro.escape.lattice import BeChain
 from repro.escape.local_test import run_local_test
 from repro.escape.results import EscapeTestResult
-from repro.lang.ast import Expr, Letrec, Program, Var, uncurry_app
+from repro.lang.ast import Expr, uncurry_app
 from repro.lang.errors import AnalysisError
 from repro.lang.parser import parse_expr
-from repro.types.infer import InferenceResult, infer_program
-from repro.types.spines import program_spine_bound
+from repro.lang.ast import Program
+from repro.query import AnalysisSession, SessionStats, SolvedProgram
 from repro.types.types import Type, TypeScheme, arity, fun_args
 
 from typing import TYPE_CHECKING
@@ -36,25 +38,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.robust.budget import BudgetMeter
 
-
-@dataclass
-class SolvedProgram:
-    """One solved analysis instance: typed program + converged environment."""
-
-    inference: InferenceResult
-    evaluator: AbstractEvaluator
-    env: AbsEnv
-    d: int
-
-    @property
-    def traces(self) -> list[FixpointTrace]:
-        return self.evaluator.traces
-
-    def trace(self, name: str) -> FixpointTrace:
-        for t in self.evaluator.traces:
-            if t.name == name:
-                return t
-        raise AnalysisError(f"no fixpoint trace for {name!r}")
+__all__ = ["EscapeAnalysis", "SolvedProgram"]
 
 
 class EscapeAnalysis:
@@ -72,27 +56,50 @@ class EscapeAnalysis:
         d: int | None = None,
         max_iterations: int | None = None,
         meter: "BudgetMeter | None" = None,
+        session: AnalysisSession | None = None,
     ):
         self.program = program
-        self.d_override = d
-        self.max_iterations = max_iterations
         #: Optional budget meter from the hardened engine
         #: (:mod:`repro.robust`): ticked on every abstract-evaluation step
         #: and fixpoint iteration of every solve this analysis performs.
         self.meter = meter
-        # Base inference: exposes the (possibly polymorphic) schemes.
-        self._base_inference = infer_program(program)
+        if session is not None:
+            if session.program is not program:
+                raise AnalysisError(
+                    "the analysis session was created for a different program"
+                )
+            if d is not None and d != session.d_override:
+                raise AnalysisError(
+                    f"d={d} conflicts with the session's d={session.d_override}"
+                )
+            if max_iterations is not None and max_iterations != session.max_iterations:
+                raise AnalysisError(
+                    f"max_iterations={max_iterations} conflicts with the "
+                    f"session's max_iterations={session.max_iterations}"
+                )
+            self.session = session
+        else:
+            self.session = AnalysisSession(program, d=d, max_iterations=max_iterations)
+        self.d_override = self.session.d_override
+        self.max_iterations = self.session.max_iterations
         #: The most recent solve — exposes fixpoint traces to callers.
         self.last_solved: SolvedProgram | None = None
+
+    # -- session accounting ------------------------------------------------
+
+    @property
+    def stats(self) -> SessionStats:
+        """Cache and work accounting of the underlying session."""
+        return self.session.stats
 
     # -- schemes -----------------------------------------------------------
 
     @property
     def schemes(self) -> dict[str, TypeScheme]:
-        return self._base_inference.schemes
+        return self.session.schemes
 
     def scheme(self, name: str) -> TypeScheme:
-        return self._base_inference.scheme(name)
+        return self.session.scheme(name)
 
     def function_names(self) -> tuple[str, ...]:
         return self.program.binding_names()
@@ -100,28 +107,16 @@ class EscapeAnalysis:
     # -- solving -------------------------------------------------------------
 
     def solve(self, pins: dict[str, Type] | None = None) -> SolvedProgram:
-        """Infer (with ``pins``) and run the letrec fixpoint for the
-        program's own letrec."""
-        return self._solve_letrec(self.program, pins)
-
-    def _solve_letrec(
-        self, program: Program, pins: dict[str, Type] | None
-    ) -> SolvedProgram:
-        if self.meter is not None:
-            self.meter.check_deadline()
-        inference = infer_program(program, pins=pins)
-        d = self.d_override if self.d_override is not None else program_spine_bound(program)
-        evaluator = AbstractEvaluator(
-            BeChain(d), max_iterations=self.max_iterations, meter=self.meter
-        )
-        env = evaluator.solve_bindings(program.letrec, {})
-        solved = SolvedProgram(inference=inference, evaluator=evaluator, env=env, d=d)
+        """The solved program at ``pins`` — served from the session's solve
+        cache when the same question was already answered."""
+        with self.session.query(self.meter):
+            solved = self.session.solve(pins)
         self.last_solved = solved
         return solved
 
     def _binding_type(self, solved: SolvedProgram, name: str) -> Type:
         try:
-            binding = self.program.binding(name)
+            binding = solved.program.binding(name)
         except KeyError:
             raise AnalysisError(f"no top-level binding named {name!r}") from None
         assert binding.expr.ty is not None
@@ -138,11 +133,13 @@ class EscapeAnalysis:
     ) -> EscapeTestResult:
         """``G(function, i)`` — optionally at a pinned monotype instance."""
         pins = {function: instance} if instance is not None else None
-        solved = self.solve(pins)
-        fn_type = self._binding_type(solved, function)
-        return run_global_test(
-            solved.evaluator, solved.env, function, fn_type, i, n_args=n_args
-        )
+        with self.session.query(self.meter):
+            solved = self.session.solve(pins)
+            self.last_solved = solved
+            fn_type = self._binding_type(solved, function)
+            return run_global_test(
+                solved.evaluator, solved.env, function, fn_type, i, n_args=n_args
+            )
 
     def global_all(
         self,
@@ -157,15 +154,19 @@ class EscapeAnalysis:
         function-typed instance as part of the *result*, not as parameters.
         """
         pins = {function: instance} if instance is not None else None
-        solved = self.solve(pins)
-        fn_type = self._binding_type(solved, function)
-        n = n_args if n_args is not None else arity(fn_type)
-        if n == 0:
-            raise AnalysisError(f"{function} takes no arguments (type {fn_type})")
-        return [
-            run_global_test(solved.evaluator, solved.env, function, fn_type, i, n_args=n)
-            for i in range(1, n + 1)
-        ]
+        with self.session.query(self.meter):
+            solved = self.session.solve(pins)
+            self.last_solved = solved
+            fn_type = self._binding_type(solved, function)
+            n = n_args if n_args is not None else arity(fn_type)
+            if n == 0:
+                raise AnalysisError(f"{function} takes no arguments (type {fn_type})")
+            return [
+                run_global_test(
+                    solved.evaluator, solved.env, function, fn_type, i, n_args=n
+                )
+                for i in range(1, n + 1)
+            ]
 
     def syntactic_arity(self, function: str) -> int:
         """The number of top-level lambdas of a binding — the paper's ``n``
@@ -186,47 +187,38 @@ class EscapeAnalysis:
 
         ``call`` may be source text (e.g. ``"map pair [[1, 2]]"``) or an
         AST.  Returns the result for parameter ``i``, or a list over all
-        parameters when ``i`` is None.
+        parameters when ``i`` is None.  The variant program is solved on a
+        private clone, so neither the session program nor the caller's
+        expression is re-typed in place.
         """
         expr = parse_expr(call) if isinstance(call, str) else call
         head, args = uncurry_app(expr)
         if not args:
             raise AnalysisError("local test target must be an application")
 
-        variant = Program(
-            letrec=Letrec(bindings=self.program.bindings, body=expr),
-            source=self.program.source,
-        )
+        with self.session.query(self.meter):
+            solved, fn_value, label = self.session.solve_call(expr)
+            self.last_solved = solved
 
-        # First inference discovers the instance the call uses; the second
-        # pins the knot to it so the abstract values' car^s annotations
-        # match the call.
-        if isinstance(head, Var) and head.name in self.program.binding_names():
-            infer_program(variant)
-            assert head.ty is not None
-            solved = self._solve_letrec(variant, pins={head.name: head.ty})
-            fn_value = solved.env[head.name]
-            label = head.name
-        else:
-            solved = self._solve_letrec(variant, pins=None)
-            fn_value = solved.evaluator.eval(head, solved.env)
-            label = "<expr>"
+            _, solved_args = uncurry_app(solved.program.body)
+            arg_values = [
+                solved.evaluator.eval(arg, solved.env) for arg in solved_args
+            ]
+            arg_types: list[Type] = []
+            for arg in solved_args:
+                assert arg.ty is not None
+                arg_types.append(arg.ty)
 
-        arg_values: list[EscapeValue] = []
-        arg_types: list[Type] = []
-        for arg in args:
-            arg_values.append(solved.evaluator.eval(arg, solved.env))
-            assert arg.ty is not None
-            arg_types.append(arg.ty)
-
-        if i is not None:
-            return run_local_test(
-                solved.evaluator, fn_value, label, arg_values, arg_types, i
-            )
-        return [
-            run_local_test(solved.evaluator, fn_value, label, arg_values, arg_types, j)
-            for j in range(1, len(args) + 1)
-        ]
+            if i is not None:
+                return run_local_test(
+                    solved.evaluator, fn_value, label, arg_values, arg_types, i
+                )
+            return [
+                run_local_test(
+                    solved.evaluator, fn_value, label, arg_values, arg_types, j
+                )
+                for j in range(1, len(solved_args) + 1)
+            ]
 
     # -- convenience -------------------------------------------------------------
 

@@ -35,8 +35,18 @@ class FunctionReport:
         return out
 
 
-def analysis_report(program: Program, include_sharing: bool = True) -> str:
-    """A full paper-style report for every top-level function."""
+def analysis_report(
+    program: Program,
+    include_sharing: bool = True,
+    include_stats: bool = False,
+) -> str:
+    """A full paper-style report for every top-level function.
+
+    ``include_stats`` appends the query-session accounting (cache hits and
+    misses, fixpoint iterations, eval steps) — the report asks one global
+    question per function, so the session's solve cache serves every
+    question after the first from the same fixpoint.
+    """
     analysis = EscapeAnalysis(program)
     sections: list[str] = []
 
@@ -78,6 +88,11 @@ def analysis_report(program: Program, include_sharing: bool = True) -> str:
                 continue
             sections.append(f"  {info.describe()}")
 
+    if include_stats:
+        sections.append("")
+        sections.append("=== query session ===")
+        sections.append(f"  {analysis.stats.summary()}")
+
     return "\n".join(sections) + "\n"
 
 
@@ -93,15 +108,12 @@ def fixpoint_derivation(program: Program, function: str, i: int) -> list[str]:
 
     analysis = EscapeAnalysis(program)
     solved = analysis.solve(None)
-    binding = program.binding(function)
-    assert binding.expr.ty is not None
+    fn_type = analysis._binding_type(solved, function)
 
     lines: list[str] = []
-    for k, iterate in enumerate(solved.evaluator.iterates):
+    for k, iterate in enumerate(solved.iterates_for(function)):
         env = dict(iterate)
-        result = run_global_test(
-            solved.evaluator, env, function, binding.expr.ty, i
-        )
+        result = run_global_test(solved.evaluator, env, function, fn_type, i)
         lines.append(f"G({function}, {i}) @ {function}^({k}) = {result.result}")
     return lines
 

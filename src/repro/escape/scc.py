@@ -1,0 +1,93 @@
+"""Strongly connected components of a letrec binding graph.
+
+The letrec fixpoint does not have to be solved jointly: bindings only
+interact through references, so the binding graph's condensation is a DAG
+of mutually recursive knots.  Solving each strongly connected component in
+topological (callees-first) order yields the same least fixpoint as the
+joint Kleene iteration, and is what lets the query engine
+(:mod:`repro.query`) cache and reuse per-component environments — a pinned
+query re-solves only the components its pin's types actually reach.
+
+The decomposition is Tarjan's algorithm over the reference edges
+``binding → sibling bindings it mentions``; Tarjan emits every component
+after all components it points to, which is exactly the solve order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.lang.ast import Binding, Letrec, free_vars
+
+
+@dataclass(frozen=True)
+class BindingSCC:
+    """One mutually recursive knot of a letrec.
+
+    ``bindings`` keeps the program's original binding order;
+    ``dependencies`` names the *sibling* bindings outside the component
+    that any member references (the environments that must be solved
+    first).
+    """
+
+    bindings: tuple[Binding, ...]
+    dependencies: frozenset[str]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(b.name for b in self.bindings)
+
+
+def binding_references(letrec: Letrec) -> dict[str, frozenset[str]]:
+    """For each binding, the sibling bindings its expression mentions."""
+    siblings = frozenset(letrec.binding_names())
+    return {b.name: free_vars(b.expr) & siblings for b in letrec.bindings}
+
+
+def binding_sccs(letrec: Letrec) -> list[BindingSCC]:
+    """The letrec's components, callees-first (topological order).
+
+    Every component's ``dependencies`` appear in earlier components of the
+    returned list; a binding with no sibling references is its own
+    singleton component.
+    """
+    refs = binding_references(letrec)
+    program_order = {name: i for i, name in enumerate(letrec.binding_names())}
+    counter = itertools.count()
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    components: list[frozenset[str]] = []
+
+    def connect(name: str) -> None:
+        index[name] = low[name] = next(counter)
+        stack.append(name)
+        on_stack.add(name)
+        for ref in sorted(refs[name], key=program_order.__getitem__):
+            if ref not in index:
+                connect(ref)
+                low[name] = min(low[name], low[ref])
+            elif ref in on_stack:
+                low[name] = min(low[name], index[ref])
+        if low[name] == index[name]:
+            members: set[str] = set()
+            while True:
+                popped = stack.pop()
+                on_stack.discard(popped)
+                members.add(popped)
+                if popped == name:
+                    break
+            components.append(frozenset(members))
+
+    for name in letrec.binding_names():
+        if name not in index:
+            connect(name)
+
+    sccs: list[BindingSCC] = []
+    for members in components:
+        bindings = tuple(b for b in letrec.bindings if b.name in members)
+        deps = frozenset().union(*(refs[n] for n in members)) - members
+        sccs.append(BindingSCC(bindings=bindings, dependencies=deps))
+    return sccs

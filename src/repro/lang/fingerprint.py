@@ -1,0 +1,91 @@
+"""Stable structural fingerprints for nml expressions and programs.
+
+The query engine (:mod:`repro.query`) keys its caches by *what a program
+is*, not by object identity: a solve is cached under
+``(program_fp, pins_fp, d, max_iterations)`` and a per-SCC fixpoint under
+the typed fingerprint of its bindings.  These helpers produce that key
+material — a sha256 over a canonical token stream of the AST.
+
+Two fingerprint flavours exist:
+
+* ``include_types=False`` (the default) hashes the *structure* only — node
+  kinds, scalar fields, binder names, and annotations.  Spans and uids are
+  deliberately excluded (they change on every parse/clone), matching the
+  structural ``__eq__`` of :mod:`repro.lang.ast`.
+* ``include_types=True`` additionally hashes every node's inferred
+  monotype (via :func:`repro.types.types.type_fingerprint`).  The abstract
+  escape semantics reads the ``car^s`` annotations off node types, so two
+  typed fingerprints being equal means the abstract evaluator sees the
+  same program — the property per-SCC fixpoint reuse rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.lang.ast import (
+    Binding,
+    BoolLit,
+    Expr,
+    IntLit,
+    Lambda,
+    Letrec,
+    Prim,
+    Program,
+    Var,
+)
+from repro.types.types import type_fingerprint
+
+#: Token-stream separator; never occurs inside a token.
+_SEP = "\x1f"
+
+
+def _emit(expr: Expr, include_types: bool, out: list[str]) -> None:
+    out.append(type(expr).__name__)
+    if include_types:
+        out.append(type_fingerprint(expr.ty) if expr.ty is not None else "?")
+    if isinstance(expr, (IntLit, BoolLit)):
+        out.append(str(expr.value))
+    elif isinstance(expr, (Prim, Var)):
+        out.append(expr.name)
+    elif isinstance(expr, Lambda):
+        out.append(expr.param)
+    elif isinstance(expr, Letrec):
+        for binding in expr.bindings:
+            out.append(f"bind:{binding.name}")
+    if expr.annotations:
+        out.append(
+            "@" + ",".join(f"{k}={expr.annotations[k]!r}" for k in sorted(expr.annotations))
+        )
+    out.append("(")
+    for child in expr.children():
+        _emit(child, include_types, out)
+    out.append(")")
+
+
+def _digest(tokens: list[str]) -> str:
+    return hashlib.sha256(_SEP.join(tokens).encode("utf-8")).hexdigest()
+
+
+def expr_fingerprint(expr: Expr, include_types: bool = False) -> str:
+    """The canonical fingerprint of one expression (sub)tree."""
+    tokens: list[str] = []
+    _emit(expr, include_types, tokens)
+    return _digest(tokens)
+
+
+def bindings_fingerprint(
+    bindings: Iterable[Binding], include_types: bool = False
+) -> str:
+    """The fingerprint of a group of letrec bindings, in the given order."""
+    tokens: list[str] = []
+    for binding in bindings:
+        tokens.append(f"binding:{binding.name}")
+        _emit(binding.expr, include_types, tokens)
+    return _digest(tokens)
+
+
+def program_fingerprint(program: Program, include_types: bool = False) -> str:
+    """The canonical fingerprint of a whole program."""
+    return expr_fingerprint(program.letrec, include_types=include_types)

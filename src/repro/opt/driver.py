@@ -40,6 +40,7 @@ from repro.robust.errors import BudgetExceeded
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.query import AnalysisSession
     from repro.robust.budget import BudgetMeter
 
 
@@ -88,15 +89,22 @@ def _is_literal_chain(expr: Expr) -> bool:
 
 
 def plan_optimizations(
-    program: Program, meter: "BudgetMeter | None" = None
+    program: Program,
+    meter: "BudgetMeter | None" = None,
+    session: "AnalysisSession | None" = None,
 ) -> OptimizationPlan:
     """Survey the program and collect every licensed storage decision.
 
     ``meter`` (from :mod:`repro.robust.budget`) bounds the survey's work:
     budget breaches propagate — they are *not* swallowed like per-function
     analysis failures — so the hardened pipeline can degrade as a whole.
+
+    ``session`` (from :mod:`repro.query`) lets the survey reuse an existing
+    query session's solve and SCC caches; by default a fresh session scoped
+    to this survey is created, which still lets the per-function global
+    tests share one cached fixpoint.
     """
-    analysis = EscapeAnalysis(program, meter=meter)
+    analysis = EscapeAnalysis(program, meter=meter, session=session)
     plan = OptimizationPlan(program=program)
 
     # -- reuse candidates per function ----------------------------------

@@ -30,6 +30,11 @@ from repro.opt.reuse import (
 )
 from repro.opt.stack_alloc import StackAllocResult, stack_allocate_body
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query import AnalysisSession
+
 
 @dataclass
 class PipelineResult:
@@ -118,7 +123,11 @@ def paper_block_allocated(n: int = 100) -> BlockAllocResult:
     return block_allocate_producer(program, "create_list")
 
 
-def auto_reuse(program: Program, analysis: EscapeAnalysis | None = None) -> PipelineResult:
+def auto_reuse(
+    program: Program,
+    analysis: EscapeAnalysis | None = None,
+    session: "AnalysisSession | None" = None,
+) -> PipelineResult:
     """Generic driver: reuse-specialize every (function, parameter) pair the
     analysis proves reusable.  The specializations are *added*; call sites
     are not redirected (that needs per-call sharing facts — see
@@ -127,11 +136,15 @@ def auto_reuse(program: Program, analysis: EscapeAnalysis | None = None) -> Pipe
     A function whose analysis fails, or a candidate whose specialization is
     inapplicable, is skipped and recorded in ``degradations`` with the
     original exception — budget breaches and unknown exceptions propagate.
+
+    ``session`` seeds the *initial* analysis with an existing query
+    session; once a specialization changes the program a fresh session is
+    started for the transformed program (its fingerprint differs).
     """
     from repro.lang.errors import AnalysisError, OptimizationError, TypeInferenceError
     from repro.robust.errors import Degradation, reason_for
 
-    analysis = analysis or EscapeAnalysis(program)
+    analysis = analysis or EscapeAnalysis(program, session=session)
     steps: list[str] = []
     degradations: list[Degradation] = []
     for name in list(program.binding_names()):

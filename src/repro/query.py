@@ -1,0 +1,347 @@
+"""The session-scoped query engine behind :class:`~repro.escape.analyzer.EscapeAnalysis`.
+
+An :class:`AnalysisSession` turns the escape analysis from a batch re-run
+into a demand-driven query system, in the style of compiler query engines:
+
+* **Stable keys.**  A solve is identified by
+  ``(program_fp, pins_fp, d, max_iterations)`` — structural fingerprints
+  from :mod:`repro.lang.fingerprint` and :mod:`repro.types.types` — so the
+  same question asked twice returns the cached :class:`SolvedProgram`.
+* **SCC scheduling.**  The letrec binding graph is decomposed into
+  strongly connected components (:mod:`repro.escape.scc`) and each knot's
+  fixpoint is solved callees-first.  Per-SCC results are cached under the
+  *typed* fingerprint of the knot's bindings plus the provenance of its
+  dependencies, so a pinned query re-solves only the components the pin's
+  types actually change and reuses the cached environments for the rest.
+* **Isolation.**  Every solve runs on a private :func:`clone_program` of
+  the session program, so type (re-)inference never clobbers ``.ty``
+  annotations on the caller's AST — including the local test's variant
+  programs, which historically shared binding nodes across queries.
+* **Accounting.**  Each query tallies cache hits/misses, fixpoint
+  iterations and abstract-evaluation steps (:class:`QueryStats`,
+  aggregated into :class:`SessionStats`), and budget meters from the
+  hardened engine charge only the work a query actually performs: a cache
+  hit costs no fixpoint iterations, while deadlines are still enforced at
+  every solve entry.
+
+Dependency identity is tracked by *provenance tokens* — the exact cached
+entry objects — rather than by value fingerprints: fingerprint equality is
+extensional only at the sampled points, while reusing the same abstract
+values verbatim makes per-SCC reuse trivially bit-identical.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
+from repro.escape.domain import EscapeValue
+from repro.escape.lattice import BeChain
+from repro.escape.scc import binding_sccs
+from repro.lang.ast import Letrec, Program, Var, clone_program, uncurry_app
+from repro.lang.errors import AnalysisError
+from repro.lang.fingerprint import bindings_fingerprint, program_fingerprint
+from repro.types.infer import InferenceResult, infer_program
+from repro.types.spines import program_spine_bound
+from repro.types.types import Type, TypeScheme, pins_fingerprint
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.robust.budget import BudgetMeter
+
+
+@dataclass
+class SolvedProgram:
+    """One solved analysis instance: typed program + converged environment.
+
+    ``program`` is the session-private typed clone the solve ran on — the
+    authoritative source for instance types (the caller's AST keeps its
+    base-inference types untouched).  ``traces`` are in program binding
+    order; ``scc_iterates`` holds, per binding, the per-iteration
+    environments of its component's fixpoint (index 0 is bottom), merged
+    with the already-solved dependency values so Appendix A.1 derivations
+    can be replayed.
+    """
+
+    inference: InferenceResult
+    evaluator: AbstractEvaluator
+    env: AbsEnv
+    d: int
+    program: Program
+    traces: list[FixpointTrace] = field(default_factory=list)
+    scc_iterates: dict[str, list[AbsEnv]] = field(default_factory=dict)
+
+    def trace(self, name: str) -> FixpointTrace:
+        for t in self.traces:
+            if t.name == name:
+                return t
+        raise AnalysisError(f"no fixpoint trace for {name!r}")
+
+    def iterates_for(self, name: str) -> list[AbsEnv]:
+        """The fixpoint iterates of ``name``'s component (bottom first),
+        each extended with the solved dependency environment."""
+        try:
+            return self.scc_iterates[name]
+        except KeyError:
+            raise AnalysisError(f"no fixpoint iterates for {name!r}") from None
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one analysis query."""
+
+    solve_hits: int = 0
+    solve_misses: int = 0
+    scc_hits: int = 0
+    scc_misses: int = 0
+    iterations: int = 0
+    eval_steps: int = 0
+
+    def add(self, other: "QueryStats") -> None:
+        self.solve_hits += other.solve_hits
+        self.solve_misses += other.solve_misses
+        self.scc_hits += other.scc_hits
+        self.scc_misses += other.scc_misses
+        self.iterations += other.iterations
+        self.eval_steps += other.eval_steps
+
+    def summary(self) -> str:
+        return (
+            f"solve cache {self.solve_hits} hit(s) / {self.solve_misses} miss(es), "
+            f"scc cache {self.scc_hits} hit(s) / {self.scc_misses} miss(es), "
+            f"{self.iterations} fixpoint iteration(s), "
+            f"{self.eval_steps} eval step(s)"
+        )
+
+
+@dataclass
+class SessionStats(QueryStats):
+    """Aggregate accounting across every query of a session."""
+
+    queries: int = 0
+    last_query: QueryStats | None = None
+
+    def summary(self) -> str:
+        return f"{self.queries} query(ies): " + super().summary()
+
+
+@dataclass
+class _SCCEntry:
+    """One cached per-SCC fixpoint.  The entry object itself is the
+    provenance token downstream components key their reuse on."""
+
+    values: dict[str, EscapeValue]
+    traces: list[FixpointTrace]
+    iterates: list[AbsEnv]
+    base_env: AbsEnv
+    iterations: int
+
+
+class AnalysisSession:
+    """A cache-carrying scope for escape-analysis queries over one program.
+
+    The session owns the base (unpinned) inference, the solve cache, the
+    per-SCC fixpoint cache, and the registry of abstract evaluators whose
+    closures may be re-entered by later queries (so budget meters can be
+    installed on all of them for the duration of a query).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        d: int | None = None,
+        max_iterations: int | None = None,
+    ):
+        self.program = program
+        self.d_override = d
+        self.max_iterations = max_iterations
+        # Base inference: exposes the (possibly polymorphic) schemes and
+        # stamps the caller's AST with the default instance, as the
+        # pre-session analyzer did.
+        self._base_inference = infer_program(program)
+        self.program_fingerprint = program_fingerprint(program)
+        self.stats = SessionStats()
+        self._solve_cache: dict[tuple, SolvedProgram] = {}
+        self._scc_cache: dict[tuple, _SCCEntry] = {}
+        #: Every evaluator this session ever created.  Cached closure
+        #: values tick their *creating* evaluator, so a query's meter must
+        #: be installed on all of them, and cleared afterwards.
+        self._evaluators: list[AbstractEvaluator] = []
+        self._active_meter: "BudgetMeter | None" = None
+        self._query_depth = 0
+        self._current: QueryStats | None = None
+        self._steps_at_begin = 0
+
+    # -- schemes -----------------------------------------------------------
+
+    @property
+    def schemes(self) -> dict[str, TypeScheme]:
+        return self._base_inference.schemes
+
+    def scheme(self, name: str) -> TypeScheme:
+        return self._base_inference.scheme(name)
+
+    # -- query scope -------------------------------------------------------
+
+    @contextmanager
+    def query(self, meter: "BudgetMeter | None" = None) -> Iterator[QueryStats]:
+        """Scope one query: installs ``meter`` on every session evaluator
+        (outermost scope wins) and tallies the query's work on exit."""
+        self._query_depth += 1
+        if self._query_depth == 1:
+            self.stats.queries += 1
+            self._current = QueryStats()
+            self._active_meter = meter
+            for evaluator in self._evaluators:
+                evaluator.meter = meter
+            self._steps_at_begin = sum(e.steps for e in self._evaluators)
+        current = self._current
+        assert current is not None
+        try:
+            yield current
+        finally:
+            self._query_depth -= 1
+            if self._query_depth == 0:
+                for evaluator in self._evaluators:
+                    evaluator.meter = None
+                self._active_meter = None
+                steps = sum(e.steps for e in self._evaluators) - self._steps_at_begin
+                current.eval_steps += steps
+                self.stats.eval_steps += steps
+                self.stats.last_query = current
+                self._current = None
+
+    def _new_evaluator(self, chain: BeChain) -> AbstractEvaluator:
+        evaluator = AbstractEvaluator(
+            chain, max_iterations=self.max_iterations, meter=self._active_meter
+        )
+        self._evaluators.append(evaluator)
+        return evaluator
+
+    def _tally(self, **deltas: int) -> None:
+        for target in (self.stats, self._current):
+            if target is None:
+                continue
+            for name, delta in deltas.items():
+                setattr(target, name, getattr(target, name) + delta)
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, pins: dict[str, Type] | None = None) -> SolvedProgram:
+        """The solved program at ``pins`` — cached across queries."""
+        if self._active_meter is not None:
+            self._active_meter.check_deadline()
+        key = (
+            self.program_fingerprint,
+            pins_fingerprint(pins),
+            self.d_override,
+            self.max_iterations,
+        )
+        cached = self._solve_cache.get(key)
+        if cached is not None:
+            self._tally(solve_hits=1)
+            return cached
+        self._tally(solve_misses=1)
+        solved = self._solve_program(clone_program(self.program), pins)
+        self._solve_cache[key] = solved
+        return solved
+
+    def solve_call(
+        self, expr
+    ) -> tuple[SolvedProgram, EscapeValue, str]:
+        """Solve the program extended with call body ``expr`` (the local
+        test's variant), isolated from both the caller's AST and the
+        session program.
+
+        Returns the solved variant, the abstract value of the call's head,
+        and a display label.  When the head is a top-level function the
+        solve is pinned to the monotype instance the call uses (discovered
+        by a first inference pass over the private clone, cf. §4.2).
+        """
+        if self._active_meter is not None:
+            self._active_meter.check_deadline()
+        head, _ = uncurry_app(expr)
+        variant = Program(
+            letrec=Letrec(bindings=self.program.bindings, body=expr),
+            source=self.program.source,
+        )
+        work = clone_program(variant)
+        if isinstance(head, Var) and head.name in self.program.binding_names():
+            infer_program(work)
+            work_head, _ = uncurry_app(work.body)
+            assert work_head.ty is not None
+            solved = self._solve_program(work, pins={head.name: work_head.ty})
+            return solved, solved.env[head.name], head.name
+        solved = self._solve_program(work, pins=None)
+        solved_head, _ = uncurry_app(solved.program.body)
+        return solved, solved.evaluator.eval(solved_head, solved.env), "<expr>"
+
+    def _solve_program(
+        self, program: Program, pins: dict[str, Type] | None
+    ) -> SolvedProgram:
+        """Infer ``program`` (a session-private clone, mutated in place)
+        with ``pins`` and solve its letrec fixpoint per SCC."""
+        inference = infer_program(program, pins=pins)
+        d = (
+            self.d_override
+            if self.d_override is not None
+            else program_spine_bound(program)
+        )
+        chain = BeChain(d)
+        evaluator = self._new_evaluator(chain)
+        env, traces, scc_iterates = self._solve_sccs(program, d, chain)
+        return SolvedProgram(
+            inference=inference,
+            evaluator=evaluator,
+            env=env,
+            d=d,
+            program=program,
+            traces=traces,
+            scc_iterates=scc_iterates,
+        )
+
+    def _solve_sccs(
+        self, program: Program, d: int, chain: BeChain
+    ) -> tuple[AbsEnv, list[FixpointTrace], dict[str, list[AbsEnv]]]:
+        env: AbsEnv = {}
+        provenance: dict[str, _SCCEntry] = {}
+        traces: list[FixpointTrace] = []
+        scc_iterates: dict[str, list[AbsEnv]] = {}
+        for scc in binding_sccs(program.letrec):
+            dep_names = sorted(scc.dependencies)
+            key = (
+                bindings_fingerprint(scc.bindings, include_types=True),
+                d,
+                self.max_iterations,
+                tuple((name, id(provenance[name])) for name in dep_names),
+            )
+            entry = self._scc_cache.get(key)
+            if entry is None:
+                self._tally(scc_misses=1)
+                scc_evaluator = self._new_evaluator(chain)
+                knot = Letrec(bindings=scc.bindings, body=program.body)
+                solved_env = scc_evaluator.solve_bindings(knot, env)
+                entry = _SCCEntry(
+                    values={name: solved_env[name] for name in scc.names},
+                    traces=list(scc_evaluator.traces),
+                    iterates=[dict(it) for it in scc_evaluator.iterates],
+                    base_env={name: env[name] for name in dep_names},
+                    iterations=max(0, len(scc_evaluator.iterates) - 1),
+                )
+                self._scc_cache[key] = entry
+                self._tally(iterations=entry.iterations)
+            else:
+                self._tally(scc_hits=1)
+            for name in scc.names:
+                env[name] = entry.values[name]
+                provenance[name] = entry
+                scc_iterates[name] = [
+                    {**entry.base_env, **iterate} for iterate in entry.iterates
+                ]
+            traces.extend(entry.traces)
+        order = {name: i for i, name in enumerate(program.binding_names())}
+        traces.sort(key=lambda t: order[t.name])
+        return env, traces, scc_iterates

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.escape.analyzer import EscapeAnalysis
 from repro.escape.results import EscapeTestResult
+from repro.query import AnalysisSession
 from repro.escape.worst import worst_test_result
 from repro.lang.ast import Program, Var, uncurry_app
 from repro.lang.errors import AnalysisError
@@ -116,6 +117,11 @@ class HardenedAnalysis:
         for name in program.binding_names():
             ty = program.binding(name).expr.ty
             self._param_types[name] = tuple(fun_args(ty)[0]) if ty is not None else ()
+        #: One query session shared by every query (and retry attempt) of
+        #: this engine: repeated questions hit the solve/SCC caches, so a
+        #: per-query budget is charged only for the cache *misses* the
+        #: query actually solves (deadlines are still enforced per query).
+        self.session = AnalysisSession(program, d=d, max_iterations=max_iterations)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -142,6 +148,7 @@ class HardenedAnalysis:
                     d=self.d,
                     max_iterations=self.max_iterations,
                     meter=meter,
+                    session=self.session,
                 )
                 return query(analysis)
             except Exception as error:

@@ -213,6 +213,45 @@ def list_of(ty: Type, depth: int = 1) -> Type:
     return ty
 
 
+def type_fingerprint(ty: Type) -> str:
+    """A stable, canonical token string for ``ty``.
+
+    Type variables are renumbered by first occurrence, so two types that
+    differ only in the identity of their inference variables fingerprint
+    identically — the property the query-engine cache keys need (a pin of
+    ``t17 list`` and of ``t99 list`` is the same pin).
+    """
+    names: dict[TVar, int] = {}
+
+    def go(t: Type) -> str:
+        if isinstance(t, TInt):
+            return "int"
+        if isinstance(t, TBool):
+            return "bool"
+        if isinstance(t, TVar):
+            if t not in names:
+                names[t] = len(names) + 1
+            return f"a{names[t]}"
+        if isinstance(t, TList):
+            return f"(list {go(t.element)})"
+        if isinstance(t, TFun):
+            return f"(fun {go(t.arg)} {go(t.result)})"
+        if isinstance(t, TProd):
+            return f"(prod {go(t.fst)} {go(t.snd)})"
+        raise TypeError(f"cannot fingerprint {type(t).__name__}")
+
+    return go(ty)
+
+
+def pins_fingerprint(pins: "dict[str, Type] | None") -> str:
+    """A stable key for a set of monotype pins (empty string for none)."""
+    if not pins:
+        return ""
+    return ";".join(
+        f"{name}:{type_fingerprint(pins[name])}" for name in sorted(pins)
+    )
+
+
 def max_spines_in(ty: Type) -> int:
     """The deepest spine count of any list type occurring inside ``ty``.
 

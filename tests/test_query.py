@@ -1,0 +1,194 @@
+"""The query engine (:mod:`repro.query`): solve/SCC caching, per-query
+stats, AST isolation (the local-test sharing hazard), and session reuse
+across facades and the hardened engine."""
+
+import pytest
+
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.errors import AnalysisError
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.query import AnalysisSession
+from repro.robust.budget import AnalysisBudget
+from repro.robust.engine import HardenedAnalysis
+from repro.types.types import INT, TFun, TList
+
+DEEP_APPEND = TFun(TList(TList(INT)), TFun(TList(TList(INT)), TList(TList(INT))))
+
+
+class TestSolveCache:
+    def test_identical_solves_share_the_solved_program(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort)
+        first = analysis.solve(None)
+        second = analysis.solve(None)
+        assert first is second
+        assert analysis.stats.solve_misses == 1
+        assert analysis.stats.solve_hits == 1
+
+    def test_cache_hit_costs_no_fixpoint_iterations(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort)
+        analysis.global_all("append")
+        warm = analysis.stats.iterations
+        assert warm > 0
+        analysis.global_all("split")
+        assert analysis.stats.iterations == warm
+        assert analysis.session.stats.last_query.iterations == 0
+
+    def test_pins_key_the_cache(self):
+        program = prelude_program(["append"])
+        analysis = EscapeAnalysis(program)
+        default = analysis.solve(None)
+        pinned = analysis.solve({"append": DEEP_APPEND})
+        assert pinned is not default
+        assert pinned.d == 2 and default.d == 1
+        assert analysis.solve({"append": DEEP_APPEND}) is pinned
+
+    def test_pinned_scc_reuse(self):
+        # Pinning `copy` deeper leaves append's and heads' typed
+        # fingerprints untouched: their cached fixpoints are reused.
+        program = prelude_program(["append", "heads", "copy"])
+        analysis = EscapeAnalysis(program)
+        analysis.solve(None)
+        deep_copy = TFun(TList(TList(INT)), TList(TList(INT)))
+        analysis.solve({"copy": deep_copy})
+        query = analysis.session.stats.last_query
+        assert query.scc_hits == 2
+        assert query.scc_misses == 1
+
+
+class TestAstIsolation:
+    """The satellite regression: solves run on private clones, so queries
+    never clobber ``.ty`` annotations on the caller's (shared) AST."""
+
+    def test_interleaved_local_and_global_tests_leave_the_ast_alone(self):
+        program = prelude_program(["append"])
+        analysis = EscapeAnalysis(program)
+        ty_before = program.binding("append").expr.ty
+        assert ty_before is not None
+
+        shallow_before = analysis.global_test("append", 1)
+        # A local test at a *deeper* instance: pre-refactor, the variant
+        # program shared these binding nodes and the pinned re-inference
+        # re-typed them in place.
+        deep_local = analysis.local_test("append [[1], [2]] [[3]]")
+        assert program.binding("append").expr.ty == ty_before
+        shallow_after = analysis.global_test("append", 1)
+        another_local = analysis.local_test("append [1, 2] [3]")
+
+        assert shallow_before.result == shallow_after.result
+        assert str(shallow_after.result) == "<1,0>"
+        assert str(deep_local[0].result) == "<1,1>"
+        assert str(another_local[0].result) == "<1,0>"
+        assert program.binding("append").expr.ty == ty_before
+
+    def test_local_test_does_not_mutate_the_call_expression(self, partition_sort):
+        from repro.lang.parser import parse_expr
+
+        expr = parse_expr("append (ps [2, 1]) [3]")
+        snapshot = {node.uid: node.ty for node in _walk(expr)}
+        EscapeAnalysis(partition_sort).local_test(expr)
+        assert {node.uid: node.ty for node in _walk(expr)} == snapshot
+
+    def test_global_solves_do_not_retouch_the_program_ast(self):
+        program = prelude_program(["append"])
+        analysis = EscapeAnalysis(program)
+        snapshot = {node.uid: node.ty for node in _walk(program.letrec)}
+        analysis.global_test("append", 1, instance=DEEP_APPEND)
+        assert {node.uid: node.ty for node in _walk(program.letrec)} == snapshot
+
+
+def _walk(expr):
+    from repro.lang.ast import walk
+
+    return walk(expr)
+
+
+class TestSessionSharing:
+    def test_two_facades_share_one_session(self, partition_sort):
+        session = AnalysisSession(partition_sort)
+        first = EscapeAnalysis(partition_sort, session=session)
+        second = EscapeAnalysis(partition_sort, session=session)
+        first.global_all("append")
+        second.global_all("ps")
+        assert session.stats.solve_misses == 1
+        assert session.stats.solve_hits == 1
+
+    def test_session_for_another_program_is_rejected(self, partition_sort):
+        other = prelude_program(["append"])
+        session = AnalysisSession(other)
+        with pytest.raises(AnalysisError):
+            EscapeAnalysis(partition_sort, session=session)
+
+    def test_conflicting_configuration_is_rejected(self, partition_sort):
+        session = AnalysisSession(partition_sort, d=2)
+        with pytest.raises(AnalysisError):
+            EscapeAnalysis(partition_sort, d=5, session=session)
+        with pytest.raises(AnalysisError):
+            EscapeAnalysis(partition_sort, max_iterations=1, session=session)
+
+    def test_facade_inherits_session_configuration(self, partition_sort):
+        session = AnalysisSession(partition_sort, d=5)
+        analysis = EscapeAnalysis(partition_sort, session=session)
+        assert analysis.d_override == 5
+        assert analysis.solve(None).d == 5
+
+
+class TestStats:
+    def test_stats_account_for_work(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort)
+        analysis.global_all("append")
+        stats = analysis.stats
+        assert stats.queries == 1
+        assert stats.iterations > 0
+        assert stats.eval_steps > 0
+        assert stats.scc_misses == 3  # append, split, ps knots
+
+    def test_summary_mentions_every_counter(self, partition_sort):
+        analysis = EscapeAnalysis(partition_sort)
+        analysis.global_all("append")
+        analysis.global_all("split")
+        text = analysis.stats.summary()
+        assert "query(ies)" in text
+        assert "solve cache" in text and "scc cache" in text
+        assert "iteration" in text and "eval step" in text
+
+    def test_iterates_replay_available_per_binding(self, partition_sort):
+        solved = EscapeAnalysis(partition_sort).solve(None)
+        iterates = solved.iterates_for("ps")
+        assert len(iterates) >= 2
+        # bottom first, and the dependency values are present throughout
+        assert all("append" in env and "split" in env for env in iterates)
+        with pytest.raises(AnalysisError):
+            solved.iterates_for("ghost")
+
+
+class TestBudgetsChargeOnlyMisses:
+    def test_repeat_query_spends_no_iterations(self):
+        engine = HardenedAnalysis(
+            paper_partition_sort(), budget=AnalysisBudget(max_fixpoint_iterations=50)
+        )
+        first = engine.global_test("append", 1)
+        second = engine.global_test("append", 1)
+        assert first.exact and second.exact
+        assert first.spent.iterations > 0
+        assert second.spent.iterations == 0
+        assert first.result.result == second.result.result
+
+    def test_meter_does_not_leak_into_later_queries(self, partition_sort):
+        # A breached (deadline-0) query must not poison the session's
+        # cached evaluators for later, unbudgeted queries.
+        session = AnalysisSession(partition_sort)
+        warm = EscapeAnalysis(partition_sort, session=session)
+        warm.global_all("append")
+
+        from repro.robust.budget import BudgetMeter
+
+        meter = AnalysisBudget(deadline_s=0.0).start()
+        budgeted = EscapeAnalysis(partition_sort, meter=meter, session=session)
+        from repro.robust.errors import DeadlineExceeded
+
+        with pytest.raises(DeadlineExceeded):
+            budgeted.global_all("ps")
+
+        relaxed = EscapeAnalysis(partition_sort, session=session)
+        results = relaxed.global_all("ps")  # must not raise
+        assert str(results[0].result) == "<1,0>"

@@ -1,0 +1,86 @@
+"""Strongly connected components of letrec binding graphs
+(:mod:`repro.escape.scc`): reference edges, Tarjan condensation, and the
+callees-first solve order the query engine schedules fixpoints in."""
+
+from repro.escape.scc import BindingSCC, binding_references, binding_sccs
+from repro.lang.parser import parse_program
+from repro.lang.prelude import paper_partition_sort, prelude_program
+
+MUTUAL = """f l = if null l then nil else g (cdr l);
+g l = if null l then nil else f (cdr l);
+h l = f l;
+f [1, 2]"""
+
+
+class TestBindingReferences:
+    def test_partition_sort_edges(self, partition_sort):
+        refs = binding_references(partition_sort.letrec)
+        assert refs["append"] == {"append"}
+        assert refs["split"] == {"split"}
+        assert refs["ps"] == {"append", "split", "ps"}
+
+    def test_only_siblings_count(self):
+        program = parse_program("f x = cons x nil;\nf 1")
+        refs = binding_references(program.letrec)
+        # `cons`/`nil` are primitives and `x` is lambda-bound: no edges.
+        assert refs == {"f": frozenset()}
+
+    def test_shadowed_sibling_is_not_an_edge(self):
+        # g's parameter shadows the sibling binding f, so g does not
+        # depend on it.
+        program = parse_program("f x = x;\ng f = f 1;\ng f")
+        refs = binding_references(program.letrec)
+        assert refs["g"] == frozenset()
+
+
+class TestBindingSCCs:
+    def test_singletons_in_topological_order(self, partition_sort):
+        sccs = binding_sccs(partition_sort.letrec)
+        assert [scc.names for scc in sccs] == [("append",), ("split",), ("ps",)]
+        assert sccs[0].dependencies == frozenset()
+        assert sccs[1].dependencies == frozenset()
+        assert sccs[2].dependencies == {"append", "split"}
+
+    def test_mutual_recursion_is_one_component(self):
+        program = parse_program(MUTUAL)
+        sccs = binding_sccs(program.letrec)
+        assert [scc.names for scc in sccs] == [("f", "g"), ("h",)]
+        assert sccs[0].dependencies == frozenset()
+        assert sccs[1].dependencies == {"f"}
+
+    def test_component_keeps_program_binding_order(self):
+        # Same knot declared in the opposite order: members stay in
+        # program order inside the component.
+        program = parse_program(
+            "g l = if null l then nil else f (cdr l);\n"
+            "f l = if null l then nil else g (cdr l);\n"
+            "f [1]"
+        )
+        (scc,) = binding_sccs(program.letrec)
+        assert scc.names == ("g", "f")
+
+    def test_dependencies_precede_their_dependents(self):
+        program = prelude_program(["ps", "rev", "isort"])
+        sccs = binding_sccs(program.letrec)
+        seen: set[str] = set()
+        for scc in sccs:
+            assert scc.dependencies <= seen
+            seen |= set(scc.names)
+        assert seen == set(program.binding_names())
+
+    def test_decomposition_is_deterministic(self):
+        program = prelude_program(["ps", "msort", "concat"])
+        first = binding_sccs(program.letrec)
+        second = binding_sccs(program.letrec)
+        assert [s.names for s in first] == [s.names for s in second]
+        assert [s.dependencies for s in first] == [s.dependencies for s in second]
+
+    def test_empty_letrec(self):
+        program = parse_program("1 + 2")
+        assert binding_sccs(program.letrec) == []
+
+    def test_scc_is_hashable_value(self):
+        (scc,) = binding_sccs(parse_program("f x = f x;\nf 1").letrec)
+        assert isinstance(scc, BindingSCC)
+        assert scc.names == ("f",)
+        assert hash(scc) == hash(scc)
