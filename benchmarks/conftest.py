@@ -8,11 +8,25 @@ operation with pytest-benchmark.  Run with ``-s`` to see the regenerated
 tables alongside the timings::
 
     pytest benchmarks/ --benchmark-only -s
+
+Observability: every benchmark runs under a metrics-folding tracer, and
+``pytest_sessionfinish`` writes ``BENCH_obs.json`` at the repo root —
+per-experiment storage counters, session stats, and wall time — so a run's
+observable behaviour can be diffed across commits without re-timing it.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.obs import MetricsSink, MetricsRegistry, Tracer, activate
+
+#: nodeid -> {"wall_s": float, "counters": {formatted key: value}}
+_RESULTS: dict[str, dict] = {}
 
 
 def pytest_configure(config):
@@ -21,3 +35,28 @@ def pytest_configure(config):
     config.option.benchmark_min_rounds = min(
         getattr(config.option, "benchmark_min_rounds", 5) or 5, 3
     )
+
+
+@pytest.fixture(autouse=True)
+def _observe_benchmark(request):
+    """Fold every traced event of one experiment into its own registry."""
+    registry = MetricsRegistry()
+    tracer = Tracer(sinks=[MetricsSink(registry)])
+    started = time.perf_counter()
+    with activate(tracer):
+        yield
+    wall_s = time.perf_counter() - started
+    counters = {
+        key: value for key, value in sorted(registry.snapshot().items()) if value
+    }
+    _RESULTS[request.node.nodeid] = {
+        "wall_s": round(wall_s, 6),
+        "counters": counters,
+    }
+
+
+def pytest_sessionfinish(session):
+    if not _RESULTS:
+        return
+    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")

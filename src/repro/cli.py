@@ -9,17 +9,25 @@ Commands
 * ``observe``  — ground-truth escapement of one call on the instrumented heap
 * ``spines``   — the Figure 1 spine decomposition of a list literal
 * ``optimize`` — apply an optimization and show the transformed program
+* ``trace``    — run the analysis under the tracer and emit the JSONL trace
 
 Programs are read from a file path or, with ``-e``, from the argument
 itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
 source prefixed with ``@`` for function arguments (``@pair``).
+
+Observability: ``run``/``report``/``analyze``/``optimize`` accept
+``--trace FILE`` (write a JSONL event trace) and ``--profile`` (print a
+profile report to stderr when the command finishes); ``report``,
+``analyze`` and ``observe`` accept ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast as python_ast
+import json
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis.sharing import sharing_global
@@ -72,6 +80,50 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="treat a degraded (non-exact) answer as a hard error (exit 1)",
     )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a JSONL event trace of everything the command does",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a profile report (spans, caches, fixpoints) to stderr",
+    )
+
+
+@contextmanager
+def _obs_scope(args: argparse.Namespace):
+    """Activate a tracer around a command when ``--trace``/``--profile``
+    asked for one.  Commands without those flags pass through untouched
+    (`getattr` defaults), as does ``trace``, which owns its tracer."""
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if (not trace_path and not profile) or getattr(args, "handler", None) is _cmd_trace:
+        yield
+        return
+
+    from repro.obs import JsonlSink, RingBufferSink, Tracer, activate
+    from repro.obs.profile import profile_report
+
+    sinks: list = []
+    jsonl = JsonlSink.open(trace_path) if trace_path else None
+    if jsonl is not None:
+        sinks.append(jsonl)
+    ring = RingBufferSink() if profile else None
+    if ring is not None:
+        sinks.append(ring)
+    try:
+        with activate(Tracer(sinks=sinks)):
+            yield
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+        if ring is not None:
+            print(profile_report(ring.events), end="", file=sys.stderr)
 
 
 def _budget_from(args: argparse.Namespace):
@@ -127,7 +179,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    print(analysis_report(_load_program(args), include_stats=args.stats), end="")
+    program = _load_program(args)
+    if args.json:
+        from repro.escape.report import report_json
+
+        print(json.dumps(report_json(program, include_stats=args.stats), indent=2))
+        return 0
+    print(analysis_report(program, include_stats=args.stats), end="")
     return 0
 
 
@@ -135,59 +193,94 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     program = _load_program(args)
     if _wants_robust(args):
         return _cmd_analyze_robust(args, program)
+    from repro.escape.report import result_dict
+
     analysis = EscapeAnalysis(program)
+    doc: dict = {"mode": "exact", "results": [], "errors": []}
     if args.local:
         results = analysis.local_test(args.local)
         for result in results:
-            print(f"{result}  —  {result.describe()}")
-        if args.stats:
-            print(f"-- stats: {analysis.stats.summary()}")
-        return 0
+            if args.json:
+                doc["results"].append(result_dict(result))
+            else:
+                print(f"{result}  —  {result.describe()}")
+        return _finish_analyze(args, analysis, doc)
     names = [args.function] if args.function else list(program.binding_names())
     for name in names:
         try:
             results = analysis.global_all(name)
         except NmlError as error:
-            print(f"{name}: {error.message}")
+            if args.json:
+                doc["errors"].append({"function": name, "error": error.message})
+            else:
+                print(f"{name}: {error.message}")
             continue
         for result in results:
-            print(f"{result}  —  {result.describe()}")
-        if args.sharing:
+            if args.json:
+                doc["results"].append(result_dict(result))
+            else:
+                print(f"{result}  —  {result.describe()}")
+        if args.sharing and not args.json:
             try:
                 print(f"  {sharing_global(analysis, name).describe()}")
             except NmlError:
                 pass
-    if args.stats:
+    return _finish_analyze(args, analysis, doc)
+
+
+def _finish_analyze(args: argparse.Namespace, analysis, doc: dict) -> int:
+    from repro.escape.report import stats_dict
+
+    if args.json:
+        if args.stats:
+            doc["stats"] = stats_dict(analysis.stats)
+        print(json.dumps(doc, indent=2))
+    elif args.stats:
         print(f"-- stats: {analysis.stats.summary()}")
     return 0
 
 
 def _cmd_analyze_robust(args: argparse.Namespace, program: Program) -> int:
+    from repro.escape.report import result_dict, stats_dict
     from repro.robust.engine import HardenedAnalysis
 
     engine = HardenedAnalysis(program, budget=_budget_from(args))
     degraded: list[str] = []
+    doc: dict = {"mode": "robust", "results": []}
 
     def show(robust) -> None:
         result = robust.result
+        if args.json:
+            entry = result_dict(result)
+            entry["degraded"] = robust.degraded
+            if robust.degraded:
+                entry["degradation"] = {
+                    "reason": robust.degradation.reason,
+                    "stage": robust.degradation.stage,
+                }
+            doc["results"].append(entry)
         if robust.degraded:
             d = robust.degradation
-            print(f"{result}  —  {result.describe()}  [degraded: {d.reason}]")
+            if not args.json:
+                print(f"{result}  —  {result.describe()}  [degraded: {d.reason}]")
             degraded.append(f"{result.function}/{result.param_index}: {d}")
-        else:
+        elif not args.json:
             print(f"{result}  —  {result.describe()}")
 
     if args.local:
         for robust in engine.local_test(args.local):
             show(robust)
+    else:
+        names = [args.function] if args.function else list(program.binding_names())
+        for name in names:
+            for robust in engine.global_all(name):
+                show(robust)
+    if args.json:
+        doc["degraded"] = bool(degraded)
         if args.stats:
-            print(f"-- stats: {engine.session.stats.summary()}")
-        return _finish_degraded(args, degraded)
-    names = [args.function] if args.function else list(program.binding_names())
-    for name in names:
-        for robust in engine.global_all(name):
-            show(robust)
-    if args.stats:
+            doc["stats"] = stats_dict(engine.session.stats)
+        print(json.dumps(doc, indent=2))
+    elif args.stats:
         print(f"-- stats: {engine.session.stats.summary()}")
     return _finish_degraded(args, degraded)
 
@@ -202,6 +295,20 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     program = _load_program(args)
     call_args = [_parse_observer_arg(a) for a in args.args]
     observed = observe_escape(program, args.function, call_args, args.index)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "function": args.function,
+                    "param_index": args.index,
+                    "escapement": str(observed.as_escapement()),
+                    "escaped": observed.escaped,
+                    "escaped_levels": sorted(observed.escaped_levels),
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"observed escapement: {observed.as_escapement()}")
     if observed.escaped:
         levels = ", ".join(str(l) for l in sorted(observed.escaped_levels))
@@ -268,6 +375,38 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the full analysis (and optionally the program) under the tracer
+    and emit the JSONL event trace — to ``--out`` or stdout."""
+    from repro.escape.report import global_table
+    from repro.obs import JsonlSink, RingBufferSink, Tracer, activate
+    from repro.obs.profile import profile_report
+
+    program = _load_program(args)
+    ring = RingBufferSink()
+    sinks: list = [ring]
+    jsonl = JsonlSink.open(args.out) if args.out else None
+    if jsonl is not None:
+        sinks.append(jsonl)
+    try:
+        with activate(Tracer(sinks=sinks)):
+            global_table(program)
+            if args.run:
+                runtime = Interpreter(auto_gc=args.gc)
+                runtime.run(program)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    if jsonl is None:
+        for event in ring.events:
+            print(json.dumps(event, separators=(",", ":"), default=str))
+    else:
+        print(f"wrote {ring.total} event(s) to {args.out}", file=sys.stderr)
+    if args.profile:
+        print(profile_report(ring.events), end="", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -288,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the storage-safety sanitizer (halts on unsound reuse/reclaim)",
     )
+    _add_obs_args(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = commands.add_parser("report", help="full analysis report")
@@ -297,6 +437,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append query-session accounting (cache hits, iterations, steps)",
     )
+    report_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_obs_args(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
 
     analyze_parser = commands.add_parser("analyze", help="escape tests")
@@ -309,7 +453,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print query-session accounting (cache hits, iterations, steps)",
     )
+    analyze_parser.add_argument(
+        "--json", action="store_true", help="emit the results as JSON"
+    )
     _add_budget_args(analyze_parser)
+    _add_obs_args(analyze_parser)
     analyze_parser.set_defaults(handler=_cmd_analyze)
 
     observe_parser = commands.add_parser("observe", help="ground-truth escapement")
@@ -317,6 +465,9 @@ def build_parser() -> argparse.ArgumentParser:
     observe_parser.add_argument("function")
     observe_parser.add_argument("args", nargs="+", help="Python literals; @src for nml")
     observe_parser.add_argument("--index", "-i", type=int, default=1)
+    observe_parser.add_argument(
+        "--json", action="store_true", help="emit the observation as JSON"
+    )
     observe_parser.set_defaults(handler=_cmd_observe)
 
     spines_parser = commands.add_parser("spines", help="Figure 1 for a list literal")
@@ -339,7 +490,22 @@ def build_parser() -> argparse.ArgumentParser:
         "and discard the transforms if it misbehaves",
     )
     _add_budget_args(optimize_parser)
+    _add_obs_args(optimize_parser)
     optimize_parser.set_defaults(handler=_cmd_optimize)
+
+    trace_parser = commands.add_parser(
+        "trace", help="emit a JSONL event trace of the analysis"
+    )
+    _add_program_arg(trace_parser)
+    trace_parser.add_argument("--out", metavar="FILE", help="write here instead of stdout")
+    trace_parser.add_argument(
+        "--run", action="store_true", help="also execute the program under the tracer"
+    )
+    trace_parser.add_argument("--gc", action="store_true", help="with --run: enable GC")
+    trace_parser.add_argument(
+        "--profile", action="store_true", help="print a profile report to stderr"
+    )
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     return parser
 
@@ -348,7 +514,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.handler(args)
+        with _obs_scope(args):
+            return args.handler(args)
     except NmlError as error:
         print(f"error: {error.format()}", file=sys.stderr)
         return 1

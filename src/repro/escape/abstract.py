@@ -52,6 +52,7 @@ from repro.lang.ast import (
     free_vars,
 )
 from repro.lang.errors import AnalysisError
+from repro.obs import tracer as obs
 from repro.robust import faults
 from repro.types.types import TFun, TList, TProd, Type, contains_function, spines
 
@@ -257,8 +258,10 @@ class AbstractEvaluator:
             b.name: fingerprint(BOTTOM, b.expr.ty, self.chain) for b in bindings
         }
         self.iterates = [dict(current)]
+        tracing = obs.tracing()
+        names = [b.name for b in bindings]
 
-        for _ in range(cap):
+        for k in range(1, cap + 1):
             if self.meter is not None:
                 self.meter.tick_iteration()
             iter_env = {**env, **current}
@@ -271,9 +274,17 @@ class AbstractEvaluator:
                 traces[b.name].fingerprints.append(new_fps[b.name])
             current = new_values
             self.iterates.append(dict(current))
+            if tracing is not None:
+                tracing.emit(
+                    "fixpoint_iteration",
+                    iteration=k,
+                    values={name: str(new_fps[name]) for name in names},
+                )
             if new_fps == previous_fps:
                 for trace in traces.values():
                     trace.converged = True
+                if tracing is not None:
+                    tracing.emit("fixpoint_converged", names=names, iterations=k)
                 break
             previous_fps = new_fps
         else:
@@ -283,6 +294,8 @@ class AbstractEvaluator:
                     self.chain.top, worst_fun(binding.expr.ty)
                 )
                 traces[binding.name].widened = True
+            if tracing is not None:
+                tracing.emit("fixpoint_widened", names=names, cap=cap)
 
         return {**env, **current}
 

@@ -30,6 +30,7 @@ from repro.lang.ast import Expr, uncurry_app
 from repro.lang.errors import AnalysisError
 from repro.lang.parser import parse_expr
 from repro.lang.ast import Program
+from repro.obs import tracer as obs
 from repro.query import AnalysisSession, SessionStats, SolvedProgram
 from repro.types.types import Type, TypeScheme, arity, fun_args
 
@@ -133,13 +134,14 @@ class EscapeAnalysis:
     ) -> EscapeTestResult:
         """``G(function, i)`` — optionally at a pinned monotype instance."""
         pins = {function: instance} if instance is not None else None
-        with self.session.query(self.meter):
-            solved = self.session.solve(pins)
-            self.last_solved = solved
-            fn_type = self._binding_type(solved, function)
-            return run_global_test(
-                solved.evaluator, solved.env, function, fn_type, i, n_args=n_args
-            )
+        with obs.span("global_test", function=function, param=i):
+            with self.session.query(self.meter):
+                solved = self.session.solve(pins)
+                self.last_solved = solved
+                fn_type = self._binding_type(solved, function)
+                return run_global_test(
+                    solved.evaluator, solved.env, function, fn_type, i, n_args=n_args
+                )
 
     def global_all(
         self,
@@ -154,19 +156,22 @@ class EscapeAnalysis:
         function-typed instance as part of the *result*, not as parameters.
         """
         pins = {function: instance} if instance is not None else None
-        with self.session.query(self.meter):
-            solved = self.session.solve(pins)
-            self.last_solved = solved
-            fn_type = self._binding_type(solved, function)
-            n = n_args if n_args is not None else arity(fn_type)
-            if n == 0:
-                raise AnalysisError(f"{function} takes no arguments (type {fn_type})")
-            return [
-                run_global_test(
-                    solved.evaluator, solved.env, function, fn_type, i, n_args=n
-                )
-                for i in range(1, n + 1)
-            ]
+        with obs.span("global_all", function=function):
+            with self.session.query(self.meter):
+                solved = self.session.solve(pins)
+                self.last_solved = solved
+                fn_type = self._binding_type(solved, function)
+                n = n_args if n_args is not None else arity(fn_type)
+                if n == 0:
+                    raise AnalysisError(
+                        f"{function} takes no arguments (type {fn_type})"
+                    )
+                return [
+                    run_global_test(
+                        solved.evaluator, solved.env, function, fn_type, i, n_args=n
+                    )
+                    for i in range(1, n + 1)
+                ]
 
     def syntactic_arity(self, function: str) -> int:
         """The number of top-level lambdas of a binding — the paper's ``n``
@@ -196,7 +201,7 @@ class EscapeAnalysis:
         if not args:
             raise AnalysisError("local test target must be an application")
 
-        with self.session.query(self.meter):
+        with obs.span("local_test"), self.session.query(self.meter):
             solved, fn_value, label = self.session.solve_call(expr)
             self.last_solved = solved
 

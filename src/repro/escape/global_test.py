@@ -13,6 +13,7 @@ from repro.escape.abstract import AbsEnv, AbstractEvaluator
 from repro.escape.results import EscapeTestResult
 from repro.escape.worst import worst_value
 from repro.lang.errors import AnalysisError
+from repro.obs import tracer as obs
 from repro.types.types import Type, fun_args, spines
 
 
@@ -49,7 +50,7 @@ def run_global_test(
         result = result.apply(worst_value(arg_type, interesting=(j == i)))
 
     interesting_type = arg_types[i - 1]
-    return EscapeTestResult(
+    outcome = EscapeTestResult(
         function=function,
         param_index=i,
         param_spines=spines(interesting_type),
@@ -57,3 +58,11 @@ def run_global_test(
         result=evaluator.chain.check(result.be),
         kind="global",
     )
+    obs.emit(
+        "escape_test",
+        kind="global",
+        function=function,
+        param=i,
+        result=str(outcome.result),
+    )
+    return outcome

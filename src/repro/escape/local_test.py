@@ -14,6 +14,7 @@ from repro.escape.domain import EscapeValue
 from repro.escape.lattice import Escapement, NONE_ESCAPES
 from repro.escape.results import EscapeTestResult
 from repro.lang.errors import AnalysisError
+from repro.obs import tracer as obs
 from repro.types.types import Type, spines
 
 
@@ -47,7 +48,7 @@ def run_local_test(
         result = result.apply(EscapeValue(be, value.fn))
 
     interesting_type = arg_types[i - 1]
-    return EscapeTestResult(
+    outcome = EscapeTestResult(
         function=function,
         param_index=i,
         param_spines=spines(interesting_type),
@@ -55,3 +56,11 @@ def run_local_test(
         result=evaluator.chain.check(result.be),
         kind="local",
     )
+    obs.emit(
+        "escape_test",
+        kind="local",
+        function=function,
+        param=i,
+        result=str(outcome.result),
+    )
+    return outcome

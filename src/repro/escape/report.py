@@ -96,6 +96,85 @@ def analysis_report(
     return "\n".join(sections) + "\n"
 
 
+def result_dict(result: EscapeTestResult) -> dict:
+    """A machine-readable form of one escape-test result (``--json``)."""
+    return {
+        "kind": result.kind,
+        "function": result.function,
+        "param_index": result.param_index,
+        "param_spines": result.param_spines,
+        "result": str(result.result),
+        "escaping_spines": result.escaping_spines,
+        "non_escaping_spines": result.non_escaping_spines,
+        "description": result.describe(),
+    }
+
+
+def stats_dict(stats) -> dict:
+    """Query-session accounting as a plain dict (``--json``)."""
+    doc = {
+        "solve_hits": stats.solve_hits,
+        "solve_misses": stats.solve_misses,
+        "scc_hits": stats.scc_hits,
+        "scc_misses": stats.scc_misses,
+        "iterations": stats.iterations,
+        "eval_steps": stats.eval_steps,
+    }
+    queries = getattr(stats, "queries", None)
+    if queries is not None:
+        doc["queries"] = queries
+    return doc
+
+
+def report_json(
+    program: Program,
+    include_sharing: bool = True,
+    include_stats: bool = False,
+) -> dict:
+    """The full analysis report as a JSON-serializable document: the same
+    content as :func:`analysis_report`, structured for machines."""
+    analysis = EscapeAnalysis(program)
+    solved = analysis.solve(None)
+    doc: dict = {"d": solved.d, "functions": []}
+
+    for name in program.binding_names():
+        scheme = analysis.scheme(name)
+        if arity(scheme.body) == 0:
+            doc["functions"].append(
+                {"name": name, "scheme": str(scheme), "is_function": False}
+            )
+            continue
+        results = analysis.global_all(name)
+        assert analysis.last_solved is not None
+        trace = analysis.last_solved.trace(name)
+        doc["functions"].append(
+            {
+                "name": name,
+                "scheme": str(scheme),
+                "is_function": True,
+                "iterations": trace.iterations,
+                "converged": trace.converged,
+                "results": [result_dict(r) for r in results],
+            }
+        )
+
+    if include_sharing:
+        from repro.analysis.sharing import sharing_global
+
+        sharing = []
+        for name in program.binding_names():
+            try:
+                info = sharing_global(analysis, name)
+            except AnalysisError:
+                continue
+            sharing.append({"function": name, "description": info.describe()})
+        doc["sharing"] = sharing
+
+    if include_stats:
+        doc["stats"] = stats_dict(analysis.stats)
+    return doc
+
+
 def fixpoint_derivation(program: Program, function: str, i: int) -> list[str]:
     """Replay Appendix A.1's derivation: the value ``G(function, i)`` would
     take at each fixpoint iterate ``f⁽⁰⁾, f⁽¹⁾, ...``.

@@ -1,0 +1,53 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+The observation layer every other subsystem emits into:
+
+* :mod:`repro.obs.tracer` — the :class:`Tracer` (hierarchical spans, typed
+  events) and the module-level ``emit`` / ``span`` / ``tracing`` API the
+  instrumented modules call; **no tracer is active by default**, so every
+  instrumentation point is a single ``None`` check when disabled;
+* :mod:`repro.obs.events` — the typed event vocabulary and its validator;
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of labelled
+  counters/gauges/histograms that subsumes the legacy counter pots;
+* :mod:`repro.obs.sinks` — JSONL export, in-memory ring buffer, streaming
+  metrics aggregation;
+* :mod:`repro.obs.profile` — profile reports and trace *replay* (the
+  Appendix A.1 iteration table and the cache accounting, recomputed from a
+  trace file without re-running the analysis).
+
+Typical use::
+
+    from repro import obs
+    from repro.obs.sinks import RingBufferSink
+
+    ring = RingBufferSink()
+    with obs.activate(obs.Tracer(sinks=[ring])):
+        EscapeAnalysis(program).global_test("append", 1)
+    table = obs.profile.iteration_table(ring.events)
+"""
+
+from repro.obs import events, metrics, profile, sinks
+from repro.obs.events import validate_event, validate_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import JsonlSink, MetricsSink, RingBufferSink, read_trace
+from repro.obs.tracer import Span, Tracer, activate, emit, span, tracing
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "activate",
+    "emit",
+    "span",
+    "tracing",
+    "MetricsRegistry",
+    "JsonlSink",
+    "MetricsSink",
+    "RingBufferSink",
+    "read_trace",
+    "validate_event",
+    "validate_trace",
+    "events",
+    "metrics",
+    "profile",
+    "sinks",
+]

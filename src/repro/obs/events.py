@@ -1,0 +1,113 @@
+"""The typed event vocabulary of the observability layer.
+
+Every event the :class:`~repro.obs.tracer.Tracer` emits is a flat JSON
+object with a common envelope — ``seq`` (monotonic, from 0), ``ts``
+(seconds since the tracer started), ``type`` — plus the payload fields
+listed in :data:`EVENT_FIELDS`.  The vocabulary covers the whole pipeline:
+
+* **analysis** — ``solve`` (cache hit/miss), ``scc_solve_start`` /
+  ``scc_solve_finish``, ``fixpoint_iteration`` (per-binding lattice
+  values, the raw material of the Appendix A.1 tables),
+  ``fixpoint_converged`` / ``fixpoint_widened``, ``escape_test``,
+  ``query_stats``;
+* **hardened engine** — ``budget_charge``, ``degradation``;
+* **optimizer** — ``decision``, ``transform_applied``,
+  ``transform_skipped``;
+* **runtime** — ``cell_alloc``, ``cell_reuse``, ``cell_reclaim``,
+  ``region_push``, ``region_pop``, ``gc_run``;
+* **structure** — ``span_start`` / ``span_end`` (hierarchical timing).
+
+The schema is deliberately validation-friendly: :func:`validate_event`
+checks one decoded event, :func:`validate_trace` a whole JSONL stream —
+the check the CI trace-smoke step runs on every exported trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class TraceSchemaError(ValueError):
+    """A trace event does not conform to the event schema."""
+
+
+#: Envelope fields every event carries.
+ENVELOPE_FIELDS = ("seq", "ts", "type")
+
+#: Required payload fields per event type.
+EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    # structure
+    "span_start": ("id", "name"),
+    "span_end": ("id", "name", "dur_s", "self_s"),
+    # query engine / fixpoint
+    "solve": ("cache",),
+    "scc_solve_start": ("names",),
+    "scc_solve_finish": ("names", "cache", "iterations"),
+    "fixpoint_iteration": ("iteration", "values"),
+    "fixpoint_converged": ("names", "iterations"),
+    "fixpoint_widened": ("names", "cap"),
+    "escape_test": ("kind", "function", "param", "result"),
+    "query_stats": (
+        "solve_hits",
+        "solve_misses",
+        "scc_hits",
+        "scc_misses",
+        "iterations",
+        "eval_steps",
+    ),
+    # hardened engine
+    "budget_charge": ("wall_s", "eval_steps", "iterations"),
+    "degradation": ("reason", "stage"),
+    # optimizer
+    "decision": ("kind", "function", "param"),
+    "transform_applied": ("kind", "detail"),
+    "transform_skipped": ("kind", "reason"),
+    # instrumented runtime
+    "cell_alloc": ("cell", "kind"),
+    "cell_reuse": ("cell",),
+    "cell_reclaim": ("count", "cause"),
+    "region_push": ("kind", "label"),
+    "region_pop": ("kind", "label", "freed"),
+    "gc_run": ("marked", "swept", "live_after"),
+}
+
+#: Valid values for the ``cache`` field.
+CACHE_OUTCOMES = ("hit", "miss")
+
+
+def validate_event(event: dict) -> None:
+    """Check one decoded event against the schema; raise
+    :class:`TraceSchemaError` on the first problem."""
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"event is not an object: {event!r}")
+    for field in ENVELOPE_FIELDS:
+        if field not in event:
+            raise TraceSchemaError(f"event is missing envelope field {field!r}: {event}")
+    etype = event["type"]
+    required = EVENT_FIELDS.get(etype)
+    if required is None:
+        raise TraceSchemaError(f"unknown event type {etype!r}")
+    for field in required:
+        if field not in event:
+            raise TraceSchemaError(f"{etype} event is missing field {field!r}: {event}")
+    if "cache" in event and event["cache"] not in CACHE_OUTCOMES:
+        raise TraceSchemaError(
+            f"cache must be one of {CACHE_OUTCOMES}, got {event['cache']!r}"
+        )
+
+
+def validate_trace(events: Iterable[dict]) -> int:
+    """Validate a whole event stream (schema + monotonic ``seq``); returns
+    the number of events checked."""
+    count = 0
+    previous_seq = -1
+    for event in events:
+        validate_event(event)
+        seq = event["seq"]
+        if not isinstance(seq, int) or seq <= previous_seq:
+            raise TraceSchemaError(
+                f"seq must increase monotonically: {seq!r} after {previous_seq}"
+            )
+        previous_seq = seq
+        count += 1
+    return count

@@ -1,0 +1,144 @@
+"""The unified metrics registry: namespaced counters, gauges, histograms.
+
+Before this layer existed, the repository had three disjoint counter pots —
+:class:`~repro.semantics.metrics.StorageMetrics` (runtime storage events),
+:class:`~repro.query.SessionStats` (query-engine cache accounting), and the
+hardened engine's :class:`~repro.robust.errors.BudgetSpent` meters — each
+with its own snapshot shape.  :class:`MetricsRegistry` subsumes them:
+
+* one ``name{label=value,...}`` key syntax for every metric (the same
+  labelled form ``StorageMetrics.snapshot`` now uses for
+  ``region_allocs{kind=...}``);
+* ``ingest_storage`` / ``ingest_session`` / ``ingest_budget`` adapters that
+  fold each legacy pot into the registry under a namespace;
+* a :class:`~repro.obs.sinks.MetricsSink` that aggregates a live event
+  stream into a registry, so benchmarks and the CLI get counters without
+  holding references to interpreters or sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A metric key: name plus a canonical (sorted) label tuple.
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def metric_key(name: str, /, **labels) -> MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def format_key(key: MetricKey) -> str:
+    """Render ``("n", (("k","v"),))`` as ``n{k=v}`` (bare ``n`` unlabelled)."""
+    name, labels = key
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+@dataclass
+class Histogram:
+    """A bounded summary of observed values (count/sum/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Labelled counters, gauges, and histograms with one snapshot shape."""
+
+    def __init__(self) -> None:
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+
+    # -- writes ------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, /, **labels) -> None:
+        key = metric_key(name, **labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, /, **labels) -> None:
+        self._gauges[metric_key(name, **labels)] = value
+
+    def observe(self, name: str, value: float, /, **labels) -> None:
+        key = metric_key(name, **labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram()
+        histogram.observe(value)
+
+    # -- reads -------------------------------------------------------------
+
+    def counter(self, name: str, /, **labels) -> float:
+        return self._counters.get(metric_key(name, **labels), 0)
+
+    def gauge(self, name: str, /, **labels) -> float | None:
+        return self._gauges.get(metric_key(name, **labels))
+
+    def histogram(self, name: str, /, **labels) -> Histogram | None:
+        return self._histograms.get(metric_key(name, **labels))
+
+    def snapshot(self) -> dict[str, float]:
+        """Every metric under its ``name{label=value,...}`` key.  Histograms
+        expand to ``name.count`` / ``name.sum`` / ... components."""
+        out: dict[str, float] = {}
+        for key, value in sorted(self._counters.items()):
+            out[format_key(key)] = value
+        for key, value in sorted(self._gauges.items()):
+            out[format_key(key)] = value
+        for key, histogram in sorted(self._histograms.items()):
+            name, labels = key
+            for part, value in histogram.summary().items():
+                out[format_key((f"{name}.{part}", labels))] = value
+        return out
+
+    # -- legacy-pot adapters ----------------------------------------------
+
+    def ingest_storage(self, storage, namespace: str = "storage") -> None:
+        """Fold a :class:`~repro.semantics.metrics.StorageMetrics` snapshot
+        (labelled region keys included) into the registry."""
+        for key, value in storage.snapshot().items():
+            self.inc(f"{namespace}.{key}" if namespace else key, value)
+
+    def ingest_session(self, stats, namespace: str = "session") -> None:
+        """Fold a :class:`~repro.query.SessionStats` / ``QueryStats``."""
+        prefix = f"{namespace}." if namespace else ""
+        for name in (
+            "solve_hits",
+            "solve_misses",
+            "scc_hits",
+            "scc_misses",
+            "iterations",
+            "eval_steps",
+        ):
+            self.inc(prefix + name, getattr(stats, name))
+        queries = getattr(stats, "queries", None)
+        if queries is not None:
+            self.inc(prefix + "queries", queries)
+
+    def ingest_budget(self, spent, namespace: str = "budget") -> None:
+        """Fold a :class:`~repro.robust.errors.BudgetSpent`."""
+        prefix = f"{namespace}." if namespace else ""
+        self.observe(prefix + "wall_s", spent.wall_seconds)
+        self.inc(prefix + "eval_steps", spent.eval_steps)
+        self.inc(prefix + "iterations", spent.iterations)

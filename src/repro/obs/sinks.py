@@ -1,0 +1,144 @@
+"""Trace sinks: where the tracer's events go.
+
+* :class:`JsonlSink` — one JSON object per line, the interchange format
+  (``repro trace``, ``--trace FILE``); readable back with
+  :func:`read_trace` and replayable by :mod:`repro.obs.profile` without
+  re-running the analysis;
+* :class:`RingBufferSink` — an in-memory buffer (optionally bounded) for
+  tests and for ``--profile`` (which needs the events after the command);
+* :class:`MetricsSink` — aggregates the stream into a
+  :class:`~repro.obs.metrics.MetricsRegistry` as it flows, bounded memory
+  regardless of trace length (the benchmark exporter uses this).
+
+A sink is anything with ``write(event: dict)``; ``close()`` is optional.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to a stream."""
+
+    def __init__(self, stream: IO[str], close_stream: bool = False):
+        self.stream = stream
+        self._close_stream = close_stream
+
+    @classmethod
+    def open(cls, path: "str | Path") -> "JsonlSink":
+        return cls(open(path, "w", encoding="utf-8"), close_stream=True)
+
+    def write(self, event: dict) -> None:
+        self.stream.write(json.dumps(event, separators=(",", ":"), default=str))
+        self.stream.write("\n")
+
+    def close(self) -> None:
+        self.stream.flush()
+        if self._close_stream:
+            self.stream.close()
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory (all of them when
+    ``capacity`` is None)."""
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = capacity
+        self._events: "deque[dict] | list[dict]" = (
+            deque(maxlen=capacity) if capacity is not None else []
+        )
+        self.total = 0
+
+    def write(self, event: dict) -> None:
+        self._events.append(event)
+        self.total += 1
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.total = 0
+
+
+class MetricsSink:
+    """Folds the event stream into labelled counters as it flows.
+
+    The mapping is the event vocabulary's natural aggregation: cell events
+    count by placement kind, solves and SCC solves by cache outcome, escape
+    tests by query kind, degradations by reason, query stats into the
+    ``session.*`` namespace, span durations into per-name histograms.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or MetricsRegistry()
+
+    def write(self, event: dict) -> None:
+        reg = self.registry
+        etype = event["type"]
+        if etype == "cell_alloc":
+            reg.inc("cells_allocated", kind=event["kind"])
+        elif etype == "cell_reuse":
+            reg.inc("cells_reused")
+        elif etype == "cell_reclaim":
+            reg.inc("cells_reclaimed", event["count"], cause=event["cause"])
+        elif etype == "region_push":
+            reg.inc("regions_opened", kind=event["kind"])
+        elif etype == "gc_run":
+            reg.inc("gc.runs")
+            reg.inc("gc.marked", event["marked"])
+            reg.inc("gc.swept", event["swept"])
+        elif etype == "solve":
+            reg.inc("solves", cache=event["cache"])
+        elif etype == "scc_solve_finish":
+            reg.inc("scc_solves", cache=event["cache"])
+            reg.inc("fixpoint_iterations", event["iterations"])
+        elif etype == "escape_test":
+            reg.inc("escape_tests", kind=event["kind"])
+        elif etype == "query_stats":
+            reg.inc("session.queries")
+            for name in (
+                "solve_hits",
+                "solve_misses",
+                "scc_hits",
+                "scc_misses",
+                "iterations",
+                "eval_steps",
+            ):
+                reg.inc(f"session.{name}", event[name])
+        elif etype == "budget_charge":
+            reg.observe("budget.wall_s", event["wall_s"])
+            reg.inc("budget.eval_steps", event["eval_steps"])
+            reg.inc("budget.iterations", event["iterations"])
+        elif etype == "degradation":
+            reg.inc("degradations", reason=event["reason"])
+        elif etype == "decision":
+            reg.inc("decisions", kind=event["kind"])
+        elif etype == "transform_applied":
+            reg.inc("transforms", outcome="applied", kind=event["kind"])
+        elif etype == "transform_skipped":
+            reg.inc("transforms", outcome="skipped", kind=event["kind"])
+        elif etype == "span_end":
+            reg.observe("span_s", event["dur_s"], name=event["name"])
+
+
+def read_trace(source: "str | Path | IO[str]") -> list[dict]:
+    """Load a JSONL trace back into a list of event dicts."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as stream:
+            return [json.loads(line) for line in stream if line.strip()]
+    return [json.loads(line) for line in source if line.strip()]
+
+
+def replay(events: Iterable[dict], *sinks) -> None:
+    """Push recorded events through sinks (e.g. a fresh MetricsSink)."""
+    for event in events:
+        for sink in sinks:
+            sink.write(event)

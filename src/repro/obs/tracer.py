@@ -1,0 +1,143 @@
+"""The tracer: hierarchical spans and typed events, zero-overhead when off.
+
+One :class:`Tracer` owns a list of sinks (:mod:`repro.obs.sinks`) and a
+span stack.  Components never hold a tracer; they call the module-level
+API —
+
+* ``obs.emit("gc_run", marked=..., swept=...)`` — one typed event;
+* ``with obs.span("solve", pins=...):`` — a timed, nested span;
+* ``t = obs.tracing()`` — the active tracer or ``None``, the guard hot
+  paths use so that building an event's fields costs nothing when tracing
+  is disabled.
+
+No tracer is active by default: every instrumentation point reduces to one
+global load and a ``None`` check, so the analysis and the interpreter are
+bit-identical with tracing off (the AB4 ablation gate).  Activate a tracer
+for a scope with :func:`activate`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager, nullcontext
+from typing import Iterator
+
+
+class Span:
+    """One open span on the tracer's stack."""
+
+    __slots__ = ("id", "name", "started_at", "child_time")
+
+    def __init__(self, id: int, name: str, started_at: float):
+        self.id = id
+        self.name = name
+        self.started_at = started_at
+        #: total duration of direct children, for self-time accounting
+        self.child_time = 0.0
+
+
+class Tracer:
+    """Collects typed events and hierarchical spans into sinks.
+
+    ``enabled`` can be flipped to pause collection without tearing the
+    tracer down; events are numbered (``seq``) and timestamped (``ts``,
+    seconds since construction) in emission order.
+    """
+
+    def __init__(self, sinks: "list | tuple | None" = None, enabled: bool = True):
+        self.sinks = list(sinks or [])
+        self.enabled = enabled
+        self._clock = time.perf_counter
+        self._t0 = self._clock()
+        self._seq = 0
+        self._span_ids = itertools.count(1)
+        self._stack: list[Span] = []
+
+    # -- events ------------------------------------------------------------
+
+    def emit(self, type_: str, **fields) -> None:
+        """Emit one typed event to every sink."""
+        if not self.enabled:
+            return
+        event: dict = {
+            "seq": self._seq,
+            "ts": round(self._clock() - self._t0, 9),
+            "type": type_,
+        }
+        if self._stack:
+            event["span"] = self._stack[-1].id
+        event.update(fields)
+        self._seq += 1
+        for sink in self.sinks:
+            sink.write(event)
+
+    # -- spans -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator["Span | None"]:
+        """A timed, nested scope.  Emits ``span_start`` on entry and
+        ``span_end`` (with total and self time) on exit."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(next(self._span_ids), name, self._clock())
+        self.emit("span_start", id=span.id, name=name, **attrs)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            duration = self._clock() - span.started_at
+            if self._stack:
+                self._stack[-1].child_time += duration
+            self.emit(
+                "span_end",
+                id=span.id,
+                name=name,
+                dur_s=round(duration, 9),
+                self_s=round(max(0.0, duration - span.child_time), 9),
+            )
+
+
+# -- the active tracer -------------------------------------------------------
+
+_active: Tracer | None = None
+_NULL_SPAN = nullcontext()
+
+
+def tracing() -> Tracer | None:
+    """The active, enabled tracer — or ``None``.  Hot paths guard on this
+    so field construction is skipped entirely when tracing is off."""
+    tracer = _active
+    if tracer is not None and tracer.enabled:
+        return tracer
+    return None
+
+
+def emit(type_: str, **fields) -> None:
+    """Emit an event on the active tracer (no-op when tracing is off)."""
+    tracer = _active
+    if tracer is not None:
+        tracer.emit(type_, **fields)
+
+
+def span(name: str, **attrs):
+    """A span on the active tracer (a shared no-op scope when off)."""
+    tracer = _active
+    if tracer is None or not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the active tracer for a scope (restores the
+    previous one — scopes nest)."""
+    global _active
+    previous = _active
+    _active = tracer
+    try:
+        yield tracer
+    finally:
+        _active = previous

@@ -34,6 +34,7 @@ from repro.lang.ast import (
     uncurry_lambda,
 )
 from repro.lang.errors import AnalysisError, NmlError, OptimizationError
+from repro.obs import tracer as obs
 from repro.opt.reuse import make_reuse_specialization, redirect_body_calls, select_reuse_sites
 from repro.robust.errors import BudgetExceeded
 
@@ -104,6 +105,15 @@ def plan_optimizations(
     to this survey is created, which still lets the per-function global
     tests share one cached fixpoint.
     """
+    with obs.span("plan"):
+        return _plan_optimizations(program, meter, session)
+
+
+def _plan_optimizations(
+    program: Program,
+    meter: "BudgetMeter | None",
+    session: "AnalysisSession | None",
+) -> OptimizationPlan:
     analysis = EscapeAnalysis(program, meter=meter, session=session)
     plan = OptimizationPlan(program=program)
 
@@ -184,6 +194,13 @@ def plan_optimizations(
                     )
                 )
 
+    for decision in plan.decisions:
+        obs.emit(
+            "decision",
+            kind=decision.kind,
+            function=decision.function,
+            param=decision.param_index,
+        )
     return plan
 
 
@@ -248,21 +265,27 @@ def apply_plan(plan: OptimizationPlan) -> tuple[Program, list[str]]:
         try:
             program, step_log = apply_reuse_decision(program, decision)
             log.extend(step_log)
+            obs.emit("transform_applied", kind="reuse", detail="; ".join(step_log))
         except OptimizationError as error:
             log.append(f"skip reuse {decision.function}: {error.message}")
+            obs.emit("transform_skipped", kind="reuse", reason=error.message)
 
     if plan.by_kind("stack"):
         try:
             program, step_log = apply_stack_decision(program)
             log.extend(step_log)
+            obs.emit("transform_applied", kind="stack", detail="; ".join(step_log))
         except OptimizationError as error:
             log.append(f"skip stack allocation: {error.message}")
+            obs.emit("transform_skipped", kind="stack", reason=error.message)
 
     for decision in plan.by_kind("block"):
         try:
             program, step_log = apply_block_decision(program, decision)
             log.extend(step_log)
+            obs.emit("transform_applied", kind="block", detail="; ".join(step_log))
         except OptimizationError as error:
             log.append(f"skip block allocation of {decision.function}: {error.message}")
+            obs.emit("transform_skipped", kind="block", reason=error.message)
 
     return program, log

@@ -43,6 +43,7 @@ from repro.escape.scc import binding_sccs
 from repro.lang.ast import Letrec, Program, Var, clone_program, uncurry_app
 from repro.lang.errors import AnalysisError
 from repro.lang.fingerprint import bindings_fingerprint, program_fingerprint
+from repro.obs import tracer as obs
 from repro.types.infer import InferenceResult, infer_program
 from repro.types.spines import program_spine_bound
 from repro.types.types import Type, TypeScheme, pins_fingerprint
@@ -213,6 +214,15 @@ class AnalysisSession:
                 self.stats.eval_steps += steps
                 self.stats.last_query = current
                 self._current = None
+                obs.emit(
+                    "query_stats",
+                    solve_hits=current.solve_hits,
+                    solve_misses=current.solve_misses,
+                    scc_hits=current.scc_hits,
+                    scc_misses=current.scc_misses,
+                    iterations=current.iterations,
+                    eval_steps=current.eval_steps,
+                )
 
     def _new_evaluator(self, chain: BeChain) -> AbstractEvaluator:
         evaluator = AbstractEvaluator(
@@ -243,9 +253,12 @@ class AnalysisSession:
         cached = self._solve_cache.get(key)
         if cached is not None:
             self._tally(solve_hits=1)
+            obs.emit("solve", cache="hit", pins=sorted(pins) if pins else [])
             return cached
         self._tally(solve_misses=1)
-        solved = self._solve_program(clone_program(self.program), pins)
+        obs.emit("solve", cache="miss", pins=sorted(pins) if pins else [])
+        with obs.span("solve"):
+            solved = self._solve_program(clone_program(self.program), pins)
         self._solve_cache[key] = solved
         return solved
 
@@ -269,15 +282,16 @@ class AnalysisSession:
             source=self.program.source,
         )
         work = clone_program(variant)
-        if isinstance(head, Var) and head.name in self.program.binding_names():
-            infer_program(work)
-            work_head, _ = uncurry_app(work.body)
-            assert work_head.ty is not None
-            solved = self._solve_program(work, pins={head.name: work_head.ty})
-            return solved, solved.env[head.name], head.name
-        solved = self._solve_program(work, pins=None)
-        solved_head, _ = uncurry_app(solved.program.body)
-        return solved, solved.evaluator.eval(solved_head, solved.env), "<expr>"
+        with obs.span("solve_call"):
+            if isinstance(head, Var) and head.name in self.program.binding_names():
+                infer_program(work)
+                work_head, _ = uncurry_app(work.body)
+                assert work_head.ty is not None
+                solved = self._solve_program(work, pins={head.name: work_head.ty})
+                return solved, solved.env[head.name], head.name
+            solved = self._solve_program(work, pins=None)
+            solved_head, _ = uncurry_app(solved.program.body)
+            return solved, solved.evaluator.eval(solved_head, solved.env), "<expr>"
 
     def _solve_program(
         self, program: Program, pins: dict[str, Type] | None
@@ -321,20 +335,34 @@ class AnalysisSession:
             entry = self._scc_cache.get(key)
             if entry is None:
                 self._tally(scc_misses=1)
-                scc_evaluator = self._new_evaluator(chain)
-                knot = Letrec(bindings=scc.bindings, body=program.body)
-                solved_env = scc_evaluator.solve_bindings(knot, env)
-                entry = _SCCEntry(
-                    values={name: solved_env[name] for name in scc.names},
-                    traces=list(scc_evaluator.traces),
-                    iterates=[dict(it) for it in scc_evaluator.iterates],
-                    base_env={name: env[name] for name in dep_names},
-                    iterations=max(0, len(scc_evaluator.iterates) - 1),
-                )
+                obs.emit("scc_solve_start", names=list(scc.names))
+                with obs.span("scc_solve", names=list(scc.names)):
+                    scc_evaluator = self._new_evaluator(chain)
+                    knot = Letrec(bindings=scc.bindings, body=program.body)
+                    solved_env = scc_evaluator.solve_bindings(knot, env)
+                    entry = _SCCEntry(
+                        values={name: solved_env[name] for name in scc.names},
+                        traces=list(scc_evaluator.traces),
+                        iterates=[dict(it) for it in scc_evaluator.iterates],
+                        base_env={name: env[name] for name in dep_names},
+                        iterations=max(0, len(scc_evaluator.iterates) - 1),
+                    )
                 self._scc_cache[key] = entry
                 self._tally(iterations=entry.iterations)
+                obs.emit(
+                    "scc_solve_finish",
+                    names=list(scc.names),
+                    cache="miss",
+                    iterations=entry.iterations,
+                )
             else:
                 self._tally(scc_hits=1)
+                obs.emit(
+                    "scc_solve_finish",
+                    names=list(scc.names),
+                    cache="hit",
+                    iterations=0,
+                )
             for name in scc.names:
                 env[name] = entry.values[name]
                 provenance[name] = entry

@@ -29,6 +29,7 @@ from repro.escape.worst import worst_test_result
 from repro.lang.ast import Program, Var, uncurry_app
 from repro.lang.errors import AnalysisError
 from repro.lang.parser import parse_expr
+from repro.obs import tracer as obs
 from repro.robust import faults
 from repro.robust.budget import AnalysisBudget, BudgetMeter
 from repro.robust.errors import (
@@ -125,6 +126,17 @@ class HardenedAnalysis:
 
     # -- plumbing ----------------------------------------------------------
 
+    @staticmethod
+    def _charge(meter: BudgetMeter) -> None:
+        """Emit what the finished (or cut-off) query actually spent."""
+        spent = meter.spent()
+        obs.emit(
+            "budget_charge",
+            wall_s=round(spent.wall_seconds, 9),
+            eval_steps=spent.eval_steps,
+            iterations=spent.iterations,
+        )
+
     def _arg_types_for(
         self, function: str, instance: Type | None
     ) -> tuple[Type, ...]:
@@ -178,6 +190,10 @@ class HardenedAnalysis:
             spent=meter.spent(),
             error=error,
         )
+        obs.emit(
+            "degradation", reason=degradation.reason, stage=degradation.stage
+        )
+        self._charge(meter)
         return [
             RobustResult(
                 result=worst_test_result(function, i, arg_types[i - 1], kind=kind),
@@ -207,6 +223,7 @@ class HardenedAnalysis:
                 meter,
                 lambda a: a.global_all(function, instance=instance, n_args=n_args),
             )
+            self._charge(meter)
             return [RobustResult(result=r, spent=meter.spent()) for r in results]
         except Exception as error:
             return self._degrade(
@@ -231,6 +248,7 @@ class HardenedAnalysis:
                 meter,
                 lambda a: a.global_test(function, i, instance=instance, n_args=n_args),
             )
+            self._charge(meter)
             return RobustResult(result=result, spent=meter.spent())
         except Exception as error:
             return self._degrade(error, meter, function, [i], arg_types, "global")[0]
@@ -248,6 +266,7 @@ class HardenedAnalysis:
         meter = self.budget.start()
         try:
             results = self._run(meter, lambda a: a.local_test(expr, i))
+            self._charge(meter)
             if i is not None:
                 return RobustResult(result=results, spent=meter.spent())
             return [RobustResult(result=r, spent=meter.spent()) for r in results]

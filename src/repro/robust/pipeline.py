@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.lang.ast import Program
+from repro.obs import tracer as obs
 from repro.robust import faults
 from repro.robust.budget import AnalysisBudget, BudgetMeter
 from repro.robust.errors import Degradation, Severity, classify, reason_for
@@ -65,6 +66,7 @@ class HardenedPipelineResult:
 def _degradation(
     error: BaseException, stage: str, meter: BudgetMeter
 ) -> Degradation:
+    obs.emit("degradation", reason=reason_for(error), stage=stage)
     return Degradation(
         reason=reason_for(error),
         stage=stage,
@@ -117,9 +119,15 @@ def harden_optimize(
             else:
                 current, step_log = apply_block_decision(current, decision)
             result.applied.extend(step_log)
+            obs.emit(
+                "transform_applied", kind=decision.kind, detail="; ".join(step_log)
+            )
         except Exception as error:
             if classify(error) is Severity.FATAL:
                 raise
+            obs.emit(
+                "transform_skipped", kind=decision.kind, reason=reason_for(error)
+            )
             # Skip and record; `current` is still the last good program.
             result.degradations.append(_degradation(error, stage, meter))
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.obs import tracer as obs
 from repro.semantics.heap import AllocKind, Cell, Heap
 from repro.semantics.values import Env, Value, VClosure, VCons, VPrim, VTuple
 
@@ -108,6 +109,13 @@ class MarkSweepGC:
         heap.metrics.gc_marked += mark_work
         heap.metrics.gc_swept += swept
         self._allocs_at_last_gc = heap.metrics.heap_allocs
+        tracing = obs.tracing()
+        if tracing is not None:
+            tracing.emit(
+                "gc_run", marked=mark_work, swept=swept, live_after=len(heap.cells)
+            )
+            if swept:
+                tracing.emit("cell_reclaim", count=swept, cause="gc-sweep")
         return GcStats(marked=mark_work, swept=swept, live_after=len(heap.cells))
 
     def maybe_collect(self, roots: Iterable["Value | Env"]) -> GcStats | None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.lang.ast import Prim
 from repro.lang.errors import EvalError, StorageSafetyError, UseAfterFreeError
+from repro.obs import tracer as obs
 from repro.robust import faults
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.values import Env, Value, VClosure, VCons, VPrim, VTuple
@@ -180,6 +181,9 @@ class Heap:
         self.cells[cell.id] = cell
         if region is not None:
             region.cells.append(cell)
+        tracing = obs.tracing()
+        if tracing is not None:
+            tracing.emit("cell_alloc", cell=cell.id, kind=kind.value)
         return cell
 
     def reuse(self, cell: Cell, car: Value, cdr: Value) -> Cell:
@@ -192,6 +196,9 @@ class Heap:
         cell.cdr = cdr
         cell.version += 1
         self.metrics.reused += 1
+        tracing = obs.tracing()
+        if tracing is not None:
+            tracing.emit("cell_reuse", cell=cell.id)
         return cell
 
     # -- access guards -------------------------------------------------------
@@ -249,6 +256,7 @@ class Heap:
             raise EvalError("regions are stack or block, not heap")
         region = Region(id=next(self._region_ids), kind=kind, label=label)
         self.region_stack.append(region)
+        obs.emit("region_push", kind=kind.value, label=label)
         return region
 
     def close_region(
@@ -310,6 +318,15 @@ class Heap:
             self.metrics.stack_reclaimed += freed
         else:
             self.metrics.block_reclaimed += freed
+        tracing = obs.tracing()
+        if tracing is not None:
+            tracing.emit(
+                "region_pop", kind=region.kind.value, label=region.label, freed=freed
+            )
+            if freed:
+                tracing.emit(
+                    "cell_reclaim", count=freed, cause=f"{region.kind.value}-region"
+                )
         return freed
 
     # -- reachability ------------------------------------------------------------

@@ -39,6 +39,7 @@ from repro.lang.ast import (
 )
 from repro.lang.errors import EvalError
 from repro.lang.parser import parse_expr
+from repro.obs import tracer as obs
 from repro.robust import faults
 from repro.semantics.gc import MarkSweepGC
 from repro.semantics.heap import AllocKind, Heap, StorageSanitizer
@@ -92,7 +93,10 @@ class Interpreter:
 
     def run(self, program: Program) -> Value:
         """Evaluate the whole program (its top-level letrec)."""
-        return self._with_recursion_limit(lambda: self.eval(program.letrec, Env()))
+        with obs.span("run"):
+            return self._with_recursion_limit(
+                lambda: self.eval(program.letrec, Env())
+            )
 
     def eval_in(self, program: Program, expr: "Expr | str") -> Value:
         """Evaluate ``expr`` with the program's top-level bindings in scope."""

@@ -45,7 +45,7 @@ class StorageMetrics:
         return self.total_allocs + self.reused
 
     def snapshot(self) -> dict[str, int]:
-        return {
+        snap = {
             "heap_allocs": self.heap_allocs,
             "region_allocs": self.region_allocs,
             "reused": self.reused,
@@ -58,6 +58,9 @@ class StorageMetrics:
             "eval_steps": self.eval_steps,
             "applications": self.applications,
         }
+        for kind in sorted(self.by_region_kind):
+            snap[f"region_allocs{{kind={kind}}}"] = self.by_region_kind[kind]
+        return snap
 
     def diff(self, earlier: "dict[str, int]") -> dict[str, int]:
         """Counter deltas since an earlier :meth:`snapshot`."""

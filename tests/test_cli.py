@@ -1,8 +1,11 @@
 """CLI tests: every subcommand, both program sources (file, -e), errors."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _parse_observer_arg, main
+from repro.escape.exact import Source
 from repro.lang.prelude import prelude_source
 
 APPEND = prelude_source(["append"], "append [1, 2] [3]")
@@ -93,6 +96,41 @@ class TestObserve:
             ["observe", "-e", source, "map", "@pair", "[[1, 2], [3, 4]]", "-i", "2"]
         ) == 0
         assert "<0,0>" in capsys.readouterr().out
+
+    def test_observe_json(self, append_file, capsys):
+        assert main(
+            ["observe", append_file, "append", "[1, 2]", "[3]", "-i", "2", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["function"] == "append"
+        assert doc["param_index"] == 2
+        assert doc["escapement"] == "<1,1>"
+        assert doc["escaped"] is True
+        assert doc["escaped_levels"] == [1]
+
+    def test_observe_json_no_escape(self, append_file, capsys):
+        assert main(
+            ["observe", append_file, "append", "[1, 2]", "[3]", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["escaped"] is False
+        assert doc["escaped_levels"] == []
+
+
+class TestObserverArgParsing:
+    def test_at_prefix_is_nml_source(self):
+        parsed = _parse_observer_arg("@pair")
+        assert isinstance(parsed, Source)
+        assert parsed == "pair"
+
+    def test_python_literals(self):
+        assert _parse_observer_arg("[1, [2], 3]") == [1, [2], 3]
+        assert _parse_observer_arg("42") == 42
+        assert _parse_observer_arg("True") is True
+
+    def test_invalid_literal_raises(self):
+        with pytest.raises((ValueError, SyntaxError)):
+            _parse_observer_arg("not a literal")
 
 
 class TestSpines:
@@ -206,3 +244,135 @@ class TestRobustFlags:
     def test_run_sanitize_clean_program(self, append_file, capsys):
         assert main(["run", append_file, "--sanitize"]) == 0
         assert "[1, 2, 3]" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_analyze_json(self, append_file, capsys):
+        assert main(["analyze", append_file, "--json", "--stats"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "exact"
+        by_param = {(r["function"], r["param_index"]): r for r in doc["results"]}
+        assert by_param[("append", 1)]["result"] == "<1,0>"
+        assert by_param[("append", 2)]["result"] == "<1,1>"
+        assert doc["stats"]["solve_misses"] == 1
+
+    def test_analyze_json_local(self, capsys):
+        source = prelude_source(["map", "pair"])
+        assert main(
+            ["analyze", "-e", source, "--local", "map pair [[1, 2], [3, 4]]", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all(r["kind"] == "local" for r in doc["results"])
+        assert len(doc["results"]) == 2
+
+    def test_analyze_json_robust_degraded(self, append_file, capsys):
+        assert main(
+            ["analyze", append_file, "--max-iterations", "1", "--json"]
+        ) == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["mode"] == "robust"
+        assert doc["degraded"] is True
+        first = doc["results"][0]
+        assert first["degraded"] is True
+        assert first["degradation"]["reason"] == "iteration-budget-exceeded"
+
+    def test_analyze_json_robust_exact(self, append_file, capsys):
+        assert main(["analyze", append_file, "--robust", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["degraded"] is False
+        assert all(r["degraded"] is False for r in doc["results"])
+
+    def test_report_json(self, append_file, capsys):
+        assert main(["report", append_file, "--json", "--stats"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        append = next(f for f in doc["functions"] if f["name"] == "append")
+        assert append["is_function"] is True
+        assert append["converged"] is True
+        assert 2 <= append["iterations"] <= 3
+        assert append["results"][0]["result"] == "<1,0>"
+        assert "sharing" in doc and "stats" in doc
+
+
+class TestTraceAndProfile:
+    def test_trace_command_emits_valid_jsonl(self, append_file, capsys):
+        from repro.obs.events import validate_trace
+
+        assert main(["trace", append_file]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert validate_trace(events) == len(events)
+        assert any(e["type"] == "fixpoint_converged" for e in events)
+
+    def test_trace_command_out_file(self, append_file, tmp_path, capsys):
+        from repro.obs.events import validate_trace
+        from repro.obs.sinks import read_trace
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", append_file, "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "wrote" in captured.err
+        events = read_trace(out)
+        assert validate_trace(events) == len(events)
+
+    def test_trace_command_with_run_records_runtime(self, append_file, capsys):
+        assert main(["trace", append_file, "--run"]) == 0
+        events = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert any(e["type"] == "cell_alloc" for e in events)
+
+    def test_trace_command_profile_to_stderr(self, append_file, capsys):
+        assert main(["trace", append_file, "--profile"]) == 0
+        assert "=== profile ===" in capsys.readouterr().err
+
+    def test_analyze_trace_flag_writes_jsonl(self, append_file, tmp_path):
+        from repro.obs.events import validate_trace
+        from repro.obs.sinks import read_trace
+
+        out = tmp_path / "analyze.jsonl"
+        assert main(["analyze", append_file, "--trace", str(out)]) == 0
+        events = read_trace(out)
+        assert validate_trace(events) == len(events)
+        assert any(e["type"] == "escape_test" for e in events)
+
+    def test_analyze_profile_flag(self, append_file, capsys):
+        assert main(["analyze", append_file, "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "G(append, 1)" in captured.out
+        assert "=== profile ===" in captured.err
+
+    def test_run_trace_flag_records_runtime(self, append_file, tmp_path):
+        from repro.obs.sinks import read_trace
+
+        out = tmp_path / "run.jsonl"
+        assert main(["run", append_file, "--trace", str(out)]) == 0
+        events = read_trace(out)
+        assert any(e["type"] == "cell_alloc" for e in events)
+        assert any(e["type"] == "span_end" and e["name"] == "run" for e in events)
+
+    def test_optimize_profile_flag(self, capsys):
+        source = prelude_source(["ps"], "ps [5, 2, 7]")
+        assert main(["optimize", "-e", source, "--robust", "--profile"]) in (0, 3)
+        assert "=== profile ===" in capsys.readouterr().err
+
+    def test_replayed_iteration_table_matches_live_analysis(
+        self, append_file, tmp_path
+    ):
+        """End to end through the CLI: the trace file alone reproduces the
+        fixpoint iteration table without re-running the analysis."""
+        from repro.escape.analyzer import EscapeAnalysis
+        from repro.lang.parser import parse_program
+        from repro.obs.profile import iteration_table
+        from repro.obs.sinks import read_trace
+        from pathlib import Path
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", append_file, "--out", str(out)]) == 0
+
+        analysis = EscapeAnalysis(parse_program(Path(append_file).read_text()))
+        analysis.global_all("append")
+        live = analysis.last_solved.trace("append")
+
+        row = iteration_table(read_trace(out))["append"]
+        assert row.iterations == live.iterations
+        assert row.converged is live.converged
+        assert row.values == [str(fp) for fp in live.fingerprints]
