@@ -1,0 +1,128 @@
+"""ST1 — the analysis store: warm batch runs re-solve nothing.
+
+§7's practicality concern is fixpoint cost; the store amortizes it across
+*processes*, not just queries.  A corpus of programs sharing the prelude's
+``append`` knot is batch-analyzed twice through one content-addressed
+store: the cold run pays every fixpoint once (and already shares ``append``
+across files via its provenance digest), the warm run decodes every
+component — zero fixpoint iterations, zero SCC misses, bit-identical
+lattice values.
+
+The acceptance gate asserted here (and exported to ``BENCH_store.json``):
+the warm run performs **0** fixpoint iterations on shared components and
+serves every SCC from the store.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.batch import run_batch
+from repro.bench.tables import print_table
+from repro.lang.prelude import prelude_source
+
+#: Corpus members sharing the ``append`` SCC (pinned d makes the digests
+#: line up across files — d is part of the provenance key).
+CORPUS = {
+    "partition_sort.nml": prelude_source(["ps"], "ps [5, 2, 7, 1, 3, 4]"),
+    "reverse.nml": prelude_source(["append", "rev"], "rev [1, 2, 3, 4]"),
+    "concat.nml": prelude_source(["append", "concat"], "concat [[1], [2, 3]]"),
+}
+
+PINNED_D = 2
+
+
+def _write_corpus(root: Path) -> Path:
+    corpus = root / "corpus"
+    corpus.mkdir()
+    for name, source in CORPUS.items():
+        (corpus / name).write_text(source)
+    return corpus
+
+
+def test_st1_warm_store_batch_does_no_fixpoint_work(benchmark, tmp_path):
+    corpus = _write_corpus(tmp_path)
+    store = tmp_path / "store"
+
+    cold = run_batch([corpus], store_root=store, jobs=1, d=PINNED_D)
+    assert cold.ok
+    cold_totals = cold.totals()
+    assert cold_totals["iterations"] > 0
+    assert cold_totals["store_writes"] > 0
+    # cross-program sharing already in the cold run: after the first file
+    # solves append, every other file decodes it.
+    assert cold_totals["store_hits"] >= len(CORPUS) - 1
+
+    warm = run_batch([corpus], store_root=store, jobs=1, d=PINNED_D)
+    assert warm.ok
+    warm_totals = warm.totals()
+
+    # The acceptance gate: a warm batch re-solves nothing.
+    assert warm_totals["iterations"] == 0
+    assert warm_totals["scc_misses"] == 0
+    assert warm_totals["store_misses"] == 0
+    assert warm_totals["store_hits"] == (
+        cold_totals["scc_hits"] + cold_totals["scc_misses"]
+    )
+
+    # Identical per-file shapes out of both runs.
+    for before, after in zip(cold.reports, warm.reports, strict=True):
+        assert (before.path, before.ok, before.d, before.functions) == (
+            after.path,
+            after.ok,
+            after.d,
+            after.functions,
+        )
+
+    print_table(
+        ["run", "fixpoint iterations", "eval steps", "scc misses", "store hits"],
+        [
+            [
+                "cold (empty store)",
+                cold_totals["iterations"],
+                cold_totals["eval_steps"],
+                cold_totals["scc_misses"],
+                cold_totals["store_hits"],
+            ],
+            [
+                "warm (shared store)",
+                warm_totals["iterations"],
+                warm_totals["eval_steps"],
+                warm_totals["scc_misses"],
+                warm_totals["store_hits"],
+            ],
+        ],
+        title="ST1: batch analysis, cold vs warm store",
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+    out.write_text(
+        json.dumps(
+            {
+                "corpus": sorted(CORPUS),
+                "d": PINNED_D,
+                "cold": cold_totals,
+                "warm": warm_totals,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+    benchmark(run_batch, [corpus], store_root=store, jobs=1, d=PINNED_D)
+
+
+def test_st1_parallel_workers_share_one_store(tmp_path):
+    """Two-process batch over a warm store: every worker decodes, none
+    solves — the ``repro batch --jobs`` path end to end."""
+    corpus = _write_corpus(tmp_path)
+    store = tmp_path / "store"
+    run_batch([corpus], store_root=store, jobs=1, d=PINNED_D)
+
+    warm = run_batch([corpus], store_root=store, jobs=2, d=PINNED_D)
+    assert warm.ok and warm.jobs == 2
+    totals = warm.totals()
+    assert totals["iterations"] == 0
+    assert totals["scc_misses"] == 0

@@ -1,0 +1,206 @@
+"""Parallel batch analysis: a corpus of ``.nml`` programs through one store.
+
+``repro batch <dir>`` fans the corpus across a ``ProcessPoolExecutor``.
+Each worker builds its own :class:`~repro.query.AnalysisSession` (sessions
+are process-local by design), but all workers attach the same
+:class:`~repro.store.AnalysisStore`, so an SCC fixpoint solved by any
+worker — the prelude's ``append``, ``map``, ``rev`` knots recur across
+corpus programs — is decoded, not re-solved, by every other worker and by
+every later run.  Provenance digests make that sound: two programs share a
+stored entry exactly when their typed bindings and transitive analysis
+inputs agree (:func:`repro.query.scc_digest`), and the store's atomic,
+content-addressed writes make concurrent workers racing on a common digest
+harmless (both write the same bytes).
+
+The driver is deliberately boring: no shared state beyond the store
+directory, workers return plain picklable :class:`FileReport`\\ s, a file
+that fails to parse or analyze is reported and does not sink the batch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class FileReport:
+    """One corpus file's outcome (picklable, across worker processes)."""
+
+    path: str
+    ok: bool
+    error: str = ""
+    d: int = -1
+    functions: int = 0
+    #: the worker session's accounting (:func:`repro.escape.report.stats_dict`)
+    stats: dict = field(default_factory=dict)
+
+    def line(self) -> str:
+        if not self.ok:
+            return f"{self.path}: ERROR {self.error}"
+        return (
+            f"{self.path}: ok — {self.functions} function(s), d={self.d}, "
+            f"scc {self.stats.get('scc_hits', 0)} hit(s) / "
+            f"{self.stats.get('scc_misses', 0)} miss(es), "
+            f"{self.stats.get('iterations', 0)} iteration(s)"
+        )
+
+
+@dataclass
+class BatchReport:
+    """The whole batch: per-file reports plus fleet-wide totals."""
+
+    reports: list[FileReport]
+    jobs: int
+    store_root: str | None
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.reports) and all(r.ok for r in self.reports)
+
+    def totals(self) -> dict[str, int]:
+        """Integer stats summed across every successful file (the nested
+        ``store`` section is flattened to ``store_*`` keys)."""
+        out: dict[str, int] = {}
+        for report in self.reports:
+            if not report.ok:
+                continue
+            for key, value in report.stats.items():
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, int):
+                    out[key] = out.get(key, 0) + value
+                elif isinstance(value, dict):
+                    for sub, sub_value in value.items():
+                        if isinstance(sub_value, int) and not isinstance(
+                            sub_value, bool
+                        ):
+                            flat = f"{key}_{sub}"
+                            out[flat] = out.get(flat, 0) + sub_value
+        return out
+
+    def summary(self) -> str:
+        totals = self.totals()
+        failed = sum(1 for r in self.reports if not r.ok)
+        lines = [
+            f"{len(self.reports)} file(s), {self.jobs} job(s)"
+            + (f", {failed} failed" if failed else "")
+            + (f", store: {self.store_root}" if self.store_root else ", no store")
+        ]
+        if totals:
+            lines.append(
+                f"scc cache {totals.get('scc_hits', 0)} hit(s) / "
+                f"{totals.get('scc_misses', 0)} miss(es), "
+                f"{totals.get('iterations', 0)} fixpoint iteration(s), "
+                f"{totals.get('eval_steps', 0)} eval step(s)"
+            )
+            if self.store_root:
+                lines.append(
+                    f"store {totals.get('store_hits', 0)} hit(s) / "
+                    f"{totals.get('store_misses', 0)} miss(es) / "
+                    f"{totals.get('store_writes', 0)} write(s)"
+                )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "store": self.store_root,
+            "ok": self.ok,
+            "files": [
+                {
+                    "path": r.path,
+                    "ok": r.ok,
+                    **({"error": r.error} if not r.ok else {}),
+                    **({"d": r.d, "functions": r.functions, "stats": r.stats} if r.ok else {}),
+                }
+                for r in self.reports
+            ],
+            "totals": self.totals(),
+        }
+
+
+def collect_inputs(paths: "list[str | Path]") -> list[Path]:
+    """Expand paths into the corpus: directories recurse to ``*.nml``,
+    files pass through; order is deterministic and duplicates dropped."""
+    inputs: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        found = sorted(path.rglob("*.nml")) if path.is_dir() else [path]
+        for item in found:
+            resolved = item.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                inputs.append(item)
+    return inputs
+
+
+def analyze_one(
+    path: str,
+    store_root: str | None,
+    d: int | None = None,
+    max_iterations: int | None = None,
+) -> FileReport:
+    """Worker body: fully analyze one file (every function, every
+    parameter — the same questions ``repro report`` asks), sharing SCC
+    results through the store at ``store_root``.
+
+    Module-level and argument-picklable on purpose: ``ProcessPoolExecutor``
+    ships it to workers under any start method.
+    """
+    from repro.escape.analyzer import EscapeAnalysis
+    from repro.escape.report import stats_dict
+    from repro.lang.parser import parse_program
+    from repro.store import AnalysisStore
+    from repro.types.types import arity
+
+    try:
+        program = parse_program(Path(path).read_text())
+        store = AnalysisStore(store_root) if store_root else None
+        analysis = EscapeAnalysis(
+            program, d=d, max_iterations=max_iterations, store=store
+        )
+        solved = analysis.solve(None)
+        functions = 0
+        for name in program.binding_names():
+            if arity(analysis.scheme(name).body) == 0:
+                continue
+            analysis.global_all(name)
+            functions += 1
+        return FileReport(
+            path=str(path),
+            ok=True,
+            d=solved.d,
+            functions=functions,
+            stats=stats_dict(analysis.stats),
+        )
+    except Exception as error:  # a bad corpus file must not sink the batch
+        return FileReport(
+            path=str(path), ok=False, error=f"{type(error).__name__}: {error}"
+        )
+
+
+def _analyze_star(packed: tuple) -> FileReport:
+    return analyze_one(*packed)
+
+
+def run_batch(
+    paths: "list[str | Path]",
+    store_root: "str | Path | None" = None,
+    jobs: int = 1,
+    d: int | None = None,
+    max_iterations: int | None = None,
+) -> BatchReport:
+    """Analyze the corpus, ``jobs``-wide.  ``jobs <= 1`` runs in-process
+    (no executor), which is also the fault-injection-friendly path."""
+    inputs = collect_inputs(paths)
+    root = str(store_root) if store_root is not None else None
+    work = [(str(p), root, d, max_iterations) for p in inputs]
+    if jobs <= 1 or len(work) <= 1:
+        reports = [_analyze_star(item) for item in work]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            reports = list(pool.map(_analyze_star, work))
+    return BatchReport(reports=reports, jobs=max(1, jobs), store_root=root)

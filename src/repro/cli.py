@@ -10,6 +10,8 @@ Commands
 * ``spines``   — the Figure 1 spine decomposition of a list literal
 * ``optimize`` — apply an optimization and show the transformed program
 * ``trace``    — run the analysis under the tracer and emit the JSONL trace
+* ``batch``    — analyze a corpus of ``.nml`` files in parallel, sharing
+  solved SCC fixpoints through a persistent on-disk store
 
 Programs are read from a file path or, with ``-e``, from the argument
 itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
@@ -123,7 +125,11 @@ def _obs_scope(args: argparse.Namespace):
         if jsonl is not None:
             jsonl.close()
         if ring is not None:
-            print(profile_report(ring.events), end="", file=sys.stderr)
+            print(
+                profile_report(ring.events, total=ring.total),
+                end="",
+                file=sys.stderr,
+            )
 
 
 def _budget_from(args: argparse.Namespace):
@@ -195,7 +201,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         return _cmd_analyze_robust(args, program)
     from repro.escape.report import result_dict
 
-    analysis = EscapeAnalysis(program)
+    analysis = EscapeAnalysis(program, store=_store_from(args))
     doc: dict = {"mode": "exact", "results": [], "errors": []}
     if args.local:
         results = analysis.local_test(args.local)
@@ -244,7 +250,7 @@ def _cmd_analyze_robust(args: argparse.Namespace, program: Program) -> int:
     from repro.escape.report import result_dict, stats_dict
     from repro.robust.engine import HardenedAnalysis
 
-    engine = HardenedAnalysis(program, budget=_budget_from(args))
+    engine = HardenedAnalysis(program, budget=_budget_from(args), store=_store_from(args))
     degraded: list[str] = []
     doc: dict = {"mode": "robust", "results": []}
 
@@ -403,8 +409,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(f"wrote {ring.total} event(s) to {args.out}", file=sys.stderr)
     if args.profile:
-        print(profile_report(ring.events), end="", file=sys.stderr)
+        print(profile_report(ring.events, total=ring.total), end="", file=sys.stderr)
     return 0
+
+
+def _store_from(args: argparse.Namespace):
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    from repro.store import AnalysisStore
+
+    return AnalysisStore(path)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Analyze a corpus of .nml files in parallel through a shared store."""
+    from repro.batch import collect_inputs, run_batch
+
+    inputs = collect_inputs(args.paths)
+    if not inputs:
+        print("error: no .nml files found", file=sys.stderr)
+        return EXIT_ERROR
+
+    store_root: str | None
+    if args.no_store:
+        store_root = None
+    elif args.store:
+        store_root = args.store
+    else:
+        first = Path(args.paths[0])
+        base = first if first.is_dir() else first.parent
+        store_root = str(base / ".repro-store")
+
+    report = run_batch(
+        args.paths,
+        store_root=store_root,
+        jobs=args.jobs,
+        d=args.d,
+        max_iterations=args.max_iterations,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for file_report in report.reports:
+            print(file_report.line())
+        for line in report.summary().splitlines():
+            print(f"-- {line}")
+        if args.stats:
+            for file_report in report.reports:
+                if file_report.ok:
+                    print(f"-- {file_report.path}: {json.dumps(file_report.stats)}")
+    return EXIT_OK if report.ok else EXIT_ERROR
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -456,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument(
         "--json", action="store_true", help="emit the results as JSON"
     )
+    analyze_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="attach a persistent analysis store (SCC fixpoints shared across runs)",
+    )
     _add_budget_args(analyze_parser)
     _add_obs_args(analyze_parser)
     analyze_parser.set_defaults(handler=_cmd_analyze)
@@ -506,6 +566,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true", help="print a profile report to stderr"
     )
     trace_parser.set_defaults(handler=_cmd_trace)
+
+    batch_parser = commands.add_parser(
+        "batch", help="analyze a corpus of .nml files through a shared store"
+    )
+    batch_parser.add_argument(
+        "paths", nargs="+", help="directories (searched for *.nml) and/or files"
+    )
+    batch_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes (default: 1)"
+    )
+    batch_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="analysis store directory (default: <first path>/.repro-store)",
+    )
+    batch_parser.add_argument(
+        "--no-store", action="store_true", help="run without a persistent store"
+    )
+    batch_parser.add_argument("--d", type=int, help="override the B_e chain bound d")
+    batch_parser.add_argument(
+        "--max-iterations", type=int, help="fixpoint iteration cap per solve"
+    )
+    batch_parser.add_argument(
+        "--stats", action="store_true", help="print per-file session accounting"
+    )
+    batch_parser.add_argument(
+        "--json", action="store_true", help="emit the batch report as JSON"
+    )
+    batch_parser.set_defaults(handler=_cmd_batch)
 
     return parser
 

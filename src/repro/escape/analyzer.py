@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.robust.budget import BudgetMeter
+    from repro.store import AnalysisStore
 
 __all__ = ["EscapeAnalysis", "SolvedProgram"]
 
@@ -58,11 +59,14 @@ class EscapeAnalysis:
         max_iterations: int | None = None,
         meter: "BudgetMeter | None" = None,
         session: AnalysisSession | None = None,
+        store: "AnalysisStore | None" = None,
     ):
         self.program = program
         #: Optional budget meter from the hardened engine
         #: (:mod:`repro.robust`): ticked on every abstract-evaluation step
         #: and fixpoint iteration of every solve this analysis performs.
+        #: Store hits decode persisted values without abstract evaluation,
+        #: so they are never charged.
         self.meter = meter
         if session is not None:
             if session.program is not program:
@@ -78,9 +82,15 @@ class EscapeAnalysis:
                     f"max_iterations={max_iterations} conflicts with the "
                     f"session's max_iterations={session.max_iterations}"
                 )
+            if store is not None and store is not session.store:
+                raise AnalysisError(
+                    "store conflicts with the session's attached store"
+                )
             self.session = session
         else:
-            self.session = AnalysisSession(program, d=d, max_iterations=max_iterations)
+            self.session = AnalysisSession(
+                program, d=d, max_iterations=max_iterations, store=store
+            )
         self.d_override = self.session.d_override
         self.max_iterations = self.session.max_iterations
         #: The most recent solve — exposes fixpoint traces to callers.

@@ -119,6 +119,11 @@ def stats_dict(stats) -> dict:
         "scc_misses": stats.scc_misses,
         "iterations": stats.iterations,
         "eval_steps": stats.eval_steps,
+        "store": {
+            "hits": getattr(stats, "store_hits", 0),
+            "misses": getattr(stats, "store_misses", 0),
+            "writes": getattr(stats, "store_writes", 0),
+        },
     }
     queries = getattr(stats, "queries", None)
     if queries is not None:

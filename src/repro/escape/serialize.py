@@ -1,0 +1,530 @@
+"""JSON (de)serialization of abstract escape values and solved SCC entries.
+
+The analysis store (:mod:`repro.store`) persists per-SCC fixpoint results
+across processes, which requires round-tripping :class:`EscapeValue`s whose
+function components are *closures over the program's AST*.  The codec makes
+that possible with three representation choices:
+
+* **AST paths, not ASTs.**  A :class:`ClosureFun`'s body is never embedded;
+  it is referenced as ``[binding_name, i, j, ...]`` — child indices from the
+  named top-level binding's expression.  The store key (the SCC's provenance
+  digest, :func:`repro.query.scc_digest`) pins the *typed* fingerprint of
+  the component's bindings and — transitively, through the dependency digest
+  chain — of every binding a stored value can reference, so the path
+  resolves to a structurally and type-identical node in any session that
+  looks the entry up.
+* **Pruned captured environments.**  A closure's captured environment is
+  serialized restricted to the free variables of its body: semantically
+  complete (application only ever reads free identifiers) and necessary,
+  because the full capture snapshots *every* name in scope, including
+  bindings outside the SCC's dependency cone that the digest does not pin.
+* **Environment references.**  A value that *is* a dependency's solved
+  value is stored as ``{"k": "envref", "name": dep}`` and resolved against
+  the loading session's already-solved environment — store loads share the
+  session's dependency values exactly as in-memory cache hits do.
+
+Primitives round-trip through their structural ``tag`` (partial
+applications re-derive their behaviour by re-applying the base primitive),
+worst-case functions through their remaining type, and object graphs are
+flattened with an intern table so shared substructure (fixpoint iterates
+chain into each other's captured environments) stays linear in size.
+Everything the encoder emits is deterministic — dictionaries are written in
+sorted key order — so two cold solves of the same program produce
+byte-identical payloads, the property the cross-process tests assert.
+
+Any value the codec cannot represent raises :class:`SerializationError`;
+callers treat an encode failure as "don't persist" and a decode failure as
+a store miss, never as an analysis error.
+"""
+
+from __future__ import annotations
+
+from repro.escape.abstract import AbsEnv, FixpointTrace
+from repro.escape.domain import (
+    BOTTOM,
+    ERR,
+    AbsFun,
+    ClosureFun,
+    ErrFun,
+    EscapeValue,
+    JoinFun,
+    PrimFun,
+)
+from repro.escape.lattice import Escapement
+from repro.escape.primitives import (
+    _arith_prim,
+    _car_prim,
+    _cdr_prim,
+    _cons_prim,
+    _dcons_prim,
+    _mkpair_prim,
+    _null_prim,
+    _proj_prim,
+)
+from repro.lang.ast import Expr, Program, free_vars
+from repro.types.types import TBool, TFun, TInt, TList, TProd, TVar, Type
+
+#: Version of the value-graph representation.  Part of the provenance
+#: digest material (:data:`repro.query.DIGEST_VERSION` chains it), so a
+#: codec change silently invalidates every previously stored entry instead
+#: of misreading it.
+CODEC_VERSION = 1
+
+
+class SerializationError(ValueError):
+    """A value (or payload) cannot be (de)serialized.
+
+    Encode side: the value escapes the representable domain (e.g. a closure
+    body outside the indexed bindings).  Decode side: the payload is
+    corrupt, version-skewed, or references context the loading session does
+    not have.  Both are recoverable by construction — skip the write, or
+    treat the read as a miss and re-solve.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+def encode_type(ty: Type) -> list:
+    """``ty`` as a JSON-friendly tagged list."""
+    if isinstance(ty, TInt):
+        return ["int"]
+    if isinstance(ty, TBool):
+        return ["bool"]
+    if isinstance(ty, TVar):
+        return ["var", ty.id]
+    if isinstance(ty, TList):
+        return ["list", encode_type(ty.element)]
+    if isinstance(ty, TFun):
+        return ["fun", encode_type(ty.arg), encode_type(ty.result)]
+    if isinstance(ty, TProd):
+        return ["prod", encode_type(ty.fst), encode_type(ty.snd)]
+    raise SerializationError(f"cannot encode type {type(ty).__name__}")
+
+
+def decode_type(doc) -> Type:
+    try:
+        tag = doc[0]
+        if tag == "int":
+            return TInt()
+        if tag == "bool":
+            return TBool()
+        if tag == "var":
+            return TVar(int(doc[1]))
+        if tag == "list":
+            return TList(decode_type(doc[1]))
+        if tag == "fun":
+            return TFun(decode_type(doc[1]), decode_type(doc[2]))
+        if tag == "prod":
+            return TProd(decode_type(doc[1]), decode_type(doc[2]))
+    except SerializationError:
+        raise
+    except Exception as error:
+        raise SerializationError(f"malformed type document: {doc!r}") from error
+    raise SerializationError(f"unknown type tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints (nested Escapement/tuple trees, cf. repro.escape.abstract)
+# ---------------------------------------------------------------------------
+
+
+def encode_fingerprint(fp) -> list:
+    if isinstance(fp, Escapement):
+        return ["E", fp.escapes, fp.spines]
+    if isinstance(fp, str):
+        return ["S", fp]
+    if isinstance(fp, tuple):
+        return ["T"] + [encode_fingerprint(item) for item in fp]
+    raise SerializationError(f"cannot encode fingerprint component {fp!r}")
+
+
+def decode_fingerprint(doc):
+    try:
+        tag = doc[0]
+        if tag == "E":
+            return Escapement(doc[1], doc[2])
+        if tag == "S":
+            return doc[1]
+        if tag == "T":
+            return tuple(decode_fingerprint(item) for item in doc[1:])
+    except SerializationError:
+        raise
+    except Exception as error:
+        raise SerializationError(f"malformed fingerprint: {doc!r}") from error
+    raise SerializationError(f"unknown fingerprint tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# AST node paths
+# ---------------------------------------------------------------------------
+
+
+class NodeIndex:
+    """Maps AST nodes (by identity) to ``(binding_name, child_path)``.
+
+    A session registers every program clone it solves on; nodes of the same
+    top-level binding get the same path in every clone, so the index can
+    span clones without ambiguity.  Registered programs are kept alive so
+    ``id()`` keys can never be recycled.
+    """
+
+    def __init__(self) -> None:
+        self._paths: dict[int, tuple] = {}
+        self._programs: list[Program] = []
+
+    def add_program(self, program: Program) -> None:
+        self._programs.append(program)
+        for binding in program.bindings:
+            self._walk(binding.expr, (binding.name,))
+
+    def _walk(self, node: Expr, path: tuple) -> None:
+        self._paths[id(node)] = path
+        for i, child in enumerate(node.children()):
+            self._walk(child, path + (i,))
+
+    def path_of(self, node: Expr) -> tuple:
+        try:
+            return self._paths[id(node)]
+        except KeyError:
+            raise SerializationError(
+                f"AST node {type(node).__name__} is outside the indexed bindings"
+            ) from None
+
+
+def resolve_path(program: Program, path: list) -> Expr:
+    """The node at ``[binding_name, i, j, ...]`` in ``program``."""
+    try:
+        node: Expr = program.binding(str(path[0])).expr
+        for index in path[1:]:
+            node = node.children()[index]
+        return node
+    except SerializationError:
+        raise
+    except Exception as error:
+        raise SerializationError(f"unresolvable AST path {path!r}") from error
+
+
+# ---------------------------------------------------------------------------
+# Value graphs
+# ---------------------------------------------------------------------------
+
+
+class ValueEncoder:
+    """Flattens values (and their function components) into an intern table.
+
+    ``objects`` is emitted in dependency order — every reference is an index
+    into the prefix — so the decoder can rebuild it in one forward pass.
+    ``env_names`` maps ``id(value) -> dependency name`` for values that must
+    be stored as environment references rather than structurally.
+    """
+
+    def __init__(self, index: NodeIndex, env_names: dict[int, str] | None = None):
+        self.index = index
+        self.env_names = env_names or {}
+        self.objects: list[dict] = []
+        self._memo: dict[int, int] = {}
+        self._in_progress: set[int] = set()
+
+    def _append(self, obj: dict) -> int:
+        self.objects.append(obj)
+        return len(self.objects) - 1
+
+    def encode_value(self, value: EscapeValue) -> int:
+        key = id(value)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            raise SerializationError("cyclic value graph")
+        name = self.env_names.get(key)
+        if name is not None:
+            idx = self._append({"k": "envref", "name": name})
+            self._memo[key] = idx
+            return idx
+        self._in_progress.add(key)
+        try:
+            fn_idx = self.encode_fun(value.fn)
+            idx = self._append(
+                {"k": "val", "be": [value.be.escapes, value.be.spines], "fn": fn_idx}
+            )
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = idx
+        return idx
+
+    def encode_fun(self, fun: AbsFun) -> int:
+        key = id(fun)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            raise SerializationError("cyclic value graph")
+        self._in_progress.add(key)
+        try:
+            idx = self._append(self._fun_obj(fun))
+        finally:
+            self._in_progress.discard(key)
+        self._memo[key] = idx
+        return idx
+
+    def _fun_obj(self, fun: AbsFun) -> dict:
+        if isinstance(fun, ErrFun):
+            return {"k": "err"}
+        if isinstance(fun, PrimFun):
+            return {"k": "prim", "tag": [self._tag_item(x) for x in fun.tag]}
+        if isinstance(fun, JoinFun):
+            return {"k": "join", "funs": [self.encode_fun(f) for f in fun.funs]}
+        if isinstance(fun, ClosureFun):
+            path = self.index.path_of(fun.body)
+            names = sorted(free_vars(fun.body) - {fun.param})
+            env = {
+                name: self.encode_value(fun.env[name])
+                for name in names
+                if name in fun.env
+            }
+            return {
+                "k": "closure",
+                "param": fun.param,
+                "body": list(path),
+                "env": env,
+            }
+        # WorstFun imported lazily to keep the top-level import graph small.
+        from repro.escape.worst import WorstFun
+
+        if isinstance(fun, WorstFun):
+            return {
+                "k": "worst",
+                "remaining": encode_type(fun.remaining),
+                "acc": [fun.acc.escapes, fun.acc.spines],
+            }
+        raise SerializationError(f"cannot encode {type(fun).__name__}")
+
+    def _tag_item(self, item):
+        if isinstance(item, str):
+            return {"s": item}
+        if isinstance(item, bool):
+            raise SerializationError(f"cannot encode primitive tag item {item!r}")
+        if isinstance(item, int):
+            return {"i": item}
+        if isinstance(item, Escapement):
+            return {"be": [item.escapes, item.spines]}
+        if isinstance(item, EscapeValue):
+            return {"v": self.encode_value(item)}
+        raise SerializationError(f"cannot encode primitive tag item {item!r}")
+
+    def encode_env(self, env: AbsEnv) -> dict[str, int]:
+        return {name: self.encode_value(env[name]) for name in sorted(env)}
+
+
+class ValueDecoder:
+    """Rebuilds a value graph against a loading session's context:
+    ``program`` resolves AST paths, ``env`` resolves dependency references,
+    ``evaluator`` hosts the rebuilt closures."""
+
+    def __init__(self, objects: list, program: Program, env: AbsEnv, evaluator):
+        self.program = program
+        self.env = env
+        self.evaluator = evaluator
+        self._decoded: list = []
+        try:
+            for obj in objects:
+                self._decoded.append(self._decode_obj(obj))
+        except SerializationError:
+            raise
+        except Exception as error:
+            raise SerializationError(f"malformed value graph: {error}") from error
+
+    # -- references --------------------------------------------------------
+
+    def value(self, idx) -> EscapeValue:
+        obj = self._decoded[idx]
+        if not isinstance(obj, EscapeValue):
+            raise SerializationError(f"object #{idx} is not a value")
+        return obj
+
+    def _fun(self, idx) -> AbsFun:
+        obj = self._decoded[idx]
+        if not isinstance(obj, AbsFun):
+            raise SerializationError(f"object #{idx} is not a function")
+        return obj
+
+    def env_map(self, doc: dict) -> AbsEnv:
+        return {name: self.value(idx) for name, idx in doc.items()}
+
+    # -- objects -----------------------------------------------------------
+
+    def _decode_obj(self, obj: dict):
+        kind = obj["k"]
+        if kind == "val":
+            escapes, spines = obj["be"]
+            return EscapeValue(Escapement(escapes, spines), self._fun(obj["fn"]))
+        if kind == "envref":
+            name = obj["name"]
+            value = self.env.get(name)
+            if value is None:
+                raise SerializationError(
+                    f"environment reference {name!r} is not solved yet"
+                )
+            return value
+        if kind == "err":
+            return ERR
+        if kind == "prim":
+            return self._decode_prim(tuple(self._tag_item(x) for x in obj["tag"]))
+        if kind == "join":
+            return JoinFun(tuple(self._fun(idx) for idx in obj["funs"]))
+        if kind == "closure":
+            body = resolve_path(self.program, obj["body"])
+            env = {name: self.value(idx) for name, idx in obj["env"].items()}
+            return ClosureFun(obj["param"], body, env, self.evaluator)
+        if kind == "worst":
+            from repro.escape.worst import WorstFun
+
+            escapes, spines = obj["acc"]
+            return WorstFun(decode_type(obj["remaining"]), Escapement(escapes, spines))
+        raise SerializationError(f"unknown object kind {kind!r}")
+
+    def _tag_item(self, item: dict):
+        if "s" in item:
+            return item["s"]
+        if "i" in item:
+            return item["i"]
+        if "be" in item:
+            escapes, spines = item["be"]
+            return Escapement(escapes, spines)
+        if "v" in item:
+            return self.value(item["v"])
+        raise SerializationError(f"unknown tag item {item!r}")
+
+    _ARITH = ("+", "-", "*", "/", "==", "<>", "<", "<=", ">", ">=")
+
+    def _decode_prim(self, tag: tuple) -> PrimFun:
+        """Reconstruct a primitive's behaviour from its structural tag.
+
+        Base primitives re-derive through the constructors in
+        :mod:`repro.escape.primitives`; partial applications re-apply the
+        base primitive to the decoded captured values, so the rebuilt
+        callable is the one the original closure held.
+        """
+        name = tag[0]
+        if not isinstance(name, str):
+            raise SerializationError(f"malformed primitive tag {tag!r}")
+        if name == "car" and len(tag) == 2 and isinstance(tag[1], int):
+            return self._checked(_car_prim(tag[1]).fn, tag)
+        if len(tag) == 1:
+            return self._checked(self._base_fun(name), tag)
+        marker = tag[1]
+        if marker == "partial" and len(tag) == 3 and isinstance(tag[2], Escapement):
+            # Arith partials capture only the escapement; their application
+            # is constant bottom (cf. primitives._arith_prim).
+            if name not in self._ARITH:
+                raise SerializationError(f"unknown primitive tag {tag!r}")
+            return PrimFun(tag, lambda _y: BOTTOM)
+        base = self._base_fun(name)
+        if marker in ("partial", "partial1") and len(tag) == 3:
+            partial = base.apply(tag[2]).fn
+        elif marker == "partial2" and len(tag) == 4:
+            partial = base.apply(tag[2]).fn.apply(tag[3]).fn
+        else:
+            raise SerializationError(f"unknown primitive tag {tag!r}")
+        return self._checked(partial, tag)
+
+    def _base_fun(self, name: str) -> PrimFun:
+        if name in self._ARITH:
+            value = _arith_prim(name)
+        elif name == "cons":
+            value = _cons_prim()
+        elif name == "cdr":
+            value = _cdr_prim()
+        elif name == "null":
+            value = _null_prim()
+        elif name == "dcons":
+            value = _dcons_prim()
+        elif name == "mkpair":
+            value = _mkpair_prim()
+        elif name in ("fst", "snd"):
+            value = _proj_prim(name)
+        else:
+            raise SerializationError(f"unknown primitive {name!r}")
+        assert isinstance(value.fn, PrimFun)
+        return value.fn
+
+    @staticmethod
+    def _checked(fun, tag: tuple) -> PrimFun:
+        if not isinstance(fun, PrimFun) or fun.tag != tag:
+            raise SerializationError(f"primitive tag {tag!r} did not reconstruct")
+        return fun
+
+
+# ---------------------------------------------------------------------------
+# Solved-SCC entry payloads
+# ---------------------------------------------------------------------------
+
+
+def encode_entry(
+    values: dict[str, EscapeValue],
+    traces: list[FixpointTrace],
+    iterates: list[AbsEnv],
+    base_env: AbsEnv,
+    iterations: int,
+    index: NodeIndex,
+    env_names: dict[int, str],
+) -> dict:
+    """A solved SCC (cf. :class:`repro.query._SCCEntry`) as a JSON payload."""
+    encoder = ValueEncoder(index, env_names)
+    doc = {
+        "codec": CODEC_VERSION,
+        "values": encoder.encode_env(values),
+        "base_env": encoder.encode_env(base_env),
+        "iterates": [encoder.encode_env(iterate) for iterate in iterates],
+        "iterations": iterations,
+        "traces": [
+            {
+                "name": trace.name,
+                "fingerprints": [encode_fingerprint(fp) for fp in trace.fingerprints],
+                "converged": trace.converged,
+                "widened": trace.widened,
+            }
+            for trace in traces
+        ],
+    }
+    doc["objects"] = encoder.objects
+    return doc
+
+
+def decode_entry(payload: dict, program: Program, env: AbsEnv, evaluator) -> dict:
+    """The inverse of :func:`encode_entry`: plain decoded pieces, keyed
+    ``values`` / ``traces`` / ``iterates`` / ``base_env`` / ``iterations``.
+
+    Raises :class:`SerializationError` on *any* malformation — the caller
+    treats that as a store miss.
+    """
+    try:
+        if payload.get("codec") != CODEC_VERSION:
+            raise SerializationError(
+                f"codec version skew: {payload.get('codec')!r} != {CODEC_VERSION}"
+            )
+        decoder = ValueDecoder(payload["objects"], program, env, evaluator)
+        return {
+            "values": decoder.env_map(payload["values"]),
+            "base_env": decoder.env_map(payload["base_env"]),
+            "iterates": [decoder.env_map(doc) for doc in payload["iterates"]],
+            "iterations": int(payload["iterations"]),
+            "traces": [
+                FixpointTrace(
+                    name=doc["name"],
+                    fingerprints=[
+                        decode_fingerprint(fp) for fp in doc["fingerprints"]
+                    ],
+                    converged=bool(doc["converged"]),
+                    widened=bool(doc["widened"]),
+                )
+                for doc in payload["traces"]
+            ],
+        }
+    except SerializationError:
+        raise
+    except Exception as error:
+        raise SerializationError(f"malformed entry payload: {error}") from error

@@ -22,6 +22,7 @@ Two fingerprint flavours exist:
 from __future__ import annotations
 
 import hashlib
+import json
 from typing import Iterable
 
 from repro.lang.ast import (
@@ -89,3 +90,19 @@ def bindings_fingerprint(
 def program_fingerprint(program: Program, include_types: bool = False) -> str:
     """The canonical fingerprint of a whole program."""
     return expr_fingerprint(program.letrec, include_types=include_types)
+
+
+def stable_digest(doc: object) -> str:
+    """A sha256 hex digest of a JSON-representable document.
+
+    Canonical encoding (sorted keys, no whitespace, explicit separators),
+    so the digest is identical across processes, platforms, and
+    ``PYTHONHASHSEED`` values.  This is the primitive under the query
+    engine's per-SCC provenance digests (:func:`repro.query.scc_digest`),
+    which replace the process-local ``id()`` tokens the cache originally
+    used — equal digests mean "same analysis inputs", wherever computed.
+    """
+    canonical = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -20,10 +20,14 @@ Typical use::
     from repro import obs
     from repro.obs.sinks import RingBufferSink
 
-    ring = RingBufferSink()
+    ring = RingBufferSink()  # bounded: keeps the last 65 536 events
     with obs.activate(obs.Tracer(sinks=[ring])):
         EscapeAnalysis(program).global_test("append", 1)
     table = obs.profile.iteration_table(ring.events)
+
+``RingBufferSink()`` keeps the *last* ``DEFAULT_RING_CAPACITY`` events and
+an exact ``total``; pass ``capacity=None`` only when a run is known to be
+short, as an unbounded buffer grows with the trace.
 """
 
 from repro.obs import events, metrics, profile, sinks

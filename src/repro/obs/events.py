@@ -10,6 +10,9 @@ listed in :data:`EVENT_FIELDS`.  The vocabulary covers the whole pipeline:
   values, the raw material of the Appendix A.1 tables),
   ``fixpoint_converged`` / ``fixpoint_widened``, ``escape_test``,
   ``query_stats``;
+* **analysis store** — ``store_hit`` / ``store_miss`` / ``store_write``
+  (the on-disk SCC tier of :mod:`repro.store`, keyed by provenance
+  digest);
 * **hardened engine** — ``budget_charge``, ``degradation``;
 * **optimizer** — ``decision``, ``transform_applied``,
   ``transform_skipped``;
@@ -54,7 +57,13 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
         "scc_misses",
         "iterations",
         "eval_steps",
+        # store_hits / store_misses / store_writes ride along as optional
+        # extras so pre-store traces keep validating.
     ),
+    # analysis store (on-disk SCC tier)
+    "store_hit": ("digest",),
+    "store_miss": ("digest",),
+    "store_write": ("digest",),
     # hardened engine
     "budget_charge": ("wall_s", "eval_steps", "iterations"),
     "degradation": ("reason", "stage"),

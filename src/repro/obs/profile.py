@@ -55,6 +55,9 @@ def cache_stats(events: Iterable[dict]) -> dict[str, int]:
         "iterations": 0,
         "queries": 0,
         "eval_steps": 0,
+        "store_hits": 0,
+        "store_misses": 0,
+        "store_writes": 0,
     }
     for event in events:
         etype = event.get("type")
@@ -66,6 +69,12 @@ def cache_stats(events: Iterable[dict]) -> dict[str, int]:
         elif etype == "query_stats":
             out["queries"] += 1
             out["eval_steps"] += event["eval_steps"]
+        elif etype == "store_hit":
+            out["store_hits"] += 1
+        elif etype == "store_miss":
+            out["store_misses"] += 1
+        elif etype == "store_write":
+            out["store_writes"] += 1
     return out
 
 
@@ -139,10 +148,20 @@ def runtime_stats(events: Iterable[dict]) -> dict[str, int]:
     return out
 
 
-def profile_report(events: "list[dict]", top: int = 10) -> str:
+def profile_report(events: "list[dict]", top: int = 10, total: int | None = None) -> str:
     """The human-readable profile: top spans by self time, cache hit
-    ratios, per-binding iteration counts, runtime storage totals."""
+    ratios, per-binding iteration counts, runtime storage totals.
+
+    ``total`` is the number of events *emitted* (e.g. a bounded
+    RingBufferSink's ``total``); when it exceeds ``len(events)``, the
+    report notes that it was built from the truncated tail.
+    """
     lines = ["=== profile ==="]
+    if total is not None and total > len(events):
+        lines.append(
+            f"(truncated: report built from the last {len(events)} of "
+            f"{total} event(s); early counts are undercounted)"
+        )
 
     spans = span_profile(events)
     if spans:
@@ -173,6 +192,15 @@ def profile_report(events: "list[dict]", top: int = 10) -> str:
             f"  {caches['queries']} query(ies), {caches['iterations']} fixpoint "
             f"iteration(s), {caches['eval_steps']} eval step(s)"
         )
+        store_reads = caches["store_hits"] + caches["store_misses"]
+        if store_reads or caches["store_writes"]:
+            lines.append(
+                f"  store: {caches['store_hits']}/{store_reads} hit(s) "
+                f"({caches['store_hits'] / store_reads:.0%}), "
+                f"{caches['store_writes']} write(s)"
+                if store_reads
+                else f"  store: {caches['store_writes']} write(s)"
+            )
 
     table = iteration_table(events)
     if table:

@@ -4,8 +4,10 @@
   (``repro trace``, ``--trace FILE``); readable back with
   :func:`read_trace` and replayable by :mod:`repro.obs.profile` without
   re-running the analysis;
-* :class:`RingBufferSink` — an in-memory buffer (optionally bounded) for
-  tests and for ``--profile`` (which needs the events after the command);
+* :class:`RingBufferSink` — an in-memory buffer for tests and for
+  ``--profile`` (which needs the events after the command); bounded by
+  default (:data:`DEFAULT_RING_CAPACITY`), keeping the *last* events and
+  an exact ``total``;
 * :class:`MetricsSink` — aggregates the stream into a
   :class:`~repro.obs.metrics.MetricsRegistry` as it flows, bounded memory
   regardless of trace length (the benchmark exporter uses this).
@@ -24,31 +26,64 @@ from repro.obs.metrics import MetricsRegistry
 
 
 class JsonlSink:
-    """Writes each event as one JSON line to a stream."""
+    """Writes each event as one JSON line to a stream.
 
-    def __init__(self, stream: IO[str], close_stream: bool = False):
+    Lines are flushed every ``flush_every`` events (default: every line),
+    so a crash mid-run loses at most ``flush_every - 1`` trailing events
+    instead of everything since the last stdio buffer spill — a trace's
+    tail is exactly the part a post-mortem needs.
+    """
+
+    def __init__(
+        self, stream: IO[str], close_stream: bool = False, flush_every: int = 1
+    ):
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
         self.stream = stream
+        self.flush_every = flush_every
         self._close_stream = close_stream
+        self._since_flush = 0
 
     @classmethod
-    def open(cls, path: "str | Path") -> "JsonlSink":
-        return cls(open(path, "w", encoding="utf-8"), close_stream=True)
+    def open(cls, path: "str | Path", flush_every: int = 1) -> "JsonlSink":
+        return cls(open(path, "w", encoding="utf-8"), close_stream=True, flush_every=flush_every)
 
     def write(self, event: dict) -> None:
         self.stream.write(json.dumps(event, separators=(",", ":"), default=str))
         self.stream.write("\n")
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.stream.flush()
+            self._since_flush = 0
 
     def close(self) -> None:
         self.stream.flush()
+        self._since_flush = 0
         if self._close_stream:
             self.stream.close()
 
 
-class RingBufferSink:
-    """Keeps the last ``capacity`` events in memory (all of them when
-    ``capacity`` is None)."""
+#: Default RingBufferSink bound: generous enough for any single CLI run's
+#: profile, small enough that a long-lived traced process cannot grow
+#: without limit.  ``total`` stays exact past the bound, so truncation is
+#: always detectable (``total > len(events)``).
+DEFAULT_RING_CAPACITY = 65_536
 
-    def __init__(self, capacity: int | None = None):
+_UNBOUNDED = object()
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` events in memory.
+
+    The default is :data:`DEFAULT_RING_CAPACITY`, not unlimited — the
+    no-argument form used by the CLI/`observe` paths must not grow memory
+    without bound on long runs.  Pass ``capacity=None`` explicitly to keep
+    every event.
+    """
+
+    def __init__(self, capacity: "int | None" = _UNBOUNDED):  # type: ignore[assignment]
+        if capacity is _UNBOUNDED:
+            capacity = DEFAULT_RING_CAPACITY
         self.capacity = capacity
         self._events: "deque[dict] | list[dict]" = (
             deque(maxlen=capacity) if capacity is not None else []
@@ -113,6 +148,15 @@ class MetricsSink:
                 "eval_steps",
             ):
                 reg.inc(f"session.{name}", event[name])
+            for name in ("store_hits", "store_misses", "store_writes"):
+                # Optional: pre-store traces don't carry these.
+                reg.inc(f"session.{name}", event.get(name, 0))
+        elif etype == "store_hit":
+            reg.inc("store.reads", outcome="hit")
+        elif etype == "store_miss":
+            reg.inc("store.reads", outcome="miss")
+        elif etype == "store_write":
+            reg.inc("store.writes")
         elif etype == "budget_charge":
             reg.observe("budget.wall_s", event["wall_s"])
             reg.inc("budget.eval_steps", event["eval_steps"])

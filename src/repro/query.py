@@ -21,17 +21,23 @@ into a demand-driven query system, in the style of compiler query engines:
   iterations and abstract-evaluation steps (:class:`QueryStats`,
   aggregated into :class:`SessionStats`), and budget meters from the
   hardened engine charge only the work a query actually performs: a cache
-  hit costs no fixpoint iterations, while deadlines are still enforced at
-  every solve entry.
+  hit — in-memory or from the store — costs no fixpoint iterations, while
+  deadlines are still enforced at every solve entry.
 
-Dependency identity is tracked by *provenance tokens* — the exact cached
-entry objects — rather than by value fingerprints: fingerprint equality is
-extensional only at the sampled points, while reusing the same abstract
-values verbatim makes per-SCC reuse trivially bit-identical.
+Dependency identity is tracked by *provenance digests*
+(:func:`scc_digest`): each solved SCC is named by a content hash chaining
+its typed bindings fingerprint, the chain bound ``d``, the iteration cap,
+and its dependencies' digests.  Equal digests mean the abstract evaluator
+saw identical inputs all the way down, so reuse is bit-identical; and
+because the digest is a plain string — not a process-local ``id()`` token,
+as in earlier revisions — the same key is derived in every session and
+every process, which is what lets an on-disk :class:`repro.store.AnalysisStore`
+act as a second, cross-process cache tier behind the in-memory one.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -40,9 +46,20 @@ from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
 from repro.escape.domain import EscapeValue
 from repro.escape.lattice import BeChain
 from repro.escape.scc import binding_sccs
+from repro.escape.serialize import (
+    NodeIndex,
+    SerializationError,
+    decode_entry,
+    encode_entry,
+)
+from repro.escape.serialize import CODEC_VERSION as _CODEC_VERSION
 from repro.lang.ast import Letrec, Program, Var, clone_program, uncurry_app
 from repro.lang.errors import AnalysisError
-from repro.lang.fingerprint import bindings_fingerprint, program_fingerprint
+from repro.lang.fingerprint import (
+    bindings_fingerprint,
+    program_fingerprint,
+    stable_digest,
+)
 from repro.obs import tracer as obs
 from repro.types.infer import InferenceResult, infer_program
 from repro.types.spines import program_spine_bound
@@ -52,6 +69,41 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.robust.budget import BudgetMeter
+    from repro.store import AnalysisStore
+
+#: Version of the digest derivation itself.  Chained into every SCC digest
+#: together with the value-codec version, so changing either the key
+#: material or the payload representation retires all previously stored
+#: entries at once.
+DIGEST_VERSION = 1
+
+
+def scc_digest(
+    typed_fingerprint: str,
+    d: int,
+    max_iterations: int | None,
+    dependencies: dict[str, str],
+) -> str:
+    """The stable provenance digest of one SCC's fixpoint.
+
+    ``dependencies`` maps each dependency binding name to *its* digest, so
+    the hash chains through the whole callees-first solve order: two SCCs
+    share a digest exactly when their typed bindings and the full analysis
+    provenance beneath them agree, along with every analysis-relevant
+    configuration knob (``d`` and the iteration cap both change abstract
+    values, so they are key material, not metadata).
+    """
+    return stable_digest(
+        [
+            "scc",
+            DIGEST_VERSION,
+            _CODEC_VERSION,
+            typed_fingerprint,
+            d,
+            max_iterations,
+            sorted(dependencies.items()),
+        ]
+    )
 
 
 @dataclass
@@ -74,6 +126,9 @@ class SolvedProgram:
     program: Program
     traces: list[FixpointTrace] = field(default_factory=list)
     scc_iterates: dict[str, list[AbsEnv]] = field(default_factory=dict)
+    #: Per-binding provenance digest of the component that solved it — the
+    #: key its fixpoint is cached (and stored) under.
+    scc_digests: dict[str, str] = field(default_factory=dict)
 
     def trace(self, name: str) -> FixpointTrace:
         for t in self.traces:
@@ -92,7 +147,13 @@ class SolvedProgram:
 
 @dataclass
 class QueryStats:
-    """Work accounting for one analysis query."""
+    """Work accounting for one analysis query.
+
+    ``store_*`` counters track the on-disk tier: a store hit also counts as
+    an SCC cache hit (the component was not re-solved), a store miss only
+    accompanies an SCC miss, and a store write records one persisted
+    fixpoint.  All three stay zero when no store is attached.
+    """
 
     solve_hits: int = 0
     solve_misses: int = 0
@@ -100,6 +161,9 @@ class QueryStats:
     scc_misses: int = 0
     iterations: int = 0
     eval_steps: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_writes: int = 0
 
     def add(self, other: "QueryStats") -> None:
         self.solve_hits += other.solve_hits
@@ -108,14 +172,23 @@ class QueryStats:
         self.scc_misses += other.scc_misses
         self.iterations += other.iterations
         self.eval_steps += other.eval_steps
+        self.store_hits += other.store_hits
+        self.store_misses += other.store_misses
+        self.store_writes += other.store_writes
 
     def summary(self) -> str:
-        return (
+        text = (
             f"solve cache {self.solve_hits} hit(s) / {self.solve_misses} miss(es), "
             f"scc cache {self.scc_hits} hit(s) / {self.scc_misses} miss(es), "
             f"{self.iterations} fixpoint iteration(s), "
             f"{self.eval_steps} eval step(s)"
         )
+        if self.store_hits or self.store_misses or self.store_writes:
+            text += (
+                f", store {self.store_hits} hit(s) / {self.store_misses} miss(es)"
+                f" / {self.store_writes} write(s)"
+            )
+        return text
 
 
 @dataclass
@@ -131,8 +204,8 @@ class SessionStats(QueryStats):
 
 @dataclass
 class _SCCEntry:
-    """One cached per-SCC fixpoint.  The entry object itself is the
-    provenance token downstream components key their reuse on."""
+    """One cached per-SCC fixpoint, keyed by its provenance digest
+    (:func:`scc_digest`), which downstream components chain into theirs."""
 
     values: dict[str, EscapeValue]
     traces: list[FixpointTrace]
@@ -155,10 +228,15 @@ class AnalysisSession:
         program: Program,
         d: int | None = None,
         max_iterations: int | None = None,
+        store: "AnalysisStore | None" = None,
     ):
         self.program = program
         self.d_override = d
         self.max_iterations = max_iterations
+        #: Optional on-disk second cache tier (read-through on SCC misses,
+        #: write-behind on fresh solves).  Store hits perform no fixpoint
+        #: iterations and tick no budget meter.
+        self.store = store
         # Base inference: exposes the (possibly polymorphic) schemes and
         # stamps the caller's AST with the default instance, as the
         # pre-session analyzer did.
@@ -166,7 +244,11 @@ class AnalysisSession:
         self.program_fingerprint = program_fingerprint(program)
         self.stats = SessionStats()
         self._solve_cache: dict[tuple, SolvedProgram] = {}
-        self._scc_cache: dict[tuple, _SCCEntry] = {}
+        self._scc_cache: dict[str, _SCCEntry] = {}
+        #: AST paths for value serialization, spanning every clone this
+        #: session solved on (cached dependency values can carry closures
+        #: over earlier clones).  Only populated when a store is attached.
+        self._node_index = NodeIndex() if store is not None else None
         #: Every evaluator this session ever created.  Cached closure
         #: values tick their *creating* evaluator, so a query's meter must
         #: be installed on all of them, and cleared afterwards.
@@ -190,7 +272,13 @@ class AnalysisSession:
     @contextmanager
     def query(self, meter: "BudgetMeter | None" = None) -> Iterator[QueryStats]:
         """Scope one query: installs ``meter`` on every session evaluator
-        (outermost scope wins) and tallies the query's work on exit."""
+        (outermost scope wins) and tallies the query's work on exit.
+
+        A nested scope must not carry its own meter — the outer budget
+        stays installed, so honouring the inner one silently is impossible.
+        Passing a different meter from a nested scope is therefore reported
+        as a :class:`UserWarning` instead of being dropped without a trace.
+        """
         self._query_depth += 1
         if self._query_depth == 1:
             self.stats.queries += 1
@@ -199,6 +287,14 @@ class AnalysisSession:
             for evaluator in self._evaluators:
                 evaluator.meter = meter
             self._steps_at_begin = sum(e.steps for e in self._evaluators)
+        elif meter is not None and meter is not self._active_meter:
+            warnings.warn(
+                "nested AnalysisSession.query() scope passed its own budget "
+                "meter; the outer scope's meter stays in effect and the "
+                "nested one is ignored",
+                UserWarning,
+                stacklevel=3,
+            )
         current = self._current
         assert current is not None
         try:
@@ -222,6 +318,9 @@ class AnalysisSession:
                     scc_misses=current.scc_misses,
                     iterations=current.iterations,
                     eval_steps=current.eval_steps,
+                    store_hits=current.store_hits,
+                    store_misses=current.store_misses,
+                    store_writes=current.store_writes,
                 )
 
     def _new_evaluator(self, chain: BeChain) -> AbstractEvaluator:
@@ -306,7 +405,7 @@ class AnalysisSession:
         )
         chain = BeChain(d)
         evaluator = self._new_evaluator(chain)
-        env, traces, scc_iterates = self._solve_sccs(program, d, chain)
+        env, traces, scc_iterates, scc_digests = self._solve_sccs(program, d, chain)
         return SolvedProgram(
             inference=inference,
             evaluator=evaluator,
@@ -315,47 +414,36 @@ class AnalysisSession:
             program=program,
             traces=traces,
             scc_iterates=scc_iterates,
+            scc_digests=scc_digests,
         )
 
     def _solve_sccs(
         self, program: Program, d: int, chain: BeChain
-    ) -> tuple[AbsEnv, list[FixpointTrace], dict[str, list[AbsEnv]]]:
+    ) -> tuple[AbsEnv, list[FixpointTrace], dict[str, list[AbsEnv]], dict[str, str]]:
+        if self._node_index is not None:
+            self._node_index.add_program(program)
         env: AbsEnv = {}
-        provenance: dict[str, _SCCEntry] = {}
+        #: binding name -> digest of the component that solved it
+        provenance: dict[str, str] = {}
+        #: binding name -> every name in its transitive dependency cone
+        #: (itself and its component included) — the namespace a stored
+        #: entry's environment references may draw from
+        transitive: dict[str, frozenset[str]] = {}
         traces: list[FixpointTrace] = []
         scc_iterates: dict[str, list[AbsEnv]] = {}
         for scc in binding_sccs(program.letrec):
             dep_names = sorted(scc.dependencies)
-            key = (
+            digest = scc_digest(
                 bindings_fingerprint(scc.bindings, include_types=True),
                 d,
                 self.max_iterations,
-                tuple((name, id(provenance[name])) for name in dep_names),
+                {name: provenance[name] for name in dep_names},
             )
-            entry = self._scc_cache.get(key)
-            if entry is None:
-                self._tally(scc_misses=1)
-                obs.emit("scc_solve_start", names=list(scc.names))
-                with obs.span("scc_solve", names=list(scc.names)):
-                    scc_evaluator = self._new_evaluator(chain)
-                    knot = Letrec(bindings=scc.bindings, body=program.body)
-                    solved_env = scc_evaluator.solve_bindings(knot, env)
-                    entry = _SCCEntry(
-                        values={name: solved_env[name] for name in scc.names},
-                        traces=list(scc_evaluator.traces),
-                        iterates=[dict(it) for it in scc_evaluator.iterates],
-                        base_env={name: env[name] for name in dep_names},
-                        iterations=max(0, len(scc_evaluator.iterates) - 1),
-                    )
-                self._scc_cache[key] = entry
-                self._tally(iterations=entry.iterations)
-                obs.emit(
-                    "scc_solve_finish",
-                    names=list(scc.names),
-                    cache="miss",
-                    iterations=entry.iterations,
-                )
-            else:
+            closure = frozenset(scc.names).union(
+                *(transitive[name] for name in dep_names)
+            )
+            entry = self._scc_cache.get(digest)
+            if entry is not None:
                 self._tally(scc_hits=1)
                 obs.emit(
                     "scc_solve_finish",
@@ -363,13 +451,128 @@ class AnalysisSession:
                     cache="hit",
                     iterations=0,
                 )
+            else:
+                entry = self._store_read(digest, scc.names, program, env, chain)
+                if entry is not None:
+                    self._scc_cache[digest] = entry
+                    self._tally(scc_hits=1, store_hits=1)
+                    obs.emit(
+                        "scc_solve_finish",
+                        names=list(scc.names),
+                        cache="hit",
+                        iterations=0,
+                    )
+                else:
+                    self._tally(scc_misses=1)
+                    obs.emit("scc_solve_start", names=list(scc.names))
+                    with obs.span("scc_solve", names=list(scc.names)):
+                        scc_evaluator = self._new_evaluator(chain)
+                        knot = Letrec(bindings=scc.bindings, body=program.body)
+                        solved_env = scc_evaluator.solve_bindings(knot, env)
+                        entry = _SCCEntry(
+                            values={name: solved_env[name] for name in scc.names},
+                            traces=list(scc_evaluator.traces),
+                            iterates=[dict(it) for it in scc_evaluator.iterates],
+                            base_env={name: env[name] for name in dep_names},
+                            iterations=max(0, len(scc_evaluator.iterates) - 1),
+                        )
+                    self._scc_cache[digest] = entry
+                    self._tally(iterations=entry.iterations)
+                    obs.emit(
+                        "scc_solve_finish",
+                        names=list(scc.names),
+                        cache="miss",
+                        iterations=entry.iterations,
+                    )
+                    self._store_write(digest, scc.names, entry, env, closure)
             for name in scc.names:
                 env[name] = entry.values[name]
-                provenance[name] = entry
+                provenance[name] = digest
+                transitive[name] = closure
                 scc_iterates[name] = [
                     {**entry.base_env, **iterate} for iterate in entry.iterates
                 ]
             traces.extend(entry.traces)
         order = {name: i for i, name in enumerate(program.binding_names())}
         traces.sort(key=lambda t: order[t.name])
-        return env, traces, scc_iterates
+        return env, traces, scc_iterates, provenance
+
+    # -- the on-disk tier ---------------------------------------------------
+
+    def _store_read(
+        self,
+        digest: str,
+        names,
+        program: Program,
+        env: AbsEnv,
+        chain: BeChain,
+    ) -> _SCCEntry | None:
+        """Read-through: a stored fixpoint for ``digest``, decoded against
+        this solve's program clone and already-solved environment, or
+        ``None`` (no store, absent, corrupt, or undecodable — all of which
+        fall back to a re-solve).  Decoding performs no abstract evaluation,
+        so a store hit ticks no budget meter.
+        """
+        if self.store is None:
+            return None
+        payload = self.store.read(digest)
+        if payload is not None:
+            try:
+                decoded = decode_entry(
+                    payload, program, env, self._new_evaluator(chain)
+                )
+                entry = _SCCEntry(
+                    values=decoded["values"],
+                    traces=decoded["traces"],
+                    iterates=decoded["iterates"],
+                    base_env=decoded["base_env"],
+                    iterations=decoded["iterations"],
+                )
+            except SerializationError:
+                payload = None
+            else:
+                self.store.note_hit()
+                obs.emit("store_hit", digest=digest, names=list(names))
+                return entry
+        self._tally(store_misses=1)
+        self.store.note_miss()
+        obs.emit("store_miss", digest=digest, names=list(names))
+        return None
+
+    def _store_write(
+        self,
+        digest: str,
+        names,
+        entry: _SCCEntry,
+        env: AbsEnv,
+        closure: frozenset[str],
+    ) -> None:
+        """Write-behind: persist a freshly solved fixpoint.  Environment
+        references are restricted to the component's transitive dependency
+        cone — exactly the names the digest chain pins — and any failure
+        (unserializable value, storage error) skips the write silently:
+        persistence is warmth, never correctness.
+        """
+        if self.store is None:
+            return
+        assert self._node_index is not None
+        dep_closure = sorted(closure - frozenset(names))
+        env_names = {
+            id(env[name]): name for name in dep_closure if name in env
+        }
+        try:
+            payload = encode_entry(
+                entry.values,
+                entry.traces,
+                entry.iterates,
+                entry.base_env,
+                entry.iterations,
+                self._node_index,
+                env_names,
+            )
+        except SerializationError:
+            return
+        if self.store.write(digest, payload):
+            self._tally(store_writes=1)
+            self.store.note_write()
+            obs.emit("store_write", digest=digest, names=list(names))

@@ -106,6 +106,7 @@ class HardenedAnalysis:
         d: int | None = None,
         max_iterations: int | None = None,
         max_retries: int = 1,
+        store=None,
     ):
         self.program = program
         self.budget = budget or AnalysisBudget()
@@ -122,7 +123,14 @@ class HardenedAnalysis:
         #: this engine: repeated questions hit the solve/SCC caches, so a
         #: per-query budget is charged only for the cache *misses* the
         #: query actually solves (deadlines are still enforced per query).
-        self.session = AnalysisSession(program, d=d, max_iterations=max_iterations)
+        #: An attached :class:`repro.store.AnalysisStore` adds an on-disk
+        #: tier with the same charging rule — a store hit decodes persisted
+        #: values without running the abstract evaluator, so budget meters
+        #: see no eval steps and no fixpoint iterations for it (a corrupt
+        #: entry degrades to a charged re-solve, never to a wrong answer).
+        self.session = AnalysisSession(
+            program, d=d, max_iterations=max_iterations, store=store
+        )
 
     # -- plumbing ----------------------------------------------------------
 

@@ -1,0 +1,152 @@
+"""Content-addressed on-disk store for solved SCC fixpoints.
+
+The second cache tier behind :class:`repro.query.AnalysisSession`'s
+in-memory SCC cache.  Entries are keyed by the SCC's *provenance digest*
+(:func:`repro.query.scc_digest`) — a content hash over the component's
+typed bindings fingerprint, the chain bound ``d``, the iteration cap, and
+its dependencies' digests — so any process that derives the same digest is
+entitled to the stored result, and any analysis-relevant change derives a
+different digest (invalidation is automatic; stale entries are simply never
+addressed again).
+
+Design points:
+
+* **Layout.**  ``root/<digest[:2]>/<digest>.json``, one entry per file,
+  fanned out over 256 subdirectories so corpus-scale stores keep directory
+  listings short.
+* **Versioned schema.**  Every file carries :data:`SCHEMA_VERSION` and its
+  own digest; a version skew or digest mismatch reads as a miss, never as
+  a misinterpretation.
+* **Atomic writes.**  Payloads land in a same-directory temp file and are
+  ``os.replace``\\ d into place, so concurrent batch workers racing on the
+  same digest can only ever observe a complete entry (last writer wins;
+  both wrote the same content, by content-addressing).
+* **Corruption tolerance.**  :meth:`AnalysisStore.read` returns ``None``
+  on *any* failure — missing file, bad JSON, schema skew, injected fault —
+  and the caller re-solves.  A store can be deleted, truncated, or
+  hand-edited at any time without affecting correctness, only warmth.
+  Reads run under the ``"store_load"`` fault-injection stage
+  (:mod:`repro.robust.faults`) so that degradation path stays tested.
+* **Failed writes are silent.**  A full disk or read-only store loses
+  warmth, not answers.
+
+The store never interprets payloads; (de)serialization of abstract values
+lives in :mod:`repro.escape.serialize` and the digest derivation in
+:mod:`repro.query`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.robust import faults
+
+#: Version of the on-disk file schema (the envelope around the payload).
+#: Bump on any change to the file layout; the value-graph representation
+#: inside the payload is separately versioned by
+#: :data:`repro.escape.serialize.CODEC_VERSION`.
+SCHEMA_VERSION = 1
+
+
+class AnalysisStore:
+    """A directory of solved-SCC payloads, addressed by provenance digest."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnalysisStore({str(self.root)!r})"
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, digest: str) -> dict | None:
+        """The payload stored under ``digest``, or ``None``.
+
+        ``None`` covers every failure mode — absent, unreadable, corrupt,
+        version-skewed, mis-addressed, or an injected ``"store_load"``
+        fault — because the caller's fallback (re-solve) is always correct.
+        """
+        try:
+            faults.check_stage("store_load")
+            raw = self._path(digest).read_text(encoding="utf-8")
+            doc = json.loads(raw)
+            if (
+                not isinstance(doc, dict)
+                or doc.get("schema") != SCHEMA_VERSION
+                or doc.get("digest") != digest
+                or not isinstance(doc.get("payload"), dict)
+            ):
+                return None
+            return doc["payload"]
+        except Exception:
+            return None
+
+    # -- writes -------------------------------------------------------------
+
+    def write(self, digest: str, payload: dict) -> bool:
+        """Persist ``payload`` under ``digest``; True if it landed.
+
+        Atomic (temp file + rename) and failure-silent: storage problems
+        must never surface as analysis errors.
+        """
+        path = self._path(digest)
+        document = {"schema": SCHEMA_VERSION, "digest": digest, "payload": payload}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return True
+        except Exception:
+            return False
+
+    # -- bookkeeping (session-independent store traffic) ---------------------
+
+    def note_hit(self) -> None:
+        self._hits += 1
+
+    def note_miss(self) -> None:
+        self._misses += 1
+
+    def note_write(self) -> None:
+        self._writes += 1
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "store_hits": self._hits,
+            "store_misses": self._misses,
+            "store_writes": self._writes,
+        }
+
+    # -- maintenance ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of complete entries on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def digests(self) -> list[str]:
+        """All stored digests, sorted (for tooling and tests)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("??/*.json"))

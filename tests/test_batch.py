@@ -1,0 +1,175 @@
+"""The parallel batch driver (:mod:`repro.batch`) and its ``repro batch``
+CLI: corpus collection, serial and process-parallel runs through a shared
+store, warm-run accounting, and error containment."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch import BatchReport, FileReport, analyze_one, collect_inputs, run_batch
+from repro.cli import main
+from repro.lang.prelude import prelude_source
+
+APPEND = prelude_source(["append"], "append [1, 2] [3]")
+REV = prelude_source(["append", "rev"], "rev [1, 2, 3]")
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    root = tmp_path / "corpus"
+    (root / "nested").mkdir(parents=True)
+    (root / "append.nml").write_text(APPEND)
+    (root / "nested" / "rev.nml").write_text(REV)
+    return root
+
+
+class TestCollectInputs:
+    def test_directories_recurse_sorted(self, corpus):
+        found = collect_inputs([corpus])
+        assert [p.name for p in found] == ["append.nml", "rev.nml"]
+
+    def test_duplicates_dropped_files_pass_through(self, corpus):
+        direct = corpus / "append.nml"
+        found = collect_inputs([direct, corpus])
+        assert [p.name for p in found] == ["append.nml", "rev.nml"]
+
+    def test_non_nml_files_ignored_in_directories(self, corpus):
+        (corpus / "README.md").write_text("not a program")
+        assert len(collect_inputs([corpus])) == 2
+
+
+class TestAnalyzeOne:
+    def test_reports_functions_and_stats(self, corpus):
+        report = analyze_one(str(corpus / "append.nml"), None)
+        assert report.ok
+        assert report.functions == 1
+        assert report.d >= 1
+        assert report.stats["iterations"] > 0
+        assert "ok" in report.line()
+
+    def test_bad_file_is_contained(self, tmp_path):
+        bad = tmp_path / "bad.nml"
+        bad.write_text("this is not ( valid")
+        report = analyze_one(str(bad), None)
+        assert not report.ok
+        assert report.error
+        assert "ERROR" in report.line()
+
+    def test_report_is_picklable(self, corpus):
+        import pickle
+
+        report = analyze_one(str(corpus / "append.nml"), None)
+        assert pickle.loads(pickle.dumps(report)) == report
+
+
+class TestRunBatch:
+    def test_serial_cold_then_warm(self, corpus, tmp_path):
+        store = tmp_path / "store"
+        cold = run_batch([corpus], store_root=store, jobs=1, d=2)
+        assert cold.ok
+        assert cold.totals()["iterations"] > 0
+        assert cold.totals()["store_writes"] > 0
+        # append is one typed SCC shared by both files at pinned d: the
+        # second file decodes the first file's fixpoint even in run one.
+        assert cold.totals()["store_hits"] >= 1
+
+        warm = run_batch([corpus], store_root=store, jobs=1, d=2)
+        totals = warm.totals()
+        assert totals["scc_misses"] == 0
+        assert totals["iterations"] == 0
+        assert totals["store_misses"] == 0
+        assert totals["store_hits"] == cold.totals()["scc_hits"] + cold.totals()[
+            "scc_misses"
+        ]
+
+    def test_parallel_warm_run_does_no_fixpoint_work(self, corpus, tmp_path):
+        store = tmp_path / "store"
+        run_batch([corpus], store_root=store, jobs=1, d=2)
+        warm = run_batch([corpus], store_root=store, jobs=2, d=2)
+        assert warm.jobs == 2
+        assert warm.totals()["iterations"] == 0
+        assert warm.totals()["scc_misses"] == 0
+
+    def test_parallel_matches_serial_results(self, corpus, tmp_path):
+        serial = run_batch([corpus], jobs=1)
+        parallel = run_batch([corpus], store_root=tmp_path / "store", jobs=2)
+        assert [r.path for r in parallel.reports] == [r.path for r in serial.reports]
+        assert [(r.ok, r.d, r.functions) for r in parallel.reports] == [
+            (r.ok, r.d, r.functions) for r in serial.reports
+        ]
+
+    def test_no_store_runs_standalone(self, corpus):
+        report = run_batch([corpus], store_root=None, jobs=1)
+        assert report.ok
+        assert report.store_root is None
+        assert report.totals().get("store_hits", 0) == 0
+
+    def test_failed_file_does_not_sink_the_batch(self, corpus):
+        (corpus / "bad.nml").write_text("][")
+        report = run_batch([corpus], jobs=1)
+        assert not report.ok
+        assert sum(1 for r in report.reports if r.ok) == 2
+        assert "1 failed" in report.summary()
+
+    def test_empty_batch_is_not_ok(self):
+        assert not BatchReport(reports=[], jobs=1, store_root=None).ok
+
+    def test_totals_skip_failed_files_and_bools(self):
+        report = BatchReport(
+            reports=[
+                FileReport(path="a", ok=True, stats={"iterations": 2, "store": {"hits": 1}}),
+                FileReport(path="b", ok=False, error="x", stats={"iterations": 99}),
+            ],
+            jobs=1,
+            store_root=None,
+        )
+        assert report.totals() == {"iterations": 2, "store_hits": 1}
+
+
+class TestBatchCli:
+    def test_batch_text_output(self, corpus, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["batch", str(corpus), "--store", store, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "append.nml: ok" in out
+        assert "rev.nml: ok" in out
+        assert "-- 2 file(s), 1 job(s)" in out
+        assert f"store: {store}" in out
+
+    def test_batch_default_store_next_to_corpus(self, corpus, capsys):
+        assert main(["batch", str(corpus)]) == 0
+        assert (corpus / ".repro-store").is_dir()
+
+    def test_batch_no_store(self, corpus, capsys):
+        assert main(["batch", str(corpus), "--no-store"]) == 0
+        assert not (corpus / ".repro-store").exists()
+        assert "no store" in capsys.readouterr().out
+
+    def test_batch_json_warm_run_reports_zero_misses(self, corpus, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["batch", str(corpus), "--jobs", "2", "--store", store, "--d", "2", "--json"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"]
+        assert doc["jobs"] == 2
+        assert doc["totals"]["scc_misses"] == 0
+        assert doc["totals"]["iterations"] == 0
+        assert {f["path"].rsplit("/", 1)[-1] for f in doc["files"]} == {
+            "append.nml",
+            "rev.nml",
+        }
+
+    def test_batch_error_exit_code(self, corpus, capsys):
+        (corpus / "bad.nml").write_text("][")
+        assert main(["batch", str(corpus), "--no-store"]) == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_batch_empty_corpus_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 1
+        assert "error" in capsys.readouterr().err

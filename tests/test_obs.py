@@ -381,3 +381,123 @@ class TestHardenedEngineEvents:
         assert degradations and degradations[0]["reason"] == "iteration-budget-exceeded"
         charges = [e for e in events if e["type"] == "budget_charge"]
         assert charges and charges[-1]["iterations"] >= 1
+
+
+class TestSinkDurability:
+    """The crash-durability satellites: JSONL lines reach disk as they are
+    written, and the default ring buffer is bounded."""
+
+    class _CrashStream(io.StringIO):
+        """Records what had been flushed — the post-crash view of a file
+        whose buffered tail was lost."""
+
+        def __init__(self):
+            super().__init__()
+            self.flushed = ""
+
+        def flush(self):
+            self.flushed = self.getvalue()
+            super().flush()
+
+    def test_jsonl_flushes_every_line_by_default(self):
+        stream = self._CrashStream()
+        tracer = Tracer(sinks=[JsonlSink(stream)])
+        for cell in range(3):
+            tracer.emit("cell_reuse", cell=cell)
+        # no close(): the "crashed" file still holds every line written
+        events = read_trace(io.StringIO(stream.flushed))
+        assert [e["cell"] for e in events] == [0, 1, 2]
+
+    def test_jsonl_flush_interval_bounds_the_lost_tail(self):
+        stream = self._CrashStream()
+        tracer = Tracer(sinks=[JsonlSink(stream, flush_every=4)])
+        for cell in range(6):
+            tracer.emit("cell_reuse", cell=cell)
+        survived = read_trace(io.StringIO(stream.flushed))
+        assert [e["cell"] for e in survived] == [0, 1, 2, 3]
+        assert len(stream.getvalue().splitlines()) == 6
+
+    def test_jsonl_close_drains_the_tail(self):
+        stream = self._CrashStream()
+        sink = JsonlSink(stream, flush_every=100)
+        Tracer(sinks=[sink]).emit("cell_reuse", cell=9)
+        sink.close()
+        assert [e["cell"] for e in read_trace(io.StringIO(stream.flushed))] == [9]
+
+    def test_jsonl_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            JsonlSink(io.StringIO(), flush_every=0)
+
+    def test_ring_buffer_default_is_bounded(self):
+        from repro.obs.sinks import DEFAULT_RING_CAPACITY
+
+        ring = RingBufferSink()
+        assert ring.capacity == DEFAULT_RING_CAPACITY
+        tracer = Tracer(sinks=[ring])
+        tracer.emit("cell_reuse", cell=1)
+        assert ring.total == 1 and len(ring.events) == 1
+
+    def test_ring_buffer_unbounded_is_explicit(self):
+        ring = RingBufferSink(capacity=None)
+        assert ring.capacity is None
+        tracer = Tracer(sinks=[ring])
+        for cell in range(10):
+            tracer.emit("cell_reuse", cell=cell)
+        assert len(ring.events) == ring.total == 10
+
+    def test_truncated_ring_keeps_exact_total(self):
+        ring = RingBufferSink(capacity=3)
+        tracer = Tracer(sinks=[ring])
+        for cell in range(8):
+            tracer.emit("cell_reuse", cell=cell)
+        assert ring.total == 8
+        assert [e["cell"] for e in ring.events] == [5, 6, 7]
+
+    def test_profile_report_notes_truncation(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("solve"):
+            pass
+        for _ in range(3):
+            tracer.emit("cell_reuse", cell=1)
+        report = profile_report(ring.events, total=ring.total)
+        assert "truncated" in report
+        assert f"last {len(ring.events)} of {ring.total}" in report
+
+    def test_profile_report_quiet_when_complete(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        tracer.emit("cell_reuse", cell=1)
+        assert "truncated" not in profile_report(ring.events, total=ring.total)
+
+
+class TestStoreEvents:
+    def test_store_events_replay_in_cache_stats(self, tmp_path):
+        from repro.store import AnalysisStore
+
+        ring = RingBufferSink()
+        with activate(Tracer(sinks=[ring])):
+            EscapeAnalysis(
+                paper_partition_sort(), store=AnalysisStore(tmp_path / "s")
+            ).global_test("append", 1)
+            EscapeAnalysis(
+                paper_partition_sort(), store=AnalysisStore(tmp_path / "s")
+            ).global_test("append", 1)
+        assert validate_trace(ring.events) > 0
+        stats = cache_stats(ring.events)
+        assert stats["store_writes"] == 3
+        assert stats["store_hits"] == 3
+        assert stats["store_misses"] == 3
+        report = profile_report(ring.events)
+        assert "store: 3/6 hit(s) (50%)" in report
+
+    def test_metrics_sink_counts_store_reads_and_writes(self, tmp_path):
+        from repro.store import AnalysisStore
+
+        reg = MetricsRegistry()
+        with activate(Tracer(sinks=[MetricsSink(reg)])):
+            EscapeAnalysis(
+                paper_partition_sort(), store=AnalysisStore(tmp_path / "s")
+            ).global_test("append", 1)
+        assert reg.counter("store.reads", outcome="miss") == 3
+        assert reg.counter("store.writes") == 3

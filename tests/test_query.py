@@ -192,3 +192,46 @@ class TestBudgetsChargeOnlyMisses:
         relaxed = EscapeAnalysis(partition_sort, session=session)
         results = relaxed.global_all("ps")  # must not raise
         assert str(results[0].result) == "<1,0>"
+
+
+class TestNestedMeterScopes:
+    """The satellite regression: a nested ``query()`` scope that brings its
+    own budget meter used to be silently ignored — it now warns."""
+
+    def test_nested_scope_with_its_own_meter_warns(self, partition_sort):
+        session = AnalysisSession(partition_sort)
+        outer = AnalysisBudget(max_eval_steps=1_000_000).start()
+        inner = AnalysisBudget(max_eval_steps=1).start()
+        with session.query(outer):
+            with pytest.warns(UserWarning, match="nested.*meter.*ignored"):
+                with session.query(inner):
+                    pass
+
+    def test_nested_scope_without_meter_is_silent(self, partition_sort):
+        import warnings as _warnings
+
+        session = AnalysisSession(partition_sort)
+        meter = AnalysisBudget(max_eval_steps=1_000_000).start()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            with session.query(meter):
+                with session.query():
+                    pass
+            # re-passing the *same* meter is also fine: same budget scope
+            with session.query(meter):
+                with session.query(meter):
+                    pass
+
+    def test_outer_meter_stays_in_effect_after_warning(self, partition_sort):
+        session = AnalysisSession(partition_sort)
+        outer = AnalysisBudget(max_eval_steps=10_000_000).start()
+        inner = AnalysisBudget(max_eval_steps=1).start()
+        analysis = EscapeAnalysis(partition_sort, session=session)
+        with session.query(outer):
+            with pytest.warns(UserWarning):
+                with session.query(inner):
+                    # the inner 1-step cap is NOT enforced: the outer
+                    # (roomy) meter governs, so the query completes
+                    results = analysis.global_all("append")
+        assert results and inner.eval_steps == 0
+        assert outer.eval_steps > 0

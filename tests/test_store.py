@@ -1,0 +1,311 @@
+"""Provenance digests, the on-disk :class:`~repro.store.AnalysisStore`,
+and the serialization codec (:mod:`repro.escape.serialize`).
+
+The contract under test: two sessions — in this process or another —
+derive the *same* content digest for the same typed SCC under the same
+analysis parameters, and a fixpoint decoded from the store is
+bit-identical (by :func:`~repro.escape.abstract.fingerprint`) to the one a
+fresh solve would produce, at zero fixpoint iterations.  Any damaged or
+mismatched entry degrades to a correct re-solve, never a crash or a wrong
+value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+
+from repro.escape.abstract import fingerprint
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.parser import parse_program
+from repro.lang.prelude import paper_map_pair, paper_partition_sort, prelude_program
+from repro.query import AnalysisSession, scc_digest
+from repro.robust import faults
+from repro.robust.faults import FaultPlan, StageFault
+from repro.store import SCHEMA_VERSION, AnalysisStore
+
+from .strategies import list_function_program
+
+
+def _fingerprints(session: AnalysisSession, solved) -> dict[str, object]:
+    """Per-binding comparable images of the solved environment."""
+    chain = solved.evaluator.chain
+    out = {}
+    for name in solved.program.binding_names():
+        ty = solved.inference.scheme(name).body
+        out[name] = fingerprint(solved.env[name], ty, chain)
+    return out
+
+
+class TestProvenanceDigests:
+    def test_digests_equal_across_fresh_sessions(self, partition_sort):
+        first = AnalysisSession(paper_partition_sort()).solve(None)
+        second = AnalysisSession(partition_sort).solve(None)
+        assert first.scc_digests == second.scc_digests
+        assert set(first.scc_digests) == {"append", "split", "ps"}
+
+    def test_digests_are_stable_hex_strings(self, partition_sort):
+        # The point of the fix: id()-based tokens were process-local and
+        # unpicklable; digests are plain content-derived strings.
+        solved = AnalysisSession(partition_sort).solve(None)
+        for digest in solved.scc_digests.values():
+            assert isinstance(digest, str)
+            int(digest, 16)
+            assert len(digest) == 64
+        json.dumps(solved.scc_digests)
+
+    def test_digest_depends_on_d(self, partition_sort):
+        at_2 = AnalysisSession(partition_sort, d=2).solve(None)
+        at_3 = AnalysisSession(partition_sort, d=3).solve(None)
+        for name in at_2.scc_digests:
+            assert at_2.scc_digests[name] != at_3.scc_digests[name]
+
+    def test_digest_depends_on_max_iterations(self, partition_sort):
+        base = AnalysisSession(partition_sort).solve(None)
+        capped = AnalysisSession(partition_sort, max_iterations=7).solve(None)
+        for name in base.scc_digests:
+            assert base.scc_digests[name] != capped.scc_digests[name]
+
+    def test_digest_chains_dependency_digests(self):
+        # rev's own binding is identical in both programs; only its
+        # dependency append differs (extra no-op branch nesting changes
+        # append's AST, hence its digest, hence rev's).
+        rev = "rev x = if (null x) then nil else append (rev (cdr x)) (cons (car x) nil);"
+        a = parse_program(
+            "append x y = if (null x) then y else cons (car x) (append (cdr x) y);\n"
+            + rev
+            + "\nrev [1, 2, 3]"
+        )
+        b = parse_program(
+            "append x y = if (null x) then if (null x) then y else y"
+            " else cons (car x) (append (cdr x) y);\n" + rev + "\nrev [1, 2, 3]"
+        )
+        da = AnalysisSession(a, d=1).solve(None).scc_digests
+        db = AnalysisSession(b, d=1).solve(None).scc_digests
+        assert da["append"] != db["append"]
+        assert da["rev"] != db["rev"]
+
+    def test_identical_sccs_share_digests_across_programs(self):
+        # Same prelude append at the same pinned d: one digest, two
+        # programs — the property cross-program store sharing rests on.
+        a = AnalysisSession(prelude_program(["append", "rev"]), d=2).solve(None)
+        b = AnalysisSession(prelude_program(["append", "heads"]), d=2).solve(None)
+        assert a.scc_digests["append"] == b.scc_digests["append"]
+
+    def test_scc_digest_orders_dependencies_canonically(self):
+        deps = {"a": "1" * 64, "b": "2" * 64}
+        assert scc_digest("fp", 1, None, deps) == scc_digest(
+            "fp", 1, None, dict(reversed(list(deps.items())))
+        )
+        assert scc_digest("fp", 1, None, deps) != scc_digest("fp", 1, None, {})
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=list_function_program())
+    def test_generated_programs_digest_deterministically(self, case):
+        program, _ = case
+        first = AnalysisSession(program).solve(None)
+        second = AnalysisSession(program).solve(None)
+        assert first.scc_digests == second.scc_digests
+
+
+class TestStoreRoundTrip:
+    def test_warm_session_decodes_bit_identical_values(self, tmp_path, partition_sort):
+        store = AnalysisStore(tmp_path / "store")
+        cold = AnalysisSession(paper_partition_sort(), store=store)
+        cold_solved = cold.solve(None)
+        assert cold.stats.store_writes == 3
+
+        warm = AnalysisSession(partition_sort, store=AnalysisStore(tmp_path / "store"))
+        warm_solved = warm.solve(None)
+        assert warm.stats.store_hits == 3
+        assert warm.stats.scc_misses == 0
+        assert warm.stats.iterations == 0
+        assert _fingerprints(cold, cold_solved) == _fingerprints(warm, warm_solved)
+
+    def test_warm_answers_match_cold_answers(self, tmp_path, map_pair):
+        store_root = tmp_path / "store"
+        cold = EscapeAnalysis(paper_map_pair(), store=AnalysisStore(store_root))
+        warm = EscapeAnalysis(map_pair, store=AnalysisStore(store_root))
+        for analysis in (cold, warm):
+            analysis.solve(None)
+        for name in ("map", "pair"):
+            cold_results = cold.global_all(name)
+            warm_results = warm.global_all(name)
+            assert [str(r.result) for r in warm_results] == [
+                str(r.result) for r in cold_results
+            ]
+        assert warm.stats.iterations == 0
+
+    def test_second_write_is_skipped(self, tmp_path, partition_sort):
+        store = AnalysisStore(tmp_path / "store")
+        AnalysisSession(paper_partition_sort(), store=store).solve(None)
+        again = AnalysisSession(partition_sort, store=store)
+        again.solve(None)
+        assert again.stats.store_writes == 0
+        assert len(store) == 3
+
+    def test_stored_payloads_are_canonical_json(self, tmp_path, partition_sort):
+        store = AnalysisStore(tmp_path / "store")
+        AnalysisSession(partition_sort, store=store).solve(None)
+        for digest in store.digests():
+            raw = store._path(digest).read_text()
+            doc = json.loads(raw)
+            assert doc["schema"] == SCHEMA_VERSION
+            assert doc["digest"] == digest
+            # canonical: re-dumping with sorted keys reproduces the bytes
+            assert json.dumps(doc, sort_keys=True, separators=(",", ":")) == raw
+
+    def test_traces_and_iterates_replay_from_store(self, tmp_path, partition_sort):
+        store_root = tmp_path / "store"
+        cold = AnalysisSession(paper_partition_sort(), store=AnalysisStore(store_root))
+        cold_solved = cold.solve(None)
+        warm = AnalysisSession(partition_sort, store=AnalysisStore(store_root))
+        warm_solved = warm.solve(None)
+        for name in ("append", "split", "ps"):
+            assert warm_solved.trace(name).iterations == cold_solved.trace(name).iterations
+            assert warm_solved.trace(name).converged
+            assert len(warm_solved.iterates_for(name)) == len(
+                cold_solved.iterates_for(name)
+            )
+
+
+class TestStoreFallbacks:
+    """A damaged tier-two must be indistinguishable from a cold one."""
+
+    def _warm_after(self, tmp_path, damage) -> AnalysisSession:
+        program = paper_partition_sort()
+        store = AnalysisStore(tmp_path / "store")
+        AnalysisSession(program, store=store).solve(None)
+        for digest in store.digests():
+            damage(store._path(digest))
+        return AnalysisSession(paper_partition_sort(), store=store)
+
+    def _assert_resolved_correctly(self, session: AnalysisSession) -> None:
+        solved = session.solve(None)
+        assert session.stats.store_hits == 0
+        assert session.stats.scc_misses == 3
+        assert session.stats.iterations > 0
+        baseline = AnalysisSession(paper_partition_sort())
+        assert _fingerprints(session, solved) == _fingerprints(
+            baseline, baseline.solve(None)
+        )
+
+    def test_truncated_entries_degrade_to_resolve(self, tmp_path):
+        session = self._warm_after(
+            tmp_path, lambda path: path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        )
+        self._assert_resolved_correctly(session)
+
+    def test_garbage_entries_degrade_to_resolve(self, tmp_path):
+        session = self._warm_after(tmp_path, lambda path: path.write_text("}{ not json"))
+        self._assert_resolved_correctly(session)
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        def bump(path):
+            doc = json.loads(path.read_text())
+            doc["schema"] = SCHEMA_VERSION + 1
+            path.write_text(json.dumps(doc))
+
+        session = self._warm_after(tmp_path, bump)
+        self._assert_resolved_correctly(session)
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        def swap(path):
+            doc = json.loads(path.read_text())
+            doc["digest"] = "0" * 64
+            path.write_text(json.dumps(doc))
+
+        session = self._warm_after(tmp_path, swap)
+        self._assert_resolved_correctly(session)
+
+    def test_injected_store_load_fault_degrades_to_resolve(self, tmp_path):
+        program = paper_partition_sort()
+        store = AnalysisStore(tmp_path / "store")
+        AnalysisSession(program, store=store).solve(None)
+        session = AnalysisSession(paper_partition_sort(), store=store)
+        with faults.inject(
+            FaultPlan(stage_faults=(StageFault(stage="store_load", at=1),))
+        ) as injector:
+            solved = session.solve(None)
+        assert "store_load@1" in " ".join(injector.fired) or injector.fired
+        # first read failed; later reads may hit — but the answer is right
+        baseline = AnalysisSession(paper_partition_sort())
+        assert _fingerprints(session, solved) == _fingerprints(
+            baseline, baseline.solve(None)
+        )
+        assert session.stats.store_misses >= 1
+
+    def test_unwritable_store_is_silent(self, tmp_path):
+        root = tmp_path / "store"
+        root.write_text("i am a file, not a directory")
+        session = AnalysisSession(paper_partition_sort(), store=AnalysisStore(root))
+        solved = session.solve(None)
+        assert session.stats.store_writes == 0
+        baseline = AnalysisSession(paper_partition_sort())
+        assert _fingerprints(session, solved) == _fingerprints(
+            baseline, baseline.solve(None)
+        )
+
+
+_CHILD = textwrap.dedent(
+    """
+    import json, sys
+    from repro.escape.abstract import fingerprint
+    from repro.lang.prelude import paper_partition_sort
+    from repro.query import AnalysisSession
+    from repro.store import AnalysisStore
+
+    session = AnalysisSession(paper_partition_sort(), store=AnalysisStore(sys.argv[1]))
+    solved = session.solve(None)
+    chain = solved.evaluator.chain
+    prints = {
+        name: repr(fingerprint(solved.env[name], solved.inference.scheme(name).body, chain))
+        for name in solved.program.binding_names()
+    }
+    print(json.dumps({
+        "digests": solved.scc_digests,
+        "fingerprints": prints,
+        "iterations": session.stats.iterations,
+        "scc_misses": session.stats.scc_misses,
+        "store_hits": session.stats.store_hits,
+    }))
+    """
+)
+
+
+class TestCrossProcess:
+    def test_two_processes_share_scc_results(self, tmp_path):
+        """The acceptance criterion: a second, independent process decodes
+        every SCC from the shared store — zero fixpoint iterations,
+        bit-identical values — even under different hash seeds."""
+        store = str(tmp_path / "store")
+
+        def run(seed: str) -> dict:
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = (
+                "src" + os.pathsep + env.get("PYTHONPATH", "")
+            ).rstrip(os.pathsep)
+            proc = subprocess.run(
+                [sys.executable, "-c", _CHILD, store],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            return json.loads(proc.stdout)
+
+        first = run("0")
+        second = run("12345")
+        assert first["scc_misses"] == 3 and first["iterations"] > 0
+        assert second["scc_misses"] == 0
+        assert second["iterations"] == 0
+        assert second["store_hits"] == 3
+        assert second["digests"] == first["digests"]
+        assert second["fingerprints"] == first["fingerprints"]
