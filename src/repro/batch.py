@@ -35,16 +35,31 @@ class FileReport:
     functions: int = 0
     #: the worker session's accounting (:func:`repro.escape.report.stats_dict`)
     stats: dict = field(default_factory=dict)
+    #: ``repro.check`` severity counts when the batch ran ``--check``
+    #: (``{"error": n, "warning": n, "hint": n}``), else ``None``
+    check: "dict | None" = None
+    #: a checker crash, contained like an analysis error (the file's
+    #: analysis results stand; its diagnostics are just missing)
+    check_error: str = ""
 
     def line(self) -> str:
         if not self.ok:
             return f"{self.path}: ERROR {self.error}"
-        return (
+        text = (
             f"{self.path}: ok — {self.functions} function(s), d={self.d}, "
             f"scc {self.stats.get('scc_hits', 0)} hit(s) / "
             f"{self.stats.get('scc_misses', 0)} miss(es), "
             f"{self.stats.get('iterations', 0)} iteration(s)"
         )
+        if self.check_error:
+            text += f", check CRASHED ({self.check_error})"
+        elif self.check is not None:
+            text += (
+                f", check {self.check.get('error', 0)} error(s) / "
+                f"{self.check.get('warning', 0)} warning(s) / "
+                f"{self.check.get('hint', 0)} hint(s)"
+            )
+        return text
 
 
 @dataclass
@@ -59,9 +74,19 @@ class BatchReport:
     def ok(self) -> bool:
         return bool(self.reports) and all(r.ok for r in self.reports)
 
+    @property
+    def check_findings(self) -> int:
+        """Error-severity checker findings fleet-wide; checker crashes
+        count (a file whose diagnostics are missing is not certified)."""
+        return sum(
+            (r.check or {}).get("error", 0) + (1 if r.check_error else 0)
+            for r in self.reports
+        )
+
     def totals(self) -> dict[str, int]:
         """Integer stats summed across every successful file (the nested
-        ``store`` section is flattened to ``store_*`` keys)."""
+        ``store`` section is flattened to ``store_*`` keys; checker counts
+        to ``check_*``)."""
         out: dict[str, int] = {}
         for report in self.reports:
             if not report.ok:
@@ -78,6 +103,13 @@ class BatchReport:
                         ):
                             flat = f"{key}_{sub}"
                             out[flat] = out.get(flat, 0) + sub_value
+            if report.check is not None:
+                for severity, count in report.check.items():
+                    if isinstance(count, int) and not isinstance(count, bool):
+                        flat = f"check_{severity}"
+                        out[flat] = out.get(flat, 0) + count
+            if report.check_error:
+                out["check_crashes"] = out.get("check_crashes", 0) + 1
         return out
 
     def summary(self) -> str:
@@ -101,6 +133,14 @@ class BatchReport:
                     f"{totals.get('store_misses', 0)} miss(es) / "
                     f"{totals.get('store_writes', 0)} write(s)"
                 )
+        if any(r.check is not None or r.check_error for r in self.reports):
+            crashes = totals.get("check_crashes", 0)
+            lines.append(
+                f"check {totals.get('check_error', 0)} error(s) / "
+                f"{totals.get('check_warning', 0)} warning(s) / "
+                f"{totals.get('check_hint', 0)} hint(s)"
+                + (f", {crashes} checker crash(es)" if crashes else "")
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict:
@@ -114,6 +154,8 @@ class BatchReport:
                     "ok": r.ok,
                     **({"error": r.error} if not r.ok else {}),
                     **({"d": r.d, "functions": r.functions, "stats": r.stats} if r.ok else {}),
+                    **({"check": r.check} if r.check is not None else {}),
+                    **({"check_error": r.check_error} if r.check_error else {}),
                 }
                 for r in self.reports
             ],
@@ -142,6 +184,7 @@ def analyze_one(
     store_root: str | None,
     d: int | None = None,
     max_iterations: int | None = None,
+    check: bool = False,
 ) -> FileReport:
     """Worker body: fully analyze one file (every function, every
     parameter — the same questions ``repro report`` asks), sharing SCC
@@ -169,12 +212,23 @@ def analyze_one(
                 continue
             analysis.global_all(name)
             functions += 1
+        check_counts: dict | None = None
+        check_error = ""
+        if check:
+            try:
+                from repro.check import check_program
+
+                check_counts = check_program(program, path=str(path)).counts()
+            except Exception as error:  # contained like an analysis error
+                check_error = f"{type(error).__name__}: {error}"
         return FileReport(
             path=str(path),
             ok=True,
             d=solved.d,
             functions=functions,
             stats=stats_dict(analysis.stats),
+            check=check_counts,
+            check_error=check_error,
         )
     except Exception as error:  # a bad corpus file must not sink the batch
         return FileReport(
@@ -192,12 +246,13 @@ def run_batch(
     jobs: int = 1,
     d: int | None = None,
     max_iterations: int | None = None,
+    check: bool = False,
 ) -> BatchReport:
     """Analyze the corpus, ``jobs``-wide.  ``jobs <= 1`` runs in-process
     (no executor), which is also the fault-injection-friendly path."""
     inputs = collect_inputs(paths)
     root = str(store_root) if store_root is not None else None
-    work = [(str(p), root, d, max_iterations) for p in inputs]
+    work = [(str(p), root, d, max_iterations, check) for p in inputs]
     if jobs <= 1 or len(work) <= 1:
         reports = [_analyze_star(item) for item in work]
     else:

@@ -1,0 +1,216 @@
+"""The shared diagnostic framework of :mod:`repro.check`.
+
+Every finding any checker pass produces is a :class:`Diagnostic`: a stable
+rule ID (``AUD003``, ``LNT001``, ``MCH004``, ...), a severity, a message,
+and a :class:`~repro.lang.errors.SourceSpan` pointing back into the program
+text.  Rules are declared once in a :class:`RuleRegistry` so the CLI can
+print the rule table, the JSON output is schema-stable, and a rule's
+severity is defined in exactly one place.
+
+Severities:
+
+* **error**   — the checked artifact is *unsound*: an optimization whose
+  justification does not re-derive, a machine-code stream that underflows
+  its stack or reads a dead slot.  Errors gate ``repro check`` (exit 4).
+* **warning** — suspicious but not provably unsound (shadowing, unused
+  bindings, a sharing obligation the checker cannot discharge).
+* **hint**    — a provably *missed* opportunity: the analysis licenses an
+  optimization the program does not use.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang.errors import NO_SPAN, SourceSpan
+
+
+class CheckSeverity(enum.Enum):
+    """How serious one finding is.  Ordered: hint < warning < error."""
+
+    HINT = "hint"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"hint": 0, "warning": 1, "error": 2}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable rule with a stable, documented identity."""
+
+    id: str  # "AUD003" — stable across releases, never recycled
+    name: str  # "unsound-reuse-escape" — kebab-case slug
+    severity: CheckSeverity
+    pass_name: str  # "audit" | "lint" | "machine"
+    summary: str  # one line for the rule table
+
+
+class RuleRegistry:
+    """The closed set of rules a checker build knows about."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def all(self) -> list[Rule]:
+        return sorted(self._rules.values(), key=lambda r: r.id)
+
+    def table(self) -> str:
+        """The rule table ``repro check --rules`` prints."""
+        lines = [f"{'ID':<8} {'severity':<8} {'pass':<8} name / summary"]
+        for rule in self.all():
+            lines.append(
+                f"{rule.id:<8} {rule.severity.value:<8} {rule.pass_name:<8} "
+                f"{rule.name} — {rule.summary}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+#: The one registry every pass registers into at import time.
+REGISTRY = RuleRegistry()
+
+
+def rule(
+    id: str, name: str, severity: CheckSeverity, pass_name: str, summary: str
+) -> Rule:
+    """Declare-and-register shorthand used by the pass modules."""
+    return REGISTRY.register(Rule(id, name, severity, pass_name, summary))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, pointing back into the program text."""
+
+    rule: Rule
+    message: str
+    span: SourceSpan = NO_SPAN
+    #: where in the program ("append_reuse", "<body>", "code[3].then[1]")
+    context: str = ""
+
+    @property
+    def severity(self) -> CheckSeverity:
+        return self.rule.severity
+
+    def format(self) -> str:
+        location = str(self.span) if self.span != NO_SPAN else "-"
+        where = f" [{self.context}]" if self.context else ""
+        return (
+            f"{location}: {self.severity.value}: "
+            f"{self.rule.id} ({self.rule.name}){where}: {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule.id,
+            "name": self.rule.name,
+            "severity": self.severity.value,
+            "pass": self.rule.pass_name,
+            "message": self.message,
+            "context": self.context,
+            "span": None
+            if self.span == NO_SPAN
+            else {
+                "line": self.span.line,
+                "column": self.span.column,
+                "end_line": self.span.end_line,
+                "end_column": self.span.end_column,
+            },
+        }
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run found for one program."""
+
+    path: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: pass name -> wall seconds (the per-pass span timings, folded)
+    pass_timings: dict[str, float] = field(default_factory=dict)
+    #: passes that crashed: pass name -> error text (contained, not raised)
+    pass_errors: dict[str, str] = field(default_factory=dict)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: "list[Diagnostic]") -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def by_severity(self, severity: CheckSeverity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(CheckSeverity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(CheckSeverity.WARNING)
+
+    @property
+    def hints(self) -> list[Diagnostic]:
+        return self.by_severity(CheckSeverity.HINT)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings and no crashed pass."""
+        return not self.errors and not self.pass_errors
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "hint": len(self.hints),
+        }
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Most severe first, then source order."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -d.severity.rank,
+                d.span.line,
+                d.span.column,
+                d.rule.id,
+            ),
+        )
+
+    def render(self) -> str:
+        """The human-readable report."""
+        lines = [d.format() for d in self.sorted_diagnostics()]
+        for pass_name, error in sorted(self.pass_errors.items()):
+            lines.append(f"-: error: {pass_name} pass failed: {error}")
+        counts = self.counts()
+        label = self.path or "<program>"
+        lines.append(
+            f"{label}: {counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['hint']} hint(s)"
+        )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_json() for d in self.sorted_diagnostics()],
+            "pass_errors": dict(self.pass_errors),
+            "pass_timings": {
+                name: round(seconds, 9)
+                for name, seconds in sorted(self.pass_timings.items())
+            },
+        }

@@ -1,0 +1,189 @@
+"""The nml lint pass: source-level hygiene over resolved ASTs.
+
+Purely syntactic — no type inference, no abstract interpretation — so it
+runs on any program that parses, and every finding anchors to the
+:class:`~repro.lang.errors.SourceSpan` the parser attached.  The rules:
+
+* **LNT001** shadowing — a ``lambda`` parameter or ``letrec`` binding
+  rebinds a name already bound in an enclosing scope;
+* **LNT002** unused binding — an inner ``let``/``letrec`` binding no other
+  binding or the body ever reads (top-level definitions are exempt: a
+  script may define library functions its body does not call);
+* **LNT003** unreachable branch — ``if`` on a boolean literal;
+* **LNT004** non-productive recursion — a recursive binding every one of
+  whose execution paths immediately recurses (no base case: ``f x = f x``);
+* **LNT005** primitive misuse — a primitive applied to more arguments than
+  its arity.
+"""
+
+from __future__ import annotations
+
+from repro.check.diagnostics import CheckSeverity, Diagnostic, rule
+from repro.lang.ast import (
+    App,
+    BoolLit,
+    Expr,
+    If,
+    Lambda,
+    Letrec,
+    Prim,
+    Program,
+    Var,
+    uncurry_app,
+    uncurry_lambda,
+)
+from repro.opt.liveness import uses_var
+
+LNT001 = rule(
+    "LNT001",
+    "shadowed-binding",
+    CheckSeverity.WARNING,
+    "lint",
+    "a binding rebinds a name from an enclosing scope",
+)
+LNT002 = rule(
+    "LNT002",
+    "unused-binding",
+    CheckSeverity.WARNING,
+    "lint",
+    "an inner let/letrec binding is never used",
+)
+LNT003 = rule(
+    "LNT003",
+    "unreachable-branch",
+    CheckSeverity.WARNING,
+    "lint",
+    "an if condition is a boolean literal; one branch never runs",
+)
+LNT004 = rule(
+    "LNT004",
+    "non-productive-recursion",
+    CheckSeverity.WARNING,
+    "lint",
+    "every path of a recursive binding recurses; no base case",
+)
+LNT005 = rule(
+    "LNT005",
+    "primitive-arity",
+    CheckSeverity.WARNING,
+    "lint",
+    "a primitive is applied to more arguments than its arity",
+)
+
+
+def lint_program(program: Program) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    top = program.letrec
+    top_names = set(top.binding_names())
+    for binding in top.bindings:
+        _lint_expr(binding.expr, top_names, binding.name, out)
+        _check_productive(binding.name, binding.expr, binding.span, out)
+    _lint_expr(top.body, top_names, "<body>", out)
+    return out
+
+
+def _lint_expr(
+    expr: Expr, bound: set[str], context: str, out: list[Diagnostic]
+) -> None:
+    if isinstance(expr, Lambda):
+        if expr.param in bound:
+            out.append(
+                Diagnostic(
+                    LNT001,
+                    f"parameter {expr.param!r} shadows an outer binding",
+                    span=expr.span,
+                    context=context,
+                )
+            )
+        _lint_expr(expr.body, bound | {expr.param}, context, out)
+        return
+    if isinstance(expr, Letrec):
+        names = expr.binding_names()
+        for binding in expr.bindings:
+            if binding.name in bound:
+                out.append(
+                    Diagnostic(
+                        LNT001,
+                        f"binding {binding.name!r} shadows an outer binding",
+                        span=binding.span,
+                        context=context,
+                    )
+                )
+        inner = bound | set(names)
+        for binding in expr.bindings:
+            used = uses_var(expr.body, binding.name) or any(
+                other is not binding and uses_var(other.expr, binding.name)
+                for other in expr.bindings
+            )
+            if not used:  # self-recursion alone does not count as a use
+                out.append(
+                    Diagnostic(
+                        LNT002,
+                        f"binding {binding.name!r} is never used",
+                        span=binding.span,
+                        context=context,
+                    )
+                )
+            _check_productive(binding.name, binding.expr, binding.span, out)
+            _lint_expr(binding.expr, inner, context, out)
+        _lint_expr(expr.body, inner, context, out)
+        return
+    if isinstance(expr, If) and isinstance(expr.cond, BoolLit):
+        dead = "else" if expr.cond.value else "then"
+        out.append(
+            Diagnostic(
+                LNT003,
+                f"condition is always {str(expr.cond.value).lower()}; "
+                f"the {dead} branch is unreachable",
+                span=expr.cond.span,
+                context=context,
+            )
+        )
+    if isinstance(expr, App):
+        head, args = uncurry_app(expr)
+        if isinstance(head, Prim) and len(args) > head.arity:
+            out.append(
+                Diagnostic(
+                    LNT005,
+                    f"primitive {head.name!r} takes {head.arity} argument(s), "
+                    f"applied to {len(args)}",
+                    span=expr.span,
+                    context=context,
+                )
+            )
+    for child in expr.children():
+        _lint_expr(child, bound, context, out)
+
+
+def _check_productive(name, expr, span, out: list[Diagnostic]) -> None:
+    """Flag ``name = λps. body`` whose every execution path recurses."""
+    params, body = uncurry_lambda(expr)
+    if name in params or not _always_recurses(body, name):
+        return
+    out.append(
+        Diagnostic(
+            LNT004,
+            f"{name!r} recurses on every path; it can never return",
+            span=span,
+            context=name,
+        )
+    )
+
+
+def _always_recurses(body: Expr, name: str) -> bool:
+    """Every evaluation of ``body`` reaches a call (or read) of ``name``
+    *in tail position* on every branch — the syntactic no-base-case shape.
+    Conservative: only ifs split paths; anything else must itself be a call
+    of ``name`` to count."""
+    if isinstance(body, If):
+        return _always_recurses(body.then, name) and _always_recurses(
+            body.otherwise, name
+        )
+    if isinstance(body, Letrec):
+        if name in body.binding_names():
+            return False
+        return _always_recurses(body.body, name)
+    if isinstance(body, App):
+        head, _ = uncurry_app(body)
+        return isinstance(head, Var) and head.name == name
+    return isinstance(body, Var) and body.name == name

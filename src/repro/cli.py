@@ -12,6 +12,8 @@ Commands
 * ``trace``    — run the analysis under the tracer and emit the JSONL trace
 * ``batch``    — analyze a corpus of ``.nml`` files in parallel, sharing
   solved SCC fixpoints through a persistent on-disk store
+* ``check``    — the static checker (:mod:`repro.check`): lint, the
+  optimization auditor, and the machine-code verifier
 
 Programs are read from a file path or, with ``-e``, from the argument
 itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
@@ -42,11 +44,25 @@ from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.semantics.interp import Interpreter
 
-#: exit codes: 0 ok, 1 error, 3 "answered, but soundly degraded" — distinct
-#: so scripts can tell a W^tau fallback from a hard failure
+#: The exit-code taxonomy, shared by every subcommand:
+#:
+#: * 0 — ok: the command did what was asked;
+#: * 1 — error: bad input, analysis failure, or crash;
+#: * 3 — degraded: answered, but via a sound W^tau fallback (so scripts can
+#:   tell a degraded answer from a hard failure);
+#: * 4 — findings: the static checker completed and found error-severity
+#:   diagnostics (the checked artifact is unsound; the checker itself is
+#:   fine — distinct from 1 so CI can gate on findings specifically).
 EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_DEGRADED = 3
+EXIT_FINDINGS = 4
+
+_EXIT_CODE_HELP = (
+    "exit codes: 0 ok; 1 error (bad input or crash); 3 degraded "
+    "(answered via the sound W^tau fallback); 4 findings "
+    "(the static checker found error-severity diagnostics)"
+)
 
 
 def _load_program(args: argparse.Namespace) -> Program:
@@ -447,6 +463,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         d=args.d,
         max_iterations=args.max_iterations,
+        check=args.check,
     )
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
@@ -459,13 +476,77 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for file_report in report.reports:
                 if file_report.ok:
                     print(f"-- {file_report.path}: {json.dumps(file_report.stats)}")
-    return EXIT_OK if report.ok else EXIT_ERROR
+    if not report.ok:
+        return EXIT_ERROR
+    if args.check and report.check_findings:
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the static checker over one or more programs."""
+    from repro.check import REGISTRY, check_program
+
+    if args.rules:
+        print(REGISTRY.table(), end="")
+        return EXIT_OK
+    if not args.paths:
+        print("error: no program given (paths, or source with -e)", file=sys.stderr)
+        return EXIT_ERROR
+
+    passes = args.passes or None
+    reports = []
+    parse_failures = 0
+    for raw in args.paths:
+        label = "<expr>" if args.expr else str(raw)
+        try:
+            source = raw if args.expr else Path(raw).read_text()
+            program = parse_program(source)
+        except (NmlError, OSError) as error:
+            parse_failures += 1
+            detail = error.format() if isinstance(error, NmlError) else str(error)
+            if not args.json:
+                print(f"{label}: error: {detail}", file=sys.stderr)
+            reports.append({"path": label, "ok": False, "error": detail})
+            continue
+        report = check_program(program, passes=passes, path=label)
+        reports.append(report)
+
+    findings = 0
+    if args.json:
+        files = [r if isinstance(r, dict) else r.to_json() for r in reports]
+        findings = sum(
+            r["counts"]["error"] + len(r["pass_errors"])
+            for r in files
+            if "counts" in r
+        )
+        doc = {
+            "ok": parse_failures == 0 and findings == 0,
+            "files": files,
+            "totals": {
+                severity: sum(
+                    r["counts"][severity] for r in files if "counts" in r
+                )
+                for severity in ("error", "warning", "hint")
+            },
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        for report in reports:
+            if isinstance(report, dict):
+                continue  # parse failure, already printed
+            print(report.render(), end="")
+            findings += len(report.errors) + len(report.pass_errors)
+    if parse_failures:
+        return EXIT_ERROR
+    return EXIT_OK if findings == 0 else EXIT_FINDINGS
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Escape Analysis on Lists (Park & Goldberg, PLDI 1992)",
+        epilog=_EXIT_CODE_HELP,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -592,9 +673,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print per-file session accounting"
     )
     batch_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the static checker per file; diagnostic counts fold "
+        "into the report (error findings exit 4)",
+    )
+    batch_parser.add_argument(
         "--json", action="store_true", help="emit the batch report as JSON"
     )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    check_parser = commands.add_parser(
+        "check",
+        help="static checker: lint, optimization audit, machine verifier",
+        epilog=_EXIT_CODE_HELP,
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="nml files to check (or source text with -e)",
+    )
+    check_parser.add_argument(
+        "-e", "--expr", action="store_true", help="treat each PATH as source text"
+    )
+    check_parser.add_argument(
+        "--pass",
+        dest="passes",
+        action="append",
+        choices=["lint", "audit", "machine"],
+        help="run only this pass (repeatable; default: all three)",
+    )
+    check_parser.add_argument(
+        "--rules", action="store_true", help="print the rule table and exit"
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit the reports as JSON"
+    )
+    _add_obs_args(check_parser)
+    check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 

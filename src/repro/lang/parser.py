@@ -120,9 +120,11 @@ class Parser:
                 if self._at(TokenKind.SEMI):
                     self._advance()
                 break
-        self._expect(TokenKind.EOF)
+        eof = self._expect(TokenKind.EOF)
         if body is None:
-            body = NilLit()
+            # A script with no result expression: the implicit nil body
+            # still gets a real (point) span so diagnostics can anchor it.
+            body = NilLit(span=eof.span)
         span = body.span if not bindings else bindings[0].span.merge(body.span)
         return Program(letrec=Letrec(span=span, bindings=tuple(bindings), body=body), source=source)
 

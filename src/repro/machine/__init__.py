@@ -1,11 +1,13 @@
 """The abstract machine (§3.3's operational layer): instruction set,
-compiler, and the stack machine over the instrumented heap."""
+compiler, static verifier, and the stack machine over the instrumented
+heap."""
 
 from repro.machine.compiler import compile_expr, compile_program
 from repro.machine.instructions import Code, disassemble
 from repro.machine.machine import Machine, MClosure, run_compiled
+from repro.machine.verify import verify_code, verify_program_code
 
 __all__ = [
     "compile_expr", "compile_program", "Code", "disassemble", "Machine",
-    "MClosure", "run_compiled",
+    "MClosure", "run_compiled", "verify_code", "verify_program_code",
 ]

@@ -1,0 +1,268 @@
+"""Static verification of abstract-machine code (:mod:`repro.machine`).
+
+Abstractly interprets a compiled :data:`~repro.machine.instructions.Code`
+block without running it, tracking three disciplines the machine's dynamic
+semantics rely on:
+
+* **operand stack** — no instruction pops an empty stack, and every block
+  (the whole program, each branch arm, each closure body) nets exactly one
+  pushed value, the invariant the compiler establishes for expressions;
+* **environment slots** — every ``Load``/``Store`` names a slot visible in
+  the scope chain at that point; an ``EnvRestore`` beyond the block's own
+  frames would make the caller's slots dead, so reads after it are reads of
+  dead slots;
+* **control/regions** — branch arms and closure bodies must be well-formed
+  nested code tuples (the structured-code analogue of valid jump targets),
+  and ``RegionOpen``/``RegionClose`` must balance within a block.
+
+Machine instructions carry no source spans, so diagnostics locate findings
+by *instruction path* (``code[3].then[1]``) in the message context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.check.diagnostics import CheckSeverity, Diagnostic, rule
+from repro.machine.instructions import (
+    Apply,
+    Branch,
+    Code,
+    EnvRestore,
+    Instr,
+    LetrecEnter,
+    Load,
+    MakeClosure,
+    PushBool,
+    PushInt,
+    PushNil,
+    PushPrim,
+    RegionClose,
+    RegionOpen,
+    Store,
+)
+
+MCH001 = rule(
+    "MCH001",
+    "stack-underflow",
+    CheckSeverity.ERROR,
+    "machine",
+    "an instruction pops more operands than the stack holds",
+)
+MCH002 = rule(
+    "MCH002",
+    "block-effect",
+    CheckSeverity.ERROR,
+    "machine",
+    "a code block does not net exactly one pushed value",
+)
+MCH003 = rule(
+    "MCH003",
+    "dead-slot-read",
+    CheckSeverity.ERROR,
+    "machine",
+    "a Load names a slot no live scope frame binds",
+)
+MCH004 = rule(
+    "MCH004",
+    "env-underflow",
+    CheckSeverity.ERROR,
+    "machine",
+    "an EnvRestore pops a frame the block did not push",
+)
+MCH005 = rule(
+    "MCH005",
+    "store-outside-frame",
+    CheckSeverity.ERROR,
+    "machine",
+    "a Store targets a slot outside the innermost letrec frame",
+)
+MCH006 = rule(
+    "MCH006",
+    "malformed-code",
+    CheckSeverity.ERROR,
+    "machine",
+    "a code block holds something that is not a machine instruction",
+)
+MCH007 = rule(
+    "MCH007",
+    "region-imbalance",
+    CheckSeverity.ERROR,
+    "machine",
+    "RegionOpen/RegionClose do not balance within a block",
+)
+
+
+@dataclass
+class _BlockState:
+    """Abstract machine state local to one block's verification."""
+
+    depth: int = 0  # operand stack, relative to block entry
+    regions: int = 0  # regions opened by this block, still open
+    frames: int = 0  # scope frames pushed by this block, still live
+
+
+def verify_code(
+    code: Code, scope: "tuple[frozenset[str], ...]" = (), path: str = "code"
+) -> list[Diagnostic]:
+    """Verify one code block against a scope chain (outermost first).
+    Returns every violation found; an empty list certifies the block."""
+    out: list[Diagnostic] = []
+    _verify_block(code, list(scope), path, out)
+    return out
+
+
+def verify_program_code(code: Code) -> list[Diagnostic]:
+    """Verify a whole compiled program (an empty outer scope chain)."""
+    return verify_code(code)
+
+
+def _verify_block(
+    code: Code,
+    scope: "list[frozenset[str]]",
+    path: str,
+    out: list[Diagnostic],
+) -> None:
+    state = _BlockState()
+    entry_frames = len(scope)
+
+    def pop(n: int, instr: Instr, where: str) -> None:
+        if state.depth < n:
+            out.append(
+                Diagnostic(
+                    MCH001,
+                    f"{type(instr).__name__} needs {n} operand(s), "
+                    f"stack holds {max(state.depth, 0)}",
+                    context=where,
+                )
+            )
+        state.depth -= n
+
+    for index, instr in enumerate(code):
+        where = f"{path}[{index}]"
+        if not isinstance(instr, Instr):
+            out.append(
+                Diagnostic(
+                    MCH006,
+                    f"not an instruction: {instr!r}",
+                    context=where,
+                )
+            )
+            continue
+        if isinstance(instr, (PushInt, PushBool, PushNil, PushPrim)):
+            state.depth += 1
+        elif isinstance(instr, Load):
+            if not any(instr.name in frame for frame in scope):
+                out.append(
+                    Diagnostic(
+                        MCH003,
+                        f"Load {instr.name!r}: no live frame binds it "
+                        "(dead or never-bound slot)",
+                        context=where,
+                    )
+                )
+            state.depth += 1
+        elif isinstance(instr, MakeClosure):
+            # The closure captures the current environment; its body runs
+            # later with the parameter bound on top of that capture.
+            if isinstance(instr.body, tuple):
+                _verify_block(
+                    instr.body,
+                    scope + [frozenset({instr.param})],
+                    f"{where}.closure({instr.name or instr.param})",
+                    out,
+                )
+            else:
+                out.append(
+                    Diagnostic(
+                        MCH006,
+                        f"closure body is not a code tuple: {type(instr.body).__name__}",
+                        context=where,
+                    )
+                )
+            state.depth += 1
+        elif isinstance(instr, Apply):
+            pop(2, instr, where)
+            state.depth += 1
+        elif isinstance(instr, Branch):
+            pop(1, instr, where)
+            for arm, arm_code in (("then", instr.then_code), ("else", instr.else_code)):
+                if isinstance(arm_code, tuple):
+                    _verify_block(arm_code, scope, f"{where}.{arm}", out)
+                else:
+                    out.append(
+                        Diagnostic(
+                            MCH006,
+                            f"{arm} arm is not a code tuple: {type(arm_code).__name__}",
+                            context=where,
+                        )
+                    )
+            state.depth += 1  # whichever arm runs nets one value
+        elif isinstance(instr, LetrecEnter):
+            scope.append(frozenset(instr.names))
+            state.frames += 1
+        elif isinstance(instr, Store):
+            pop(1, instr, where)
+            if not scope or instr.name not in scope[-1]:
+                out.append(
+                    Diagnostic(
+                        MCH005,
+                        f"Store {instr.name!r}: the innermost frame does not "
+                        "declare it",
+                        context=where,
+                    )
+                )
+        elif isinstance(instr, EnvRestore):
+            if state.frames <= 0:
+                out.append(
+                    Diagnostic(
+                        MCH004,
+                        "EnvRestore pops the caller's frame; later loads "
+                        "read dead slots",
+                        context=where,
+                    )
+                )
+                # keep the caller's chain intact for further checking
+            else:
+                scope.pop()
+                state.frames -= 1
+        elif isinstance(instr, RegionOpen):
+            state.regions += 1
+        elif isinstance(instr, RegionClose):
+            pop(1, instr, where)  # the region's result value
+            state.depth += 1
+            if state.regions <= 0:
+                out.append(
+                    Diagnostic(
+                        MCH007,
+                        "RegionClose without a matching RegionOpen in this "
+                        "block",
+                        context=where,
+                    )
+                )
+            else:
+                state.regions -= 1
+        # unknown Instr subclasses fall through as stack-neutral: new
+        # instructions should extend the verifier, not crash it
+
+    if state.depth != 1:
+        out.append(
+            Diagnostic(
+                MCH002,
+                f"block nets {state.depth} value(s); every expression block "
+                "must net exactly 1",
+                context=path,
+            )
+        )
+    if state.regions != 0:
+        out.append(
+            Diagnostic(
+                MCH007,
+                f"{state.regions} region(s) left open at block end",
+                context=path,
+            )
+        )
+    # restore the caller's view of the scope chain
+    while len(scope) > entry_frames:
+        scope.pop()
+        state.frames -= 1

@@ -71,6 +71,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "decision": ("kind", "function", "param"),
     "transform_applied": ("kind", "detail"),
     "transform_skipped": ("kind", "reason"),
+    # static checker (repro.check)
+    "check_rule_fired": ("rule", "severity", "pass"),
     # instrumented runtime
     "cell_alloc": ("cell", "kind"),
     "cell_reuse": ("cell",),

@@ -148,9 +148,16 @@ def make_reuse_specialization(
     Verifies (unless ``force``) that the donor parameter is a list with at
     least one non-escaping top spine, per the global escape test.
     """
+    from repro.robust import faults
+
     new_name = new_name or f"{function}_reuse"
     if new_name in program.binding_names():
         raise OptimizationError(f"{new_name!r} already exists in the program")
+
+    if faults.take_unsound_reuse():
+        # Injected compiler bug: skip the safety gate entirely, producing a
+        # genuinely unsound specialization for the static auditor to catch.
+        force = True
 
     analysis = analysis or EscapeAnalysis(program)
     test = analysis.global_test(function, param_index)

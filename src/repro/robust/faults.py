@@ -52,13 +52,18 @@ class FaultPlan:
       sustained memory pressure);
     * ``gc_every``         — force a full collection at every ``n``-th
       interpreter safepoint, regardless of thresholds;
-    * ``stage_faults``     — exceptions raised at chosen stage entries.
+    * ``stage_faults``     — exceptions raised at chosen stage entries;
+    * ``unsound_reuse_at`` — the ``n``-th reuse specialization silently
+      skips its escape/liveness safety gate, producing a genuinely unsound
+      ``DCONS`` program — the adversarial input the static auditor
+      (:mod:`repro.check.audit`) must catch without running it.
     """
 
     fail_alloc_at: int | None = None
     fail_alloc_every: int | None = None
     gc_every: int | None = None
     stage_faults: tuple[StageFault, ...] = field(default_factory=tuple)
+    unsound_reuse_at: int | None = None
 
 
 class FaultInjector:
@@ -68,6 +73,7 @@ class FaultInjector:
         self.plan = plan
         self.allocs = 0
         self.safepoints = 0
+        self.reuse_gates = 0
         self.stage_entries: dict[str, int] = {}
         #: every fault actually fired, for test assertions
         self.fired: list[str] = []
@@ -97,6 +103,15 @@ class FaultInjector:
                     stage=stage,
                     severity=fault.severity,
                 )
+
+    def take_unsound_reuse(self) -> bool:
+        """True when the current reuse specialization must skip its safety
+        gate (the compiler-bug simulation the auditor exists to catch)."""
+        self.reuse_gates += 1
+        if self.plan.unsound_reuse_at == self.reuse_gates:
+            self.fired.append(f"unsound_reuse@{self.reuse_gates}")
+            return True
+        return False
 
     def take_forced_gc(self) -> bool:
         if self.plan.gc_every is None:
@@ -145,3 +160,7 @@ def check_stage(stage: str) -> None:
 
 def take_forced_gc() -> bool:
     return _ACTIVE is not None and _ACTIVE.take_forced_gc()
+
+
+def take_unsound_reuse() -> bool:
+    return _ACTIVE is not None and _ACTIVE.take_unsound_reuse()

@@ -376,3 +376,39 @@ class TestTraceAndProfile:
         assert row.iterations == live.iterations
         assert row.converged is live.converged
         assert row.values == [str(fp) for fp in live.fingerprints]
+
+
+class TestExitCodeTaxonomy:
+    """The one exit-code vocabulary every subcommand shares: 0 ok, 1 error,
+    3 degraded (robust fallback answered), 4 checker findings."""
+
+    def test_constants(self):
+        from repro.cli import EXIT_DEGRADED, EXIT_ERROR, EXIT_FINDINGS, EXIT_OK
+
+        assert (EXIT_OK, EXIT_ERROR, EXIT_DEGRADED, EXIT_FINDINGS) == (0, 1, 3, 4)
+
+    def test_help_epilog_documents_all_codes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        for fragment in ["0 ok", "1 error", "3 degraded", "4 findings"]:
+            assert fragment in out
+
+    def test_ok(self, capsys):
+        assert main(["run", "-e", "1 + 1"]) == 0
+        capsys.readouterr()
+
+    def test_error(self, capsys):
+        assert main(["run", "-e", "car nil"]) == 1
+        capsys.readouterr()
+
+    def test_degraded(self, append_file, capsys):
+        assert main(["analyze", append_file, "--max-iterations", "1"]) == 3
+        capsys.readouterr()
+
+    def test_findings(self, capsys):
+        source = "f x = dcons (cons 1 nil) 2 x; f [1]"
+        assert main(["check", "-e", source]) == 4
+        capsys.readouterr()

@@ -1,0 +1,70 @@
+"""Span propagation audit: every node of every resolved AST carries a real
+:class:`~repro.lang.errors.SourceSpan`.
+
+The checker's diagnostics are only as good as the spans the front end
+threads through parsing, resolution and prelude expansion — a ``NO_SPAN``
+node means some construction site dropped its token's location.  This test
+sweeps every shipped ``.nml`` example, every prelude definition (alone and
+as one combined program), and resolved inline expressions, and names the
+offending node type when a span goes missing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lang.ast import walk
+from repro.lang.errors import NO_SPAN
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.prelude import PRELUDE_DEFS, prelude_program, prelude_source
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.nml"))
+
+
+def spanless(program) -> list[str]:
+    """Human-readable descriptions of every NO_SPAN node in the program."""
+    return [
+        f"{type(node).__name__}({getattr(node, 'name', '')})"
+        for node in walk(program.letrec)
+        if node.span == NO_SPAN
+    ]
+
+
+class TestExampleSpans:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_every_node_has_a_span(self, path):
+        program = parse_program(path.read_text())
+        assert spanless(program) == []
+
+
+class TestPreludeSpans:
+    @pytest.mark.parametrize("name", sorted(PRELUDE_DEFS))
+    def test_each_definition(self, name):
+        assert spanless(prelude_program([name])) == []
+
+    def test_whole_prelude_one_program(self):
+        assert spanless(prelude_program(sorted(PRELUDE_DEFS))) == []
+
+    def test_expanded_with_result_body(self):
+        program = prelude_program(["ps"], "ps [5, 2, 7, 1, 3, 4]")
+        assert spanless(program) == []
+
+
+class TestConstructedSpans:
+    def test_program_without_result_body(self):
+        # The implicit nil body is synthesized at EOF; it must still carry
+        # the EOF token's location, not NO_SPAN.
+        program = parse_program("id x = x;")
+        assert program.body.span != NO_SPAN
+        assert spanless(program) == []
+
+    def test_resolved_expression(self):
+        expr = parse_expr("cons (car [1, 2]) (if (null nil) then nil else [3])")
+        assert all(node.span != NO_SPAN for node in walk(expr))
+
+    def test_span_formats_into_diagnostics(self):
+        program = parse_program("id x = x;")
+        binding = program.bindings[0]
+        assert str(binding.expr.span).startswith("1:")
