@@ -1,6 +1,7 @@
-"""Parallel batch analysis: a corpus of ``.nml`` programs through one store.
+"""Supervised parallel batch analysis: a corpus of ``.nml`` programs
+through one store, under the resilience policy engine.
 
-``repro batch <dir>`` fans the corpus across a ``ProcessPoolExecutor``.
+``repro batch <dir>`` fans the corpus across supervised worker processes.
 Each worker builds its own :class:`~repro.query.AnalysisSession` (sessions
 are process-local by design), but all workers attach the same
 :class:`~repro.store.AnalysisStore`, so an SCC fixpoint solved by any
@@ -12,16 +13,54 @@ inputs agree (:func:`repro.query.scc_digest`), and the store's atomic,
 content-addressed writes make concurrent workers racing on a common digest
 harmless (both write the same bytes).
 
-The driver is deliberately boring: no shared state beyond the store
-directory, workers return plain picklable :class:`FileReport`\\ s, a file
-that fails to parse or analyze is reported and does not sink the batch.
+The driver supervises rather than trusts its workers
+(:mod:`repro.robust.resilience`):
+
+* every worker attempt gets a **per-file wall-clock timeout**
+  (``timeout_s``); a hung worker is terminated and replaced;
+* a **crashed** worker (hard exit, broken pipe) is restarted with
+  exponential backoff and deterministic jitter
+  (:class:`~repro.robust.resilience.RetryPolicy`);
+* a file that fails all its attempts is **quarantined** into the report
+  (:class:`~repro.robust.resilience.Quarantine`) — the batch keeps its
+  throughput and the poison input keeps its failure history, instead of
+  either sinking the run;
+* **budget exhaustion degrades**: with ``deadline_ms`` set, workers run
+  queries through the hardened engine and a breached analysis deadline
+  yields the sound ``W^τ`` worst case (reported ``degraded``), never an
+  error.
+
+An ordinary failure *inside* a file — parse error, type error — is still
+contained by the worker itself and answered in one attempt; supervision
+exists for the failures the worker cannot contain (its own death).
+Timeouts and crash restarts need a worker *process* to kill, so they
+engage whenever ``timeout_s`` is set or ``jobs > 1``; the plain in-process
+path (``jobs <= 1``, no timeout) remains the fault-injection-friendly one,
+where injected worker crashes surface as retryable exceptions.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import contextlib
+import dataclasses
+import os
+import time
+from collections import deque
 from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
+
+from repro.obs import tracer as obs
+from repro.robust import faults
+from repro.robust.errors import reason_for
+from repro.robust.resilience import Quarantine, RetryPolicy
+
+#: Exit code a worker process dies with under an injected crash fault.
+WORKER_CRASH_EXIT = 23
+
+#: Default supervision policy: one retry, fast deterministic backoff.
+DEFAULT_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.02, max_delay_s=0.5)
 
 
 @dataclass
@@ -41,8 +80,22 @@ class FileReport:
     #: a checker crash, contained like an analysis error (the file's
     #: analysis results stand; its diagnostics are just missing)
     check_error: str = ""
+    #: at least one query fell back to the sound ``W^τ`` worst case
+    degraded: bool = False
+    #: the stable degradation reasons, one per degraded query
+    degradations: list = field(default_factory=list)
+    #: the file exhausted its attempts and was excluded — the answer on
+    #: record is the trivially sound worst case, flagged, never a clean ok
+    quarantined: bool = False
+    #: worker attempts consumed (1 = first try succeeded)
+    attempts: int = 1
 
     def line(self) -> str:
+        if self.quarantined:
+            return (
+                f"{self.path}: QUARANTINED after {self.attempts} attempt(s) "
+                f"— {self.error}"
+            )
         if not self.ok:
             return f"{self.path}: ERROR {self.error}"
         text = (
@@ -51,6 +104,10 @@ class FileReport:
             f"{self.stats.get('scc_misses', 0)} miss(es), "
             f"{self.stats.get('iterations', 0)} iteration(s)"
         )
+        if self.degraded:
+            text += f", DEGRADED ({len(self.degradations)} quer{'y' if len(self.degradations) == 1 else 'ies'})"
+        if self.attempts > 1:
+            text += f", {self.attempts} attempt(s)"
         if self.check_error:
             text += f", check CRASHED ({self.check_error})"
         elif self.check is not None:
@@ -75,6 +132,29 @@ class BatchReport:
         return bool(self.reports) and all(r.ok for r in self.reports)
 
     @property
+    def hard_failures(self) -> list[FileReport]:
+        """Files that produced no answer at all (bad input, contained
+        crash) — quarantined files are *not* here: they carry the flagged
+        worst-case answer instead."""
+        return [r for r in self.reports if not r.ok and not r.quarantined]
+
+    @property
+    def quarantined_files(self) -> list[FileReport]:
+        return [r for r in self.reports if r.quarantined]
+
+    @property
+    def degraded_files(self) -> list[FileReport]:
+        return [r for r in self.reports if r.degraded]
+
+    @property
+    def answered(self) -> bool:
+        """The always-answer invariant: every file got *some* sound answer
+        (exact, degraded, or flagged-worst-case-by-quarantine)."""
+        return bool(self.reports) and all(
+            r.ok or r.quarantined for r in self.reports
+        )
+
+    @property
     def check_findings(self) -> int:
         """Error-severity checker findings fleet-wide; checker crashes
         count (a file whose diagnostics are missing is not certified)."""
@@ -82,6 +162,23 @@ class BatchReport:
             (r.check or {}).get("error", 0) + (1 if r.check_error else 0)
             for r in self.reports
         )
+
+    def exit_code(self) -> int:
+        """The documented 0/1/3/4 taxonomy for this report:
+
+        * 1 — a file produced no answer (hard failure), or nothing ran;
+        * 4 — the checker ran and found error-severity diagnostics;
+        * 3 — everything answered, but some answer is degraded or some file
+          is quarantined (a quarantined file must never read as a clean 0);
+        * 0 — every file exact, no findings.
+        """
+        if not self.reports or self.hard_failures:
+            return 1
+        if self.check_findings:
+            return 4
+        if self.quarantined_files or self.degraded_files:
+            return 3
+        return 0
 
     def totals(self) -> dict[str, int]:
         """Integer stats summed across every successful file (the nested
@@ -114,10 +211,14 @@ class BatchReport:
 
     def summary(self) -> str:
         totals = self.totals()
-        failed = sum(1 for r in self.reports if not r.ok)
+        failed = len(self.hard_failures)
+        quarantined = len(self.quarantined_files)
+        degraded = len(self.degraded_files)
         lines = [
             f"{len(self.reports)} file(s), {self.jobs} job(s)"
             + (f", {failed} failed" if failed else "")
+            + (f", {quarantined} quarantined" if quarantined else "")
+            + (f", {degraded} degraded" if degraded else "")
             + (f", store: {self.store_root}" if self.store_root else ", no store")
         ]
         if totals:
@@ -148,6 +249,10 @@ class BatchReport:
             "jobs": self.jobs,
             "store": self.store_root,
             "ok": self.ok,
+            "answered": self.answered,
+            "degraded": len(self.degraded_files),
+            "quarantined": len(self.quarantined_files),
+            "exit_code": self.exit_code(),
             "files": [
                 {
                     "path": r.path,
@@ -156,6 +261,13 @@ class BatchReport:
                     **({"d": r.d, "functions": r.functions, "stats": r.stats} if r.ok else {}),
                     **({"check": r.check} if r.check is not None else {}),
                     **({"check_error": r.check_error} if r.check_error else {}),
+                    **(
+                        {"degraded": True, "degradations": list(r.degradations)}
+                        if r.degraded
+                        else {}
+                    ),
+                    **({"quarantined": True} if r.quarantined else {}),
+                    **({"attempts": r.attempts} if r.attempts > 1 else {}),
                 }
                 for r in self.reports
             ],
@@ -185,15 +297,20 @@ def analyze_one(
     d: int | None = None,
     max_iterations: int | None = None,
     check: bool = False,
+    deadline_ms: float | None = None,
 ) -> FileReport:
     """Worker body: fully analyze one file (every function, every
     parameter — the same questions ``repro report`` asks), sharing SCC
     results through the store at ``store_root``.
 
-    Module-level and argument-picklable on purpose: ``ProcessPoolExecutor``
-    ships it to workers under any start method.
+    With ``deadline_ms`` set, queries run through the hardened engine
+    (:class:`~repro.robust.engine.HardenedAnalysis`): a breached budget
+    yields the sound ``W^τ`` worst case for the remaining parameters and
+    the report is flagged ``degraded`` — never an error.
+
+    Module-level and argument-picklable on purpose: the supervisor ships
+    it to worker processes under any start method.
     """
-    from repro.escape.analyzer import EscapeAnalysis
     from repro.escape.report import stats_dict
     from repro.lang.parser import parse_program
     from repro.store import AnalysisStore
@@ -202,42 +319,350 @@ def analyze_one(
     try:
         program = parse_program(Path(path).read_text())
         store = AnalysisStore(store_root) if store_root else None
-        analysis = EscapeAnalysis(
-            program, d=d, max_iterations=max_iterations, store=store
-        )
-        solved = analysis.solve(None)
-        functions = 0
-        for name in program.binding_names():
-            if arity(analysis.scheme(name).body) == 0:
-                continue
-            analysis.global_all(name)
-            functions += 1
-        check_counts: dict | None = None
-        check_error = ""
+        if deadline_ms is not None:
+            report = _analyze_hardened(
+                path, program, store, d, max_iterations, deadline_ms
+            )
+        else:
+            from repro.escape.analyzer import EscapeAnalysis
+
+            analysis = EscapeAnalysis(
+                program, d=d, max_iterations=max_iterations, store=store
+            )
+            solved = analysis.solve(None)
+            functions = 0
+            for name in program.binding_names():
+                if arity(analysis.scheme(name).body) == 0:
+                    continue
+                analysis.global_all(name)
+                functions += 1
+            report = FileReport(
+                path=str(path),
+                ok=True,
+                d=solved.d,
+                functions=functions,
+                stats=stats_dict(analysis.stats),
+            )
         if check:
             try:
                 from repro.check import check_program
 
-                check_counts = check_program(program, path=str(path)).counts()
+                report.check = check_program(program, path=str(path)).counts()
             except Exception as error:  # contained like an analysis error
-                check_error = f"{type(error).__name__}: {error}"
-        return FileReport(
-            path=str(path),
-            ok=True,
-            d=solved.d,
-            functions=functions,
-            stats=stats_dict(analysis.stats),
-            check=check_counts,
-            check_error=check_error,
-        )
+                report.check_error = f"{type(error).__name__}: {error}"
+        return report
     except Exception as error:  # a bad corpus file must not sink the batch
         return FileReport(
             path=str(path), ok=False, error=f"{type(error).__name__}: {error}"
         )
 
 
-def _analyze_star(packed: tuple) -> FileReport:
-    return analyze_one(*packed)
+def _analyze_hardened(
+    path: str,
+    program,
+    store,
+    d: int | None,
+    max_iterations: int | None,
+    deadline_ms: float,
+) -> FileReport:
+    """The budgeted worker body: every query through the hardened engine,
+    degradations collected instead of raised."""
+    from repro.escape.report import stats_dict
+    from repro.robust.budget import AnalysisBudget
+    from repro.robust.engine import HardenedAnalysis
+    from repro.types.types import arity
+
+    engine = HardenedAnalysis(
+        program,
+        budget=AnalysisBudget(deadline_s=deadline_ms / 1000.0),
+        d=d,
+        max_iterations=max_iterations,
+        store=store,
+    )
+    functions = 0
+    degradations: list[str] = []
+    any_exact = False
+    for name in program.binding_names():
+        if arity(engine.session.scheme(name).body) == 0:
+            continue
+        for robust in engine.global_all(name):
+            if robust.degraded:
+                degradations.append(
+                    f"{robust.result.function}/{robust.result.param_index}: "
+                    f"{robust.degradation.reason}"
+                )
+            else:
+                any_exact = True
+        functions += 1
+    # ``d`` falls out of the (memoized) solve only when some query actually
+    # completed one; a fully degraded file never ran to a chain bound.
+    solved_d = engine.session.solve(None).d if any_exact else -1
+    return FileReport(
+        path=str(path),
+        ok=True,
+        d=solved_d,
+        functions=functions,
+        stats=stats_dict(engine.session.stats),
+        degraded=bool(degradations),
+        degradations=degradations,
+    )
+
+
+# -- the supervisor ----------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    """One corpus file moving through the supervision state machine."""
+
+    index: int
+    args: tuple
+    attempts: int = 0
+    errors: list = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.args[0]
+
+
+def _quarantined_report(task: _Task, reason: str) -> FileReport:
+    """The flagged answer of record for a poison file: the trivially sound
+    worst case, never mistakable for a clean result."""
+    return FileReport(
+        path=task.path,
+        ok=False,
+        error=task.errors[-1] if task.errors else reason,
+        quarantined=True,
+        attempts=task.attempts,
+        degradations=[f"quarantined: {reason}"],
+    )
+
+
+def _worker_faults_for(plan, launch: int):
+    """The supervisor-side interpretation of worker-stage faults for the
+    ``launch``-th worker attempt (1-based, across the whole run): returns
+    ``(crash, hang_s, child_plan)``.  Worker-stage ordinals must be
+    counted by the supervisor — each attempt is a fresh process with fresh
+    counters — so they are stripped from the plan the child activates."""
+    if plan is None:
+        return False, 0.0, None
+    crash = plan.worker_crash_at == launch
+    hang_s = 0.0
+    for slow in plan.slow_stages:
+        if slow.stage == "worker" and slow.matches(launch):
+            hang_s = max(hang_s, slow.seconds)
+    child_plan = dataclasses.replace(
+        plan,
+        worker_crash_at=None,
+        slow_stages=tuple(s for s in plan.slow_stages if s.stage != "worker"),
+    )
+    return crash, hang_s, child_plan
+
+
+def _worker_main(args: tuple, plan, crash: bool, hang_s: float, conn) -> None:
+    """Worker-process entry: activate the (stripped) fault plan, honour the
+    supervisor's crash/hang verdicts, analyze, ship the report back."""
+    try:
+        scope = faults.inject(plan) if plan is not None else contextlib.nullcontext()
+        with scope:
+            if crash:
+                os._exit(WORKER_CRASH_EXIT)
+            if hang_s:
+                time.sleep(hang_s)
+            report = analyze_one(*args)
+        conn.send(report)
+    except BaseException as error:  # answer even on unexpected worker errors
+        with contextlib.suppress(Exception):
+            conn.send(
+                FileReport(
+                    path=args[0],
+                    ok=False,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+    finally:
+        with contextlib.suppress(Exception):
+            conn.close()
+
+
+@dataclass
+class _Running:
+    task: _Task
+    process: object
+    conn: object
+    deadline: float | None
+
+
+def _run_supervised(
+    work: list[tuple],
+    jobs: int,
+    retry: RetryPolicy,
+    timeout_s: float | None,
+    plan,
+    quarantine: Quarantine,
+) -> list[FileReport]:
+    """Process-per-attempt supervision: per-file preemptive timeouts,
+    crash replacement with backoff, quarantine after exhausted attempts."""
+    ctx = get_context()
+    tasks = deque(_Task(index=i, args=args) for i, args in enumerate(work))
+    waiting: list[tuple[float, _Task]] = []  # (ready_at, task) backoff bench
+    running: dict[object, _Running] = {}  # sentinel -> running attempt
+    reports: dict[int, FileReport] = {}
+    launches = 0
+
+    def fail(task: _Task, cause_kind: str, cause: str) -> None:
+        task.errors.append(cause)
+        if retry.should_retry(task.attempts):
+            delay = retry.delay(task.path, task.attempts)
+            obs.emit(
+                "retry",
+                key=task.path,
+                attempt=task.attempts,
+                delay_s=round(delay, 9),
+                reason=cause_kind,
+            )
+            waiting.append((time.monotonic() + delay, task))
+        else:
+            quarantine.add(
+                task.path,
+                attempts=task.attempts,
+                reason=cause_kind,
+                errors=task.errors,
+            )
+            reports[task.index] = _quarantined_report(task, cause_kind)
+
+    while tasks or waiting or running:
+        now = time.monotonic()
+        # Backoff bench → ready queue.
+        ripe = [entry for entry in waiting if entry[0] <= now]
+        for entry in ripe:
+            waiting.remove(entry)
+            tasks.append(entry[1])
+        # Launch up to ``jobs`` workers.
+        while tasks and len(running) < jobs:
+            task = tasks.popleft()
+            launches += 1
+            task.attempts += 1
+            crash, hang_s, child_plan = _worker_faults_for(plan, launches)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_worker_main,
+                args=(task.args, child_plan, crash, hang_s, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            deadline = now + timeout_s if timeout_s is not None else None
+            running[process.sentinel] = _Running(task, process, parent_conn, deadline)
+        if not running:
+            # Everything is on the backoff bench: sleep to the next ready.
+            if waiting:
+                time.sleep(max(0.0, min(t for t, _ in waiting) - time.monotonic()))
+            continue
+        # Wait for a worker to finish, a deadline to pass, or a bench slot.
+        wait_until = [d for r in running.values() if (d := r.deadline) is not None]
+        wait_until += [t for t, _ in waiting]
+        timeout = max(0.0, min(wait_until) - time.monotonic()) if wait_until else None
+        done = connection_wait(list(running), timeout=timeout)
+        now = time.monotonic()
+        for sentinel in done:
+            run = running.pop(sentinel)
+            run.process.join()
+            report: FileReport | None = None
+            if run.conn.poll():
+                with contextlib.suppress(EOFError, OSError):
+                    report = run.conn.recv()
+            run.conn.close()
+            if report is not None:
+                report.attempts = run.task.attempts
+                reports[run.task.index] = report
+            else:  # died without an answer: crashed
+                exitcode = run.process.exitcode
+                obs.emit(
+                    "worker_restart",
+                    key=run.task.path,
+                    attempt=run.task.attempts,
+                    cause="worker-crashed",
+                )
+                fail(
+                    run.task,
+                    "worker-crashed",
+                    f"worker crashed (exit code {exitcode})",
+                )
+        # Preempt the hung.
+        for sentinel, run in list(running.items()):
+            if run.deadline is not None and now >= run.deadline:
+                running.pop(sentinel)
+                run.process.terminate()
+                run.process.join(5.0)
+                if run.process.is_alive():  # pragma: no cover - hard kill path
+                    run.process.kill()
+                    run.process.join()
+                run.conn.close()
+                obs.emit("timeout", key=run.task.path, deadline_s=timeout_s)
+                obs.emit(
+                    "worker_restart",
+                    key=run.task.path,
+                    attempt=run.task.attempts,
+                    cause="timeout",
+                )
+                fail(
+                    run.task,
+                    "timeout",
+                    f"worker timed out after {timeout_s:g}s",
+                )
+    return [reports[i] for i in sorted(reports)]
+
+
+def _run_serial(
+    work: list[tuple],
+    retry: RetryPolicy,
+    plan,
+    quarantine: Quarantine,
+) -> list[FileReport]:
+    """In-process supervision: no preemption (there is no process to kill),
+    but the same retry/backoff/quarantine state machine — injected worker
+    crashes surface as exceptions and take the retryable path."""
+    reports: list[FileReport] = []
+    scope = faults.inject(plan) if plan is not None else contextlib.nullcontext()
+    with scope:
+        for args in work:
+            task = _Task(index=len(reports), args=args)
+            while True:
+                task.attempts += 1
+                try:
+                    faults.check_stage("worker")
+                    if faults.take_worker_crash():
+                        raise faults.InjectedFault(
+                            "injected worker crash", stage="worker"
+                        )
+                    report = analyze_one(*args)
+                    report.attempts = task.attempts
+                    reports.append(report)
+                    break
+                except Exception as error:
+                    cause_kind = reason_for(error)
+                    task.errors.append(f"{type(error).__name__}: {error}")
+                    if retry.should_retry(task.attempts):
+                        delay = retry.delay(task.path, task.attempts)
+                        obs.emit(
+                            "retry",
+                            key=task.path,
+                            attempt=task.attempts,
+                            delay_s=round(delay, 9),
+                            reason=cause_kind,
+                        )
+                        time.sleep(delay)
+                        continue
+                    quarantine.add(
+                        task.path,
+                        attempts=task.attempts,
+                        reason=cause_kind,
+                        errors=task.errors,
+                    )
+                    reports.append(_quarantined_report(task, cause_kind))
+                    break
+    return reports
 
 
 def run_batch(
@@ -247,15 +672,29 @@ def run_batch(
     d: int | None = None,
     max_iterations: int | None = None,
     check: bool = False,
+    deadline_ms: float | None = None,
+    timeout_s: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan=None,
 ) -> BatchReport:
-    """Analyze the corpus, ``jobs``-wide.  ``jobs <= 1`` runs in-process
-    (no executor), which is also the fault-injection-friendly path."""
+    """Analyze the corpus under supervision, ``jobs``-wide.
+
+    ``jobs <= 1`` without a ``timeout_s`` runs in-process (no worker
+    processes), which is also the fault-injection-friendly path; a
+    ``timeout_s`` forces worker processes even single-file-at-a-time,
+    because preemption needs something to kill.
+    """
     inputs = collect_inputs(paths)
     root = str(store_root) if store_root is not None else None
-    work = [(str(p), root, d, max_iterations, check) for p in inputs]
-    if jobs <= 1 or len(work) <= 1:
-        reports = [_analyze_star(item) for item in work]
+    retry = retry or DEFAULT_RETRY
+    quarantine = Quarantine()
+    work = [(str(p), root, d, max_iterations, check, deadline_ms) for p in inputs]
+    if not work:
+        reports: list[FileReport] = []
+    elif jobs <= 1 and timeout_s is None:
+        reports = _run_serial(work, retry, fault_plan, quarantine)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            reports = list(pool.map(_analyze_star, work))
+        reports = _run_supervised(
+            work, max(1, jobs), retry, timeout_s, fault_plan, quarantine
+        )
     return BatchReport(reports=reports, jobs=max(1, jobs), store_root=root)

@@ -10,10 +10,14 @@ Commands
 * ``spines``   — the Figure 1 spine decomposition of a list literal
 * ``optimize`` — apply an optimization and show the transformed program
 * ``trace``    — run the analysis under the tracer and emit the JSONL trace
-* ``batch``    — analyze a corpus of ``.nml`` files in parallel, sharing
-  solved SCC fixpoints through a persistent on-disk store
+* ``batch``    — analyze a corpus of ``.nml`` files in parallel under the
+  resilience supervisor (per-file timeouts, crash restarts, quarantine),
+  sharing solved SCC fixpoints through a persistent on-disk store
 * ``check``    — the static checker (:mod:`repro.check`): lint, the
   optimization auditor, and the machine-code verifier
+* ``serve``    — the always-answer analysis daemon (:mod:`repro.serve`):
+  analyze/check/optimize over HTTP/JSON with degraded-answer responses,
+  in-flight coalescing, and a ``/metrics`` scrape
 
 Programs are read from a file path or, with ``-e``, from the argument
 itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
@@ -457,6 +461,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         base = first if first.is_dir() else first.parent
         store_root = str(base / ".repro-store")
 
+    from repro.robust.resilience import RetryPolicy
+
+    retry = None
+    if args.retries is not None or args.seed:
+        retry = RetryPolicy(
+            max_attempts=(args.retries if args.retries is not None else 3),
+            base_delay_s=args.backoff_ms / 1000.0,
+            seed=args.seed,
+        )
     report = run_batch(
         args.paths,
         store_root=store_root,
@@ -464,6 +477,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         d=args.d,
         max_iterations=args.max_iterations,
         check=args.check,
+        deadline_ms=args.deadline_ms,
+        timeout_s=args.timeout_ms / 1000.0 if args.timeout_ms is not None else None,
+        retry=retry,
     )
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
@@ -476,11 +492,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             for file_report in report.reports:
                 if file_report.ok:
                     print(f"-- {file_report.path}: {json.dumps(file_report.stats)}")
-    if not report.ok:
-        return EXIT_ERROR
-    if args.check and report.check_findings:
-        return EXIT_FINDINGS
-    return EXIT_OK
+    # The documented taxonomy, derived in one place (BatchReport.exit_code):
+    # hard failure 1 > checker findings 4 > degraded/quarantined 3 > clean 0.
+    return report.exit_code()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-answer analysis daemon until SIGTERM/SIGINT."""
+    from repro.serve import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        store_root=args.store,
+        default_deadline_ms=args.deadline_ms,
+        quiet=not args.verbose,
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -681,7 +708,58 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--json", action="store_true", help="emit the batch report as JSON"
     )
+    batch_parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        help="per-file wall-clock timeout; a hung worker is killed and "
+        "restarted (forces worker processes even with --jobs 1)",
+    )
+    batch_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="per-file analysis deadline; a breach degrades that file to "
+        "the sound W^tau answer (exit 3) instead of erroring",
+    )
+    batch_parser.add_argument(
+        "--retries",
+        type=int,
+        help="attempts per file before quarantine (default: 3)",
+    )
+    batch_parser.add_argument(
+        "--backoff-ms",
+        type=float,
+        default=20.0,
+        help="base retry backoff (exponential, deterministic jitter; default: 20)",
+    )
+    batch_parser.add_argument(
+        "--seed", type=int, default=0, help="jitter seed (default: 0)"
+    )
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="the always-answer analysis daemon (HTTP/JSON; /metrics scrape)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8100, help="0 lets the OS pick (printed on start)"
+    )
+    serve_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="attach a persistent analysis store shared across requests",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        help="default per-request analysis deadline (requests may override); "
+        "a breach degrades to the sound W^tau answer, HTTP 200 with "
+        '"degraded": true',
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log each request to stderr"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     check_parser = commands.add_parser(
         "check",

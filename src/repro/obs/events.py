@@ -12,8 +12,15 @@ listed in :data:`EVENT_FIELDS`.  The vocabulary covers the whole pipeline:
   ``query_stats``;
 * **analysis store** — ``store_hit`` / ``store_miss`` / ``store_write``
   (the on-disk SCC tier of :mod:`repro.store`, keyed by provenance
-  digest);
+  digest), ``store_reap`` (stale temp files swept at store open);
 * **hardened engine** — ``budget_charge``, ``degradation``;
+* **resilience layer** — ``retry`` (one backoff taken), ``timeout`` (an
+  attempt preempted at its deadline), ``quarantine`` (a poison input
+  excluded after exhausting attempts), ``circuit_state`` (a per-target
+  breaker transition), ``worker_restart`` (the batch supervisor replacing
+  a crashed or hung worker);
+* **service** — ``serve_request`` (one daemon request: endpoint, HTTP
+  status, degraded/coalesced flags);
 * **optimizer** — ``decision``, ``transform_applied``,
   ``transform_skipped``;
 * **runtime** — ``cell_alloc``, ``cell_reuse``, ``cell_reclaim``,
@@ -64,9 +71,18 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     "store_hit": ("digest",),
     "store_miss": ("digest",),
     "store_write": ("digest",),
+    "store_reap": ("count",),
     # hardened engine
     "budget_charge": ("wall_s", "eval_steps", "iterations"),
     "degradation": ("reason", "stage"),
+    # resilience layer (retry/timeout/quarantine/circuit, supervised workers)
+    "retry": ("key", "attempt", "delay_s"),
+    "timeout": ("key", "deadline_s"),
+    "quarantine": ("key", "attempts", "reason"),
+    "circuit_state": ("target", "state"),
+    "worker_restart": ("key", "attempt", "cause"),
+    # service (repro serve)
+    "serve_request": ("endpoint", "status", "degraded", "coalesced"),
     # optimizer
     "decision": ("kind", "function", "param"),
     "transform_applied": ("kind", "detail"),
@@ -84,6 +100,9 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
 
 #: Valid values for the ``cache`` field.
 CACHE_OUTCOMES = ("hit", "miss")
+
+#: Valid values for the ``state`` field of ``circuit_state`` events.
+CIRCUIT_STATES = ("closed", "open", "half-open")
 
 
 def validate_event(event: dict) -> None:
@@ -104,6 +123,10 @@ def validate_event(event: dict) -> None:
     if "cache" in event and event["cache"] not in CACHE_OUTCOMES:
         raise TraceSchemaError(
             f"cache must be one of {CACHE_OUTCOMES}, got {event['cache']!r}"
+        )
+    if etype == "circuit_state" and event["state"] not in CIRCUIT_STATES:
+        raise TraceSchemaError(
+            f"circuit state must be one of {CIRCUIT_STATES}, got {event['state']!r}"
         )
 
 

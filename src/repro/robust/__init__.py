@@ -5,6 +5,11 @@
 * :mod:`repro.robust.budget`  — :class:`AnalysisBudget` (deadline + work
   limits) and its runtime :class:`BudgetMeter`;
 * :mod:`repro.robust.faults`  — deterministic fault injection;
+* :mod:`repro.robust.resilience` — the retry/backoff, circuit-breaker and
+  quarantine policy engine shared by the batch supervisor and the daemon;
+* :mod:`repro.robust.chaos`   — seeded chaos schedules and the soak
+  harness that asserts the always-answer invariant (imported lazily, like
+  ``engine``/``pipeline``, since it drives the high-level consumers);
 * :mod:`repro.robust.engine`  — :class:`HardenedAnalysis`, escape queries
   that degrade soundly to the ``W^τ`` worst case instead of failing;
 * :mod:`repro.robust.pipeline` — :func:`harden_optimize`, the optimization
@@ -32,7 +37,17 @@ from repro.robust.errors import (
     classify,
     reason_for,
 )
-from repro.robust.faults import FaultInjector, FaultPlan, StageFault
+from repro.robust.faults import FaultInjector, FaultPlan, SlowStage, StageFault
+from repro.robust.resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    Outcome,
+    Quarantine,
+    QuarantineEntry,
+    Resilience,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 
 __all__ = [
     "AnalysisBudget", "BudgetMeter", "BudgetExceeded", "BudgetSpent",
@@ -43,6 +58,8 @@ __all__ = [
     # lazy:
     "HardenedAnalysis", "RobustResult", "HardenedPipelineResult",
     "harden_optimize",
+    "SlowStage", "CircuitBreaker", "CircuitOpen", "Outcome", "Quarantine",
+    "QuarantineEntry", "Resilience", "ResiliencePolicy", "RetryPolicy",
 ]
 
 

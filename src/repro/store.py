@@ -28,7 +28,15 @@ Design points:
   Reads run under the ``"store_load"`` fault-injection stage
   (:mod:`repro.robust.faults`) so that degradation path stays tested.
 * **Failed writes are silent.**  A full disk or read-only store loses
-  warmth, not answers.
+  warmth, not answers.  Writes run under the ``"store_write"`` stage, and
+  the fault plan can *tear* one — a truncated entry plus an orphaned temp
+  file, the exact residue of a writer killed between create and rename —
+  which the reader shrugs off as a miss.
+* **Stale-tmp reaping.**  A writer that dies between ``mkstemp`` and
+  ``os.replace`` leaves a ``.*.tmp`` orphan.  Opening a store sweeps temp
+  files older than ``reap_age_s`` (old enough that no live writer can
+  still own them); :meth:`AnalysisStore.reap_tmp` runs the sweep on demand
+  with any age, so a post-crash recovery can force ``max_age_s=0``.
 
 The store never interprets payloads; (de)serialization of abstract values
 lives in :mod:`repro.escape.serialize` and the digest derivation in
@@ -40,8 +48,10 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
+from repro.obs import tracer as obs
 from repro.robust import faults
 
 #: Version of the on-disk file schema (the envelope around the payload).
@@ -50,15 +60,28 @@ from repro.robust import faults
 #: :data:`repro.escape.serialize.CODEC_VERSION`.
 SCHEMA_VERSION = 1
 
+#: Temp files older than this at store-open are presumed orphaned by a dead
+#: writer and reaped.  Live writers hold a temp file for the milliseconds
+#: between ``mkstemp`` and ``os.replace``, so minutes of slack is generous.
+DEFAULT_REAP_AGE_S = 300.0
+
 
 class AnalysisStore:
     """A directory of solved-SCC payloads, addressed by provenance digest."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        reap: bool = True,
+        reap_age_s: float = DEFAULT_REAP_AGE_S,
+    ):
         self.root = Path(root)
         self._hits = 0
         self._misses = 0
         self._writes = 0
+        self._tmp_reaped = 0
+        if reap:
+            self.reap_tmp(max_age_s=reap_age_s)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AnalysisStore({str(self.root)!r})"
@@ -101,7 +124,11 @@ class AnalysisStore:
         path = self._path(digest)
         document = {"schema": SCHEMA_VERSION, "digest": digest, "payload": payload}
         try:
+            faults.check_stage("store_write")
             path.parent.mkdir(parents=True, exist_ok=True)
+            if faults.take_torn_write():
+                self._tear_write(path, digest, document)
+                return False
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
             )
@@ -119,6 +146,20 @@ class AnalysisStore:
         except Exception:
             return False
 
+    def _tear_write(self, path: Path, digest: str, document: dict) -> None:
+        """Leave exactly the residue of a writer killed between create and
+        rename: a half-written temp file *and* a truncated entry (the torn
+        state a crashed ``os.replace``-less writer could expose).  The
+        reader treats the truncated entry as a miss; the orphaned temp file
+        is what :meth:`reap_tmp` exists to clean up."""
+        raw = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(raw[: max(1, len(raw) // 2)])
+        path.write_text(raw[: max(1, len(raw) // 3)], encoding="utf-8")
+
     # -- bookkeeping (session-independent store traffic) ---------------------
 
     def note_hit(self) -> None:
@@ -135,9 +176,44 @@ class AnalysisStore:
             "store_hits": self._hits,
             "store_misses": self._misses,
             "store_writes": self._writes,
+            "store_tmp_reaped": self._tmp_reaped,
         }
 
     # -- maintenance ---------------------------------------------------------
+
+    def tmp_files(self) -> list[Path]:
+        """Every temp file currently in the store (orphans plus any a live
+        writer holds for its microseconds-long window)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("??/.*.tmp"))
+
+    def reap_tmp(self, max_age_s: float = DEFAULT_REAP_AGE_S) -> int:
+        """Delete temp files older than ``max_age_s`` seconds; returns how
+        many were reaped.
+
+        Safe against live writers by age: a concurrent writer's temp file
+        is younger than any sane ``max_age_s`` (pass ``0`` only when no
+        writer can be active, e.g. post-crash recovery or tests).  Errors
+        are absorbed like every other storage problem — a temp file that
+        vanished first was reaped by a racing opener, which is fine.
+        """
+        reaped = 0
+        try:
+            cutoff = time.time() - max_age_s
+            for tmp in self.tmp_files():
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        reaped += 1
+                except OSError:
+                    continue
+        except Exception:
+            pass
+        if reaped:
+            self._tmp_reaped += reaped
+            obs.emit("store_reap", count=reaped)
+        return reaped
 
     def __len__(self) -> int:
         """Number of complete entries on disk."""

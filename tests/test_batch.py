@@ -11,6 +11,10 @@ import pytest
 from repro.batch import BatchReport, FileReport, analyze_one, collect_inputs, run_batch
 from repro.cli import main
 from repro.lang.prelude import prelude_source
+from repro.obs import RingBufferSink, Tracer, activate
+from repro.obs.events import validate_trace
+from repro.robust.faults import FaultPlan, SlowStage
+from repro.robust.resilience import RetryPolicy
 
 APPEND = prelude_source(["append"], "append [1, 2] [3]")
 REV = prelude_source(["append", "rev"], "rev [1, 2, 3]")
@@ -173,3 +177,114 @@ class TestBatchCli:
         empty.mkdir()
         assert main(["batch", str(empty)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestSupervisedFailures:
+    """The supervised worker pool: hung workers are preempted, crashed
+    workers are replaced, poison inputs are quarantined — and every path
+    is deterministic under a seeded plan."""
+
+    RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.01, max_delay_s=0.05, seed=1)
+
+    def test_hung_worker_is_killed_and_retried(self, corpus, tmp_path):
+        ring = RingBufferSink(capacity=None)
+        plan = FaultPlan(slow_stages=(SlowStage("worker", at=1, seconds=10.0),))
+        with activate(Tracer(sinks=[ring])):
+            report = run_batch(
+                [corpus],
+                store_root=tmp_path / "store",
+                jobs=2,
+                timeout_s=0.4,
+                retry=self.RETRY,
+                fault_plan=plan,
+            )
+        assert report.ok and report.answered
+        assert max(r.attempts for r in report.reports) == 2
+        types = [e["type"] for e in ring.events]
+        assert "timeout" in types and "retry" in types
+        restarts = [e for e in ring.events if e["type"] == "worker_restart"]
+        assert [e["cause"] for e in restarts] == ["timeout"]
+        validate_trace(ring.events)
+
+    def test_crashed_worker_is_replaced(self, corpus, tmp_path):
+        ring = RingBufferSink(capacity=None)
+        plan = FaultPlan(worker_crash_at=1)
+        with activate(Tracer(sinks=[ring])):
+            report = run_batch(
+                [corpus],
+                store_root=tmp_path / "store",
+                jobs=2,
+                timeout_s=5.0,
+                retry=self.RETRY,
+                fault_plan=plan,
+            )
+        assert report.ok
+        assert max(r.attempts for r in report.reports) == 2
+        restarts = [e for e in ring.events if e["type"] == "worker_restart"]
+        assert [e["cause"] for e in restarts] == ["worker-crashed"]
+        validate_trace(ring.events)
+
+    def test_always_hanging_file_is_quarantined_not_fatal(self, corpus, tmp_path):
+        plan = FaultPlan(slow_stages=(SlowStage("worker", at=1, every=1, seconds=10.0),))
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.01, max_delay_s=0.02, seed=1)
+        report = run_batch(
+            [corpus], jobs=2, timeout_s=0.25, retry=retry, fault_plan=plan
+        )
+        assert report.answered and not report.ok
+        assert not report.hard_failures
+        assert len(report.quarantined_files) == len(report.reports)
+        assert report.exit_code() == 3
+        quarantined = report.reports[0]
+        assert quarantined.attempts == 2
+        assert "QUARANTINED" in quarantined.line()
+        doc = report.to_json()
+        assert doc["exit_code"] == 3 and doc["quarantined"] == len(report.reports)
+
+    def test_serial_injected_crash_retries_with_deterministic_jitter(
+        self, corpus, tmp_path
+    ):
+        ring = RingBufferSink(capacity=None)
+        plan = FaultPlan(worker_crash_at=1)
+        with activate(Tracer(sinks=[ring])):
+            report = run_batch(
+                [corpus], jobs=1, retry=self.RETRY, fault_plan=plan
+            )
+        assert report.ok
+        retries = [e for e in ring.events if e["type"] == "retry"]
+        assert len(retries) == 1
+        failed = report.reports[0]
+        assert failed.attempts == 2
+        # the delay taken is exactly the policy's pure function of
+        # (seed, key, attempt) — a chaos schedule replays bit-identically
+        assert retries[0]["delay_s"] == round(self.RETRY.delay(failed.path, 1), 9)
+        assert retries[0]["key"] == failed.path
+
+    def test_quarantined_file_carries_failure_history(self, corpus):
+        plan = FaultPlan(slow_stages=(SlowStage("worker", at=1, every=1, seconds=10.0),))
+        retry = RetryPolicy(max_attempts=2, base_delay_s=0.01, max_delay_s=0.02, seed=1)
+        report = run_batch([corpus], jobs=1, timeout_s=0.25, retry=retry, fault_plan=plan)
+        doc = report.to_json()
+        entry = next(f for f in doc["files"] if f["quarantined"])
+        assert entry["attempts"] == 2 and not entry["ok"]
+
+
+class TestExitCodeTaxonomy:
+    """``repro batch`` honors the 0/1/3/4 contract end to end."""
+
+    def test_degraded_only_run_exits_3(self, corpus, capsys):
+        args = [
+            "batch", str(corpus), "--no-store", "--deadline-ms", "0.0001", "--json",
+        ]
+        assert main(args) == 3
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] and doc["answered"]
+        assert doc["exit_code"] == 3 and doc["degraded"] == len(doc["files"])
+        assert all(f["degraded"] for f in doc["files"])
+
+    def test_clean_run_still_exits_0(self, corpus):
+        assert main(["batch", str(corpus), "--no-store"]) == 0
+
+    def test_hard_failure_beats_degraded(self, corpus, capsys):
+        (corpus / "bad.nml").write_text("][")
+        args = ["batch", str(corpus), "--no-store", "--deadline-ms", "0.0001"]
+        assert main(args) == 1

@@ -501,3 +501,44 @@ class TestStoreEvents:
             ).global_test("append", 1)
         assert reg.counter("store.reads", outcome="miss") == 3
         assert reg.counter("store.writes") == 3
+
+
+class TestResilienceEventVocabulary:
+    """The resilience/service event types added with the always-answer
+    layer: present in the schema, field-checked, and value-checked."""
+
+    def _event(self, type_, **fields):
+        return {"seq": 0, "ts": 0.0, "type": type_, **fields}
+
+    def test_new_event_types_validate(self):
+        validate_event(self._event("store_reap", count=2))
+        validate_event(self._event("retry", key="a.nml", attempt=1, delay_s=0.05))
+        validate_event(self._event("timeout", key="a.nml", deadline_s=0.5))
+        validate_event(
+            self._event("quarantine", key="a.nml", attempts=3, reason="timeout")
+        )
+        validate_event(self._event("circuit_state", target="a", state="open"))
+        validate_event(
+            self._event("worker_restart", key="a.nml", attempt=1, cause="timeout")
+        )
+        validate_event(
+            self._event(
+                "serve_request",
+                endpoint="analyze",
+                status=200,
+                degraded=False,
+                coalesced=False,
+            )
+        )
+
+    def test_circuit_state_values_are_checked(self):
+        with pytest.raises(TraceSchemaError, match="circuit state"):
+            validate_event(
+                self._event("circuit_state", target="a", state="exploded")
+            )
+
+    def test_new_event_types_require_their_fields(self):
+        with pytest.raises(TraceSchemaError, match="missing field"):
+            validate_event(self._event("retry", key="a.nml"))
+        with pytest.raises(TraceSchemaError, match="missing field"):
+            validate_event(self._event("serve_request", endpoint="analyze"))

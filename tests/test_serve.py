@@ -1,0 +1,279 @@
+"""``repro serve``: the always-answer daemon.
+
+Service-level tests drive :class:`~repro.serve.AnalysisService.handle`
+directly (every branch of the degraded-answer contract); HTTP-level tests
+bind a real :func:`~repro.serve.make_server` on an ephemeral port and go
+through the wire, including the graceful-SIGTERM path of
+:func:`~repro.serve.serve` itself.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.check import check_program
+from repro.lang.parser import parse_program
+from repro.lang.prelude import prelude_source
+from repro.obs import RingBufferSink, Tracer, activate
+from repro.obs.events import validate_trace
+from repro.robust import faults
+from repro.robust.faults import FaultPlan, StageFault
+from repro.robust.resilience import ResiliencePolicy, RetryPolicy
+from repro.serve import (
+    AnalysisService,
+    _InFlight,
+    make_server,
+    request_digest,
+    serve,
+)
+
+APPEND = prelude_source(["append"], "append [1, 2] [3]")
+REV = prelude_source(["append", "rev"], "rev [1, 2, 3]")
+
+
+@pytest.fixture
+def service(tmp_path):
+    return AnalysisService(
+        store_root=str(tmp_path / "store"), default_deadline_ms=5000.0
+    )
+
+
+# ---------------------------------------------------------------------------
+# the service: answers
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_exact(service):
+    status, doc = service.handle("analyze", {"source": APPEND})
+    assert status == 200 and doc["ok"] and not doc["degraded"]
+    assert doc["exit_code"] == 0 and doc["results"]
+    assert all("result" in r or "error" in r for r in doc["results"])
+    assert "stats" in doc
+
+
+def test_analyze_function_filter(service):
+    status, doc = service.handle("analyze", {"source": REV, "function": "rev"})
+    assert status == 200
+    assert {r["function"] for r in doc["results"]} == {"rev"}
+
+
+def test_analyze_starved_deadline_degrades_not_fails(service):
+    status, doc = service.handle(
+        "analyze", {"source": APPEND, "deadline_ms": 0.0001}
+    )
+    assert status == 200 and doc["ok"]
+    assert doc["degraded"] and doc["exit_code"] == 3
+    assert any(r.get("degraded") for r in doc["results"])
+    reasons = {
+        r["degradation"]["reason"] for r in doc["results"] if r.get("degraded")
+    }
+    assert "deadline" in "".join(reasons)
+
+
+def test_check_clean_program(service):
+    status, doc = service.handle("check", {"source": APPEND})
+    assert status == 200 and doc["ok"] and doc["exit_code"] == 0
+    assert doc["counts"]["error"] == 0
+
+
+def test_optimize_returns_auditable_program(service):
+    status, doc = service.handle("optimize", {"source": APPEND})
+    assert status == 200 and doc["ok"]
+    assert any("reuse" in step for step in doc["applied"])
+    audited = check_program(parse_program(doc["program"]), passes=["audit"])
+    assert audited.counts()["error"] == 0
+
+
+def test_optimize_starved_deadline_returns_original_program(service):
+    status, doc = service.handle(
+        "optimize", {"source": APPEND, "deadline_ms": 0.0001}
+    )
+    assert status == 200 and doc["ok"] and doc["degraded"]
+    assert doc["exit_code"] == 3 and doc["degradations"]
+    # still a parseable, auditable program — degraded means less optimized,
+    # never broken
+    assert check_program(
+        parse_program(doc["program"]), passes=["audit"]
+    ).counts()["error"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the service: refusals (still structured answers)
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_endpoint_is_404(service):
+    status, doc = service.handle("bogus", {"source": APPEND})
+    assert status == 404 and not doc["ok"]
+
+
+def test_missing_source_is_400(service):
+    status, doc = service.handle("analyze", {})
+    assert status == 400 and not doc["ok"] and doc["exit_code"] == 1
+
+
+def test_parse_error_is_400_with_formatted_error(service):
+    status, doc = service.handle("analyze", {"source": "letrec ( in 3"})
+    assert status == 400 and not doc["ok"]
+    assert "expected" in doc["error"] or "parse" in doc["error"].lower()
+
+
+def test_injected_fault_is_500_with_json_body(service):
+    with faults.inject(FaultPlan(stage_faults=(StageFault("serve", at=1),))):
+        status, doc = service.handle("analyze", {"source": APPEND})
+    assert status == 500 and not doc["ok"] and "error" in doc
+
+
+# ---------------------------------------------------------------------------
+# the service: breaker and coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_short_circuits_failing_digest_to_degraded():
+    service = AnalysisService(
+        policy=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=1), breaker_threshold=2
+        )
+    )
+    plan = FaultPlan(
+        stage_faults=(StageFault("serve", at=1), StageFault("serve", at=2))
+    )
+    with faults.inject(plan):
+        for _ in range(2):
+            status, doc = service.handle("analyze", {"source": APPEND})
+            assert status == 500
+    # circuit is open for this digest: immediate sound degraded answer,
+    # no execution at all (no fault left to fire anyway)
+    status, doc = service.handle("analyze", {"source": APPEND})
+    assert status == 200 and doc["ok"] and doc["degraded"]
+    assert doc["exit_code"] == 3 and doc["circuit"] == "open"
+    # a different question is a different target: unaffected
+    status, doc = service.handle("analyze", {"source": REV})
+    assert status == 200 and not doc.get("circuit")
+
+
+def test_followers_coalesce_onto_the_leader(service):
+    payload = {"source": APPEND}
+    key = request_digest("analyze", payload)
+    entry = _InFlight()
+    service._inflight[key] = entry  # a leader is mid-flight
+
+    follower: dict = {}
+
+    def follow():
+        follower["status"], follower["doc"] = service.handle("analyze", payload)
+
+    thread = threading.Thread(target=follow)
+    thread.start()
+    thread.join(0.2)
+    assert thread.is_alive()  # parked on the leader's event
+    entry.status, entry.doc = 200, {"ok": True, "degraded": False, "exit_code": 0}
+    del service._inflight[key]
+    entry.event.set()
+    thread.join(5.0)
+    assert follower["status"] == 200
+    assert follower["doc"]["coalesced"] is True and follower["doc"]["ok"]
+    # the leader's stored doc was copied, not mutated
+    assert "coalesced" not in entry.doc
+
+
+def test_leader_cleans_up_inflight_table(service):
+    service.handle("analyze", {"source": APPEND})
+    assert service._inflight == {}
+
+
+def test_requests_emit_schema_valid_events_and_metrics(service):
+    ring = RingBufferSink(capacity=None)
+    with activate(Tracer(sinks=[ring])):
+        service.handle("analyze", {"source": APPEND})
+        service.handle("bogus", {"source": APPEND})
+    requests = [e for e in ring.events if e["type"] == "serve_request"]
+    assert [(e["endpoint"], e["status"]) for e in requests] == [
+        ("analyze", 200),
+        ("bogus", 404),
+    ]
+    validate_trace(ring.events)
+    text = service.metrics_text()
+    assert 'serve.requests{endpoint=analyze,status=200} 1' in text
+    assert "serve.uptime_s" in text
+    assert "serve.store_hits" in text  # store counters fold into the scrape
+
+
+# ---------------------------------------------------------------------------
+# over the wire
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def http_server(service):
+    server = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(5.0)
+
+
+def _post(base, endpoint, body: bytes):
+    request = urllib.request.Request(
+        f"{base}/{endpoint}", data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_analyze_roundtrip(http_server):
+    status, doc = _post(http_server, "analyze", json.dumps({"source": APPEND}).encode())
+    assert status == 200 and doc["ok"] and doc["exit_code"] == 0
+
+
+def test_http_bad_json_body_is_400(http_server):
+    status, doc = _post(http_server, "analyze", b"{not json")
+    assert status == 400 and "bad JSON body" in doc["error"]
+
+
+def test_http_healthz_metrics_and_unknown_route(http_server):
+    with urllib.request.urlopen(f"{http_server}/healthz", timeout=30) as response:
+        assert response.status == 200 and json.loads(response.read())["ok"]
+    with urllib.request.urlopen(f"{http_server}/metrics", timeout=30) as response:
+        assert response.status == 200
+        assert b"serve.uptime_s" in response.read()
+    try:
+        urllib.request.urlopen(f"{http_server}/nope", timeout=30)
+        assert False, "expected 404"
+    except urllib.error.HTTPError as error:
+        assert error.code == 404
+
+
+def test_serve_shuts_down_gracefully_on_sigterm(tmp_path):
+    stream = io.StringIO()
+    timer = threading.Timer(0.5, os.kill, [os.getpid(), signal.SIGTERM])
+    timer.start()
+    try:
+        code = serve(
+            host="127.0.0.1",
+            port=0,
+            store_root=str(tmp_path / "store"),
+            ready_stream=stream,
+        )
+    finally:
+        timer.cancel()
+    assert code == 0
+    output = stream.getvalue()
+    assert "listening on http://127.0.0.1:" in output
+    assert "shut down cleanly" in output
+    # the previous signal disposition is restored
+    assert signal.getsignal(signal.SIGTERM) is signal.SIG_DFL

@@ -17,6 +17,7 @@ import os
 import subprocess
 import sys
 import textwrap
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -25,10 +26,12 @@ from repro.escape.abstract import fingerprint
 from repro.escape.analyzer import EscapeAnalysis
 from repro.lang.parser import parse_program
 from repro.lang.prelude import paper_map_pair, paper_partition_sort, prelude_program
+from repro.obs import RingBufferSink, Tracer, activate
+from repro.obs.events import validate_trace
 from repro.query import AnalysisSession, scc_digest
 from repro.robust import faults
 from repro.robust.faults import FaultPlan, StageFault
-from repro.store import SCHEMA_VERSION, AnalysisStore
+from repro.store import DEFAULT_REAP_AGE_S, SCHEMA_VERSION, AnalysisStore
 
 from .strategies import list_function_program
 
@@ -309,3 +312,102 @@ class TestCrossProcess:
         assert second["store_hits"] == 3
         assert second["digests"] == first["digests"]
         assert second["fingerprints"] == first["fingerprints"]
+
+
+class TestTornWritesAndReaping:
+    """Crash-safety of the write path: torn writes recover as misses, and
+    the orphaned temp files they strand are swept at store open."""
+
+    def _warm_store(self, tmp_path) -> AnalysisStore:
+        store = AnalysisStore(tmp_path / "store")
+        AnalysisSession(paper_partition_sort(), store=store).solve(None)
+        return store
+
+    def test_torn_write_leaves_orphan_and_truncated_entry(self, tmp_path):
+        store = AnalysisStore(tmp_path / "store")
+        with faults.inject(FaultPlan(torn_write_at=1)):
+            session = AnalysisSession(paper_partition_sort(), store=store)
+            session.solve(None)
+        assert len(store.tmp_files()) == 1
+        # the torn final entry reads as a miss, never a misinterpretation
+        torn_digests = [
+            digest for digest in store.digests() if store.read(digest) is None
+        ]
+        assert len(torn_digests) == 1
+
+    def test_torn_write_recovery_resolves_to_identical_answers(self, tmp_path):
+        store = AnalysisStore(tmp_path / "store")
+        with faults.inject(FaultPlan(torn_write_every=1)):
+            damaged = AnalysisSession(paper_partition_sort(), store=store)
+            solved_damaged = damaged.solve(None)
+        # every write tore: next session re-solves everything...
+        session = AnalysisSession(paper_partition_sort(), store=store)
+        solved = session.solve(None)
+        assert session.stats.store_hits == 0
+        assert session.stats.iterations > 0
+        # ...to bit-identical lattice values
+        baseline = AnalysisSession(paper_partition_sort())
+        assert _fingerprints(session, solved) == _fingerprints(
+            baseline, baseline.solve(None)
+        )
+        assert _fingerprints(damaged, solved_damaged) == _fingerprints(
+            session, solved
+        )
+
+    def test_fresh_tmp_files_survive_default_reap(self, tmp_path):
+        store = self._warm_store(tmp_path)
+        with faults.inject(FaultPlan(torn_write_at=1)):
+            store.write("ab" * 32, {"x": 1})
+        assert len(store.tmp_files()) == 1
+        # a just-created temp file could belong to a live writer: the
+        # age-gated open-time sweep must leave it alone
+        reopened = AnalysisStore(store.root)
+        assert len(reopened.tmp_files()) == 1
+        assert reopened.counters()["store_tmp_reaped"] == 0
+
+    def test_stale_tmp_files_are_reaped_at_open(self, tmp_path):
+        store = self._warm_store(tmp_path)
+        with faults.inject(FaultPlan(torn_write_every=1)):
+            store.write("ab" * 32, {"x": 1})
+            store.write("cd" * 32, {"x": 2})
+        orphans = store.tmp_files()
+        assert len(orphans) == 2
+        stale = time.time() - DEFAULT_REAP_AGE_S - 60
+        for tmp in orphans:
+            os.utime(tmp, (stale, stale))
+        reopened = AnalysisStore(store.root)
+        assert reopened.tmp_files() == []
+        assert reopened.counters()["store_tmp_reaped"] == 2
+
+    def test_forced_reap_emits_schema_valid_event(self, tmp_path):
+        store = self._warm_store(tmp_path)
+        with faults.inject(FaultPlan(torn_write_at=1)):
+            store.write("ab" * 32, {"x": 1})
+        ring = RingBufferSink(capacity=None)
+        with activate(Tracer(sinks=[ring])):
+            assert store.reap_tmp(max_age_s=0.0) == 1
+        assert store.tmp_files() == []
+        events = [e for e in ring.events if e["type"] == "store_reap"]
+        assert events and events[0]["count"] == 1
+        validate_trace(ring.events)
+
+    def test_reap_can_be_disabled(self, tmp_path):
+        store = self._warm_store(tmp_path)
+        with faults.inject(FaultPlan(torn_write_at=1)):
+            store.write("ab" * 32, {"x": 1})
+        stale = time.time() - DEFAULT_REAP_AGE_S - 60
+        for tmp in store.tmp_files():
+            os.utime(tmp, (stale, stale))
+        untouched = AnalysisStore(store.root, reap=False)
+        assert len(untouched.tmp_files()) == 1
+
+    def test_injected_store_write_fault_is_silent(self, tmp_path):
+        store = AnalysisStore(tmp_path / "store")
+        with faults.inject(
+            FaultPlan(stage_faults=(StageFault(stage="store_write", at=1),))
+        ) as injector:
+            assert store.write("ab" * 32, {"x": 1}) is False
+            assert store.write("cd" * 32, {"x": 2}) is True
+        assert injector.fired == ["store_write@1"]
+        assert store.read("cd" * 32) == {"x": 2}
+        assert store.read("ab" * 32) is None
