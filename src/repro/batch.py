@@ -298,6 +298,7 @@ def analyze_one(
     max_iterations: int | None = None,
     check: bool = False,
     deadline_ms: float | None = None,
+    engine: str | None = None,
 ) -> FileReport:
     """Worker body: fully analyze one file (every function, every
     parameter — the same questions ``repro report`` asks), sharing SCC
@@ -321,13 +322,13 @@ def analyze_one(
         store = AnalysisStore(store_root) if store_root else None
         if deadline_ms is not None:
             report = _analyze_hardened(
-                path, program, store, d, max_iterations, deadline_ms
+                path, program, store, d, max_iterations, deadline_ms, engine
             )
         else:
             from repro.escape.analyzer import EscapeAnalysis
 
             analysis = EscapeAnalysis(
-                program, d=d, max_iterations=max_iterations, store=store
+                program, d=d, max_iterations=max_iterations, store=store, engine=engine
             )
             solved = analysis.solve(None)
             functions = 0
@@ -364,6 +365,7 @@ def _analyze_hardened(
     d: int | None,
     max_iterations: int | None,
     deadline_ms: float,
+    engine: str | None = None,
 ) -> FileReport:
     """The budgeted worker body: every query through the hardened engine,
     degradations collected instead of raised."""
@@ -372,20 +374,21 @@ def _analyze_hardened(
     from repro.robust.engine import HardenedAnalysis
     from repro.types.types import arity
 
-    engine = HardenedAnalysis(
+    hardened = HardenedAnalysis(
         program,
         budget=AnalysisBudget(deadline_s=deadline_ms / 1000.0),
         d=d,
         max_iterations=max_iterations,
         store=store,
+        engine=engine,
     )
     functions = 0
     degradations: list[str] = []
     any_exact = False
     for name in program.binding_names():
-        if arity(engine.session.scheme(name).body) == 0:
+        if arity(hardened.session.scheme(name).body) == 0:
             continue
-        for robust in engine.global_all(name):
+        for robust in hardened.global_all(name):
             if robust.degraded:
                 degradations.append(
                     f"{robust.result.function}/{robust.result.param_index}: "
@@ -396,13 +399,13 @@ def _analyze_hardened(
         functions += 1
     # ``d`` falls out of the (memoized) solve only when some query actually
     # completed one; a fully degraded file never ran to a chain bound.
-    solved_d = engine.session.solve(None).d if any_exact else -1
+    solved_d = hardened.session.solve(None).d if any_exact else -1
     return FileReport(
         path=str(path),
         ok=True,
         d=solved_d,
         functions=functions,
-        stats=stats_dict(engine.session.stats),
+        stats=stats_dict(hardened.session.stats),
         degraded=bool(degradations),
         degradations=degradations,
     )
@@ -676,6 +679,7 @@ def run_batch(
     timeout_s: float | None = None,
     retry: RetryPolicy | None = None,
     fault_plan=None,
+    engine: str | None = None,
 ) -> BatchReport:
     """Analyze the corpus under supervision, ``jobs``-wide.
 
@@ -684,11 +688,18 @@ def run_batch(
     ``timeout_s`` forces worker processes even single-file-at-a-time,
     because preemption needs something to kill.
     """
+    from repro.escape.engine import default_engine, validate_engine
+
     inputs = collect_inputs(paths)
     root = str(store_root) if store_root is not None else None
     retry = retry or DEFAULT_RETRY
     quarantine = Quarantine()
-    work = [(str(p), root, d, max_iterations, check, deadline_ms) for p in inputs]
+    # Resolve the engine here: worker processes start fresh and would not
+    # see a ``use_engine`` scope installed in this process.
+    engine = validate_engine(engine) if engine is not None else default_engine()
+    work = [
+        (str(p), root, d, max_iterations, check, deadline_ms, engine) for p in inputs
+    ]
     if not work:
         reports: list[FileReport] = []
     elif jobs <= 1 and timeout_s is None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.analysis.sharing import sharing_global
 from repro.check.diagnostics import CheckSeverity, Diagnostic, rule
 from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.lang.ast import (
     App,
     Expr,
@@ -238,7 +239,7 @@ def _audit_dcons_sites(
     name: str,
     params: list[str],
     body: Expr,
-    analysis: EscapeAnalysis,
+    analysis: EscapeResults,
     global_results,
     donors_by_function: dict[str, set[str]],
     out: list[Diagnostic],
@@ -383,7 +384,7 @@ def _hint_missed_reuse(
 
 def _audit_sharing_obligations(
     program: Program,
-    analysis: EscapeAnalysis,
+    analysis: EscapeResults,
     donors_by_function: dict[str, set[str]],
     param_index: dict[str, dict[str, int]],
     out: list[Diagnostic],
@@ -469,7 +470,7 @@ def _audit_sharing_obligations(
 
 
 def _audit_regions(
-    program: Program, analysis: EscapeAnalysis, out: list[Diagnostic]
+    program: Program, analysis: EscapeResults, out: list[Diagnostic]
 ) -> None:
     """Re-justify region annotations on the result call via the local
     escape test (§4.2), and hint at provably missed stack allocations."""

@@ -104,6 +104,17 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.escape.engine import DEFAULT_ENGINE, ENGINES
+
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        help=f"fixpoint engine (default: {DEFAULT_ENGINE}); 'legacy' keeps "
+        "the AST-walking Kleene iteration as a differential-testing oracle",
+    )
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -480,6 +491,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         timeout_s=args.timeout_ms / 1000.0 if args.timeout_ms is not None else None,
         retry=retry,
+        engine=args.engine,
     )
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
@@ -603,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    _add_engine_arg(report_parser)
     _add_obs_args(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
 
@@ -624,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="attach a persistent analysis store (SCC fixpoints shared across runs)",
     )
+    _add_engine_arg(analyze_parser)
     _add_budget_args(analyze_parser)
     _add_obs_args(analyze_parser)
     analyze_parser.set_defaults(handler=_cmd_analyze)
@@ -657,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --robust: re-run the optimized program under the sanitizer "
         "and discard the transforms if it misbehaves",
     )
+    _add_engine_arg(optimize_parser)
     _add_budget_args(optimize_parser)
     _add_obs_args(optimize_parser)
     optimize_parser.set_defaults(handler=_cmd_optimize)
@@ -673,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--profile", action="store_true", help="print a profile report to stderr"
     )
+    _add_engine_arg(trace_parser)
     trace_parser.set_defaults(handler=_cmd_trace)
 
     batch_parser = commands.add_parser(
@@ -734,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--seed", type=int, default=0, help="jitter seed (default: 0)"
     )
+    _add_engine_arg(batch_parser)
     batch_parser.set_defaults(handler=_cmd_batch)
 
     serve_parser = commands.add_parser(
@@ -759,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
     )
+    _add_engine_arg(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
 
     check_parser = commands.add_parser(
@@ -787,17 +805,40 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--json", action="store_true", help="emit the reports as JSON"
     )
+    _add_engine_arg(check_parser)
     _add_obs_args(check_parser)
     check_parser.set_defaults(handler=_cmd_check)
 
     return parser
 
 
+@contextmanager
+def _engine_scope(args: argparse.Namespace):
+    """Install ``--engine`` as the process default for one command.
+    Commands without the flag (or without a value) run on the built-in
+    default.  ``legacy`` warns: it survives as the differential-testing
+    oracle, not as a supported production configuration."""
+    engine = getattr(args, "engine", None)
+    if engine is None:
+        yield
+        return
+    if engine == "legacy":
+        print(
+            "warning: --engine legacy is deprecated; it is kept only as the "
+            "differential-testing oracle for the worklist engine",
+            file=sys.stderr,
+        )
+    from repro.escape.engine import use_engine
+
+    with use_engine(engine):
+        yield
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _obs_scope(args):
+        with _engine_scope(args), _obs_scope(args):
             return args.handler(args)
     except NmlError as error:
         print(f"error: {error.format()}", file=sys.stderr)

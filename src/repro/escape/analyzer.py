@@ -60,6 +60,7 @@ class EscapeAnalysis:
         meter: "BudgetMeter | None" = None,
         session: AnalysisSession | None = None,
         store: "AnalysisStore | None" = None,
+        engine: str | None = None,
     ):
         self.program = program
         #: Optional budget meter from the hardened engine
@@ -86,13 +87,20 @@ class EscapeAnalysis:
                 raise AnalysisError(
                     "store conflicts with the session's attached store"
                 )
+            if engine is not None and engine != session.engine:
+                raise AnalysisError(
+                    f"engine={engine!r} conflicts with the session's "
+                    f"engine={session.engine!r}"
+                )
             self.session = session
         else:
             self.session = AnalysisSession(
-                program, d=d, max_iterations=max_iterations, store=store
+                program, d=d, max_iterations=max_iterations, store=store, engine=engine
             )
         self.d_override = self.session.d_override
         self.max_iterations = self.session.max_iterations
+        #: The fixpoint engine the session solves on ("worklist"/"legacy").
+        self.engine = self.session.engine
         #: The most recent solve — exposes fixpoint traces to callers.
         self.last_solved: SolvedProgram | None = None
 
@@ -132,6 +140,11 @@ class EscapeAnalysis:
             raise AnalysisError(f"no top-level binding named {name!r}") from None
         assert binding.expr.ty is not None
         return binding.expr.ty
+
+    def binding_type(self, name: str, solved: SolvedProgram | None = None) -> Type:
+        """The inferred monotype of a top-level binding on the solved
+        clone (solves at the default instance if none is given)."""
+        return self._binding_type(solved or self.solve(None), name)
 
     # -- global test (§4.1) ---------------------------------------------------
 
@@ -249,3 +262,11 @@ class EscapeAnalysis:
         from repro.types.types import spines as spine_count
 
         return [spine_count(t) for t in fun_args(fn_type)[0]]
+
+    def sharing_classes(self) -> dict[str, frozenset[str]]:
+        """May-share name classes from the worklist engine's union-find
+        partition (empty under the legacy engine): per binding, the names
+        its value may share structure with — the coarse companion to the
+        Theorem-2 top-spine bound."""
+        self.solve(None)
+        return self.session.sharing_classes()

@@ -1,0 +1,89 @@
+"""Engine selection for the escape-analysis fixpoint core.
+
+Two interchangeable engines compute the Section-4 lattice values:
+
+* ``"worklist"`` (the default) — :class:`~repro.escape.worklist.WorklistEvaluator`,
+  which lowers each letrec binding to the flat IR of :mod:`repro.ir` and
+  solves the fixpoint with a worklist: only bindings whose inputs changed
+  are re-evaluated, and within a binding only the instructions whose
+  dependencies changed are re-executed.
+* ``"legacy"`` — :class:`~repro.escape.abstract.AbstractEvaluator`, the
+  paper's Kleene iteration over the AST.  It is kept as the
+  differential-testing oracle: on the same program both engines must
+  produce bit-identical per-binding lattice fingerprints (the least
+  fixpoint of monotone transfer functions does not depend on evaluation
+  order), so any divergence is a bug in one of them.
+
+The engine is an *analysis-relevant* configuration axis: every SCC
+provenance digest (:func:`repro.query.scc_digest`) chains the engine name,
+so results from different engines can never collide in the on-disk store.
+
+``default_engine()`` resolves the process-wide default, which the CLI's
+``--engine`` flag overrides via :func:`use_engine`; library callers pass
+``engine=`` explicitly instead.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lang.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.escape.abstract import AbstractEvaluator
+    from repro.escape.lattice import BeChain
+    from repro.robust.budget import BudgetMeter
+
+#: The engines the analysis core knows how to run.
+ENGINES = ("legacy", "worklist")
+
+#: The engine used when none is requested explicitly.
+DEFAULT_ENGINE = "worklist"
+
+_current_default = DEFAULT_ENGINE
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise AnalysisError(
+            f"unknown analysis engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def default_engine() -> str:
+    """The engine used by sessions constructed without an explicit one."""
+    return _current_default
+
+
+@contextmanager
+def use_engine(engine: str) -> Iterator[str]:
+    """Scope a process-wide default engine (what ``--engine`` installs for
+    the duration of one CLI command)."""
+    global _current_default
+    previous = _current_default
+    _current_default = validate_engine(engine)
+    try:
+        yield engine
+    finally:
+        _current_default = previous
+
+
+def make_evaluator(
+    engine: str,
+    chain: "BeChain",
+    max_iterations: int | None = None,
+    meter: "BudgetMeter | None" = None,
+) -> "AbstractEvaluator":
+    """Construct the evaluator for ``engine`` (both expose the same
+    surface: ``eval``, ``solve_bindings``, ``steps``, ``traces``,
+    ``iterates``, ``memo``, ``values_equal`` / ``value_leq``)."""
+    validate_engine(engine)
+    if engine == "worklist":
+        from repro.escape.worklist import WorklistEvaluator
+
+        return WorklistEvaluator(chain, max_iterations=max_iterations, meter=meter)
+    from repro.escape.abstract import AbstractEvaluator
+
+    return AbstractEvaluator(chain, max_iterations=max_iterations, meter=meter)

@@ -119,6 +119,7 @@ def stats_dict(stats) -> dict:
         "scc_misses": stats.scc_misses,
         "iterations": stats.iterations,
         "eval_steps": stats.eval_steps,
+        "worklist_evals": getattr(stats, "worklist_evals", 0),
         "store": {
             "hits": getattr(stats, "store_hits", 0),
             "misses": getattr(stats, "store_misses", 0),

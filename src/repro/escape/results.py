@@ -1,11 +1,17 @@
-"""Result types shared by the global and local escape tests (§4)."""
+"""Result types shared by the global and local escape tests (§4), and the
+:class:`EscapeResults` protocol every analysis consumer goes through."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.escape.lattice import Escapement
 from repro.types.types import Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lang.ast import Expr
+    from repro.query import SessionStats, SolvedProgram
 
 
 @dataclass(frozen=True)
@@ -69,3 +75,49 @@ class EscapeTestResult:
 
     def __str__(self) -> str:
         return f"{self.kind[0].upper()}({self.function}, {self.param_index}) = {self.result}"
+
+
+@runtime_checkable
+class EscapeResults(Protocol):
+    """What a consumer of the escape analysis may depend on.
+
+    The optimizations (:mod:`repro.opt`), the static checker
+    (:mod:`repro.check`), and the sharing analysis
+    (:mod:`repro.analysis.sharing`) all take their facts through this
+    surface, never through engine internals — which is what lets the
+    legacy and worklist fixpoint engines stay interchangeable behind
+    :class:`~repro.escape.analyzer.EscapeAnalysis`.
+    """
+
+    #: Which fixpoint engine answers queries ("legacy" or "worklist").
+    engine: str
+
+    def solve(self, pins: "dict[str, Type] | None" = None) -> "SolvedProgram": ...
+
+    def global_test(
+        self,
+        function: str,
+        i: int,
+        instance: "Type | None" = None,
+        n_args: "int | None" = None,
+    ) -> EscapeTestResult: ...
+
+    def global_all(
+        self,
+        function: str,
+        instance: "Type | None" = None,
+        n_args: "int | None" = None,
+    ) -> "list[EscapeTestResult]": ...
+
+    def local_test(self, call: "Expr | str", i: "int | None" = None): ...
+
+    def binding_type(
+        self, name: str, solved: "SolvedProgram | None" = None
+    ) -> Type: ...
+
+    def escaping_spines(self, function: str) -> "list[int]": ...
+
+    def arg_spine_counts(self, function: str) -> "list[int]": ...
+
+    @property
+    def stats(self) -> "SessionStats": ...

@@ -1,0 +1,24 @@
+"""``repro.ir`` — the flat instruction stream the worklist engine runs on.
+
+Lowering (:mod:`repro.ir.lower`) turns resolved, type-annotated nml
+(:mod:`repro.lang.ast` after :mod:`repro.lang.resolve` and
+:mod:`repro.types.infer`) into :class:`~repro.ir.nodes.Block` objects: one
+instruction per AST node, explicit def–use edges, spans preserved, and
+per-instruction transitive environment-dependency sets precomputed for the
+worklist solver's change propagation (:mod:`repro.escape.worklist`).
+"""
+
+from repro.ir.lower import lower_binding, lower_expr, lower_program
+from repro.ir.nodes import OPS, Block, Instr
+from repro.ir.pretty import pretty_block, pretty_blocks
+
+__all__ = [
+    "OPS",
+    "Block",
+    "Instr",
+    "lower_binding",
+    "lower_expr",
+    "lower_program",
+    "pretty_block",
+    "pretty_blocks",
+]

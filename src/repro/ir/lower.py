@@ -1,0 +1,122 @@
+"""Lowering resolved nml ASTs into the flat IR of :mod:`repro.ir.nodes`.
+
+The walk is syntax-directed and allocation-free beyond the blocks
+themselves: every AST node becomes exactly one instruction (if-arms are
+flattened into the enclosing block; lambda bodies and nested letrecs get
+their own blocks, since their evaluation is deferred).  Dependency sets are
+computed during the walk — a ``load`` depends on its name, compound
+instructions union their operands' sets, and nesting constructs subtract
+the names they bind — so the result is ready for change-propagation
+without a separate analysis pass.
+
+Every lowered top-level block emits one ``ir_lower`` observability event
+(name + instruction count), so traces show the lowering work alongside the
+fixpoint it feeds.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Block, Instr
+from repro.lang.ast import (
+    App,
+    Binding,
+    BoolLit,
+    Expr,
+    If,
+    IntLit,
+    Lambda,
+    Letrec,
+    NilLit,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.errors import AnalysisError
+from repro.obs import tracer as obs
+
+__all__ = ["lower_expr", "lower_binding", "lower_program"]
+
+
+def _emit(block: Block, ins: Instr, deps: frozenset[str]) -> int:
+    block.instrs.append(ins)
+    block.deps.append(deps)
+    return len(block.instrs) - 1
+
+
+def _lower_into(block: Block, expr: Expr) -> int:
+    """Lower ``expr`` into ``block``; returns the index of its value."""
+    if isinstance(expr, (IntLit, BoolLit, NilLit)):
+        return _emit(block, Instr("const", expr), frozenset())
+    if isinstance(expr, Prim):
+        return _emit(block, Instr("prim", expr), frozenset())
+    if isinstance(expr, Var):
+        return _emit(
+            block, Instr("load", expr, name=expr.name), frozenset((expr.name,))
+        )
+    if isinstance(expr, App):
+        fn = _lower_into(block, expr.fn)
+        arg = _lower_into(block, expr.arg)
+        return _emit(
+            block,
+            Instr("apply", expr, operands=(fn, arg)),
+            block.deps[fn] | block.deps[arg],
+        )
+    if isinstance(expr, If):
+        cond = _lower_into(block, expr.cond)
+        then = _lower_into(block, expr.then)
+        otherwise = _lower_into(block, expr.otherwise)
+        return _emit(
+            block,
+            Instr("branch", expr, operands=(cond, then, otherwise)),
+            block.deps[cond] | block.deps[then] | block.deps[otherwise],
+        )
+    if isinstance(expr, Lambda):
+        body = lower_expr(expr.body, label=f"{block.label}.λ{expr.param}")
+        free = tuple(sorted(body.free_names - {expr.param}))
+        return _emit(
+            block,
+            Instr(
+                "close",
+                expr,
+                param=expr.param,
+                names=free,
+                blocks=(body,),
+            ),
+            frozenset(free),
+        )
+    if isinstance(expr, Letrec):
+        bound = frozenset(b.name for b in expr.bindings)
+        blocks = tuple(
+            lower_expr(b.expr, label=f"{block.label}.{b.name}") for b in expr.bindings
+        ) + (lower_expr(expr.body, label=f"{block.label}.in"),)
+        free = frozenset().union(*(b.free_names for b in blocks)) - bound
+        return _emit(
+            block,
+            Instr(
+                "enter",
+                expr,
+                names=tuple(b.name for b in expr.bindings),
+                blocks=blocks,
+            ),
+            free,
+        )
+    raise AnalysisError(f"cannot lower {type(expr).__name__} to IR", expr.span)
+
+
+def lower_expr(expr: Expr, label: str = "<expr>") -> Block:
+    """Lower one expression to a sealed :class:`Block`."""
+    block = Block(label=label)
+    _lower_into(block, expr)
+    return block.finish()
+
+
+def lower_binding(binding: Binding) -> Block:
+    """Lower one letrec binding's expression; emits ``ir_lower``."""
+    block = lower_expr(binding.expr, label=binding.name)
+    obs.emit("ir_lower", name=binding.name, instructions=block.size())
+    return block
+
+
+def lower_program(program: Program) -> dict[str, Block]:
+    """Lower every top-level binding (callers lower the body on demand)."""
+    return {b.name: lower_binding(b) for b in program.bindings}

@@ -1,0 +1,119 @@
+"""The flat instruction stream resolved nml lowers to.
+
+A :class:`Block` is a flat list of :class:`Instr` in evaluation order; each
+instruction produces exactly one abstract value, operands are indices of
+earlier instructions (explicit def–use edges), and the block's value is the
+value of its ``result`` instruction (always the last one).  Source spans
+and the originating AST node are preserved on every instruction so
+diagnostics and value serialization keep working over lowered code.
+
+The instruction set mirrors the abstract escape semantics (§3.4) one
+construct per node:
+
+========  ======================  ========================================
+op        operands                meaning (transfer function)
+========  ======================  ========================================
+const     —                       literal / nil → ⊥
+prim      —                       a primitive's abstract function
+load      —                       read ``name`` from the environment
+apply     (fn, arg)               ``fn₍₂₎(arg)``
+close     —                       build ⟨⊔ free containments, closure⟩;
+                                  the body is the nested ``blocks[0]``
+branch    (cond, then, else)      join of both branches (cond evaluated
+                                  for cost only — a bool escapes nothing)
+enter     —                       a nested letrec: solve its fixpoint,
+                                  then evaluate ``blocks[-1]`` (the body)
+========  ======================  ========================================
+
+Only ``close`` and ``enter`` nest blocks; ``branch`` arms are lowered
+*flat* into the enclosing block because the abstract semantics evaluates
+both arms unconditionally — which is exactly what lets the worklist engine
+cache branch arms instruction by instruction.
+
+Each block precomputes, per instruction, the transitive set of environment
+names the instruction's value depends on (``deps``) and the forward
+def–use edges (``users``).  ``deps`` is what the worklist solver intersects
+with the changed-name set to decide which instructions to re-execute;
+``free_names`` (= ``deps`` of the result) is the block's external
+environment footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lang.ast import Expr
+    from repro.lang.errors import Span
+
+#: The instruction opcodes, in the order the table above lists them.
+OPS = ("const", "prim", "load", "apply", "close", "branch", "enter")
+
+
+@dataclass
+class Instr:
+    """One instruction: an operator, its def–use edges, and provenance."""
+
+    op: str
+    #: Originating AST node — spans for diagnostics, the lambda body for
+    #: closure construction, the letrec for nested fixpoints.
+    node: "Expr"
+    #: Indices of the instructions whose values this one consumes.
+    operands: tuple[int, ...] = ()
+    #: ``load``: the environment name read.
+    name: str | None = None
+    #: ``close``: the lambda's parameter.
+    param: str | None = None
+    #: ``close``: the free names the closure contains (joined into the
+    #: containment component); ``enter``: the nested letrec's binding names.
+    names: tuple[str, ...] = ()
+    #: ``close``: (body,); ``enter``: one block per binding, then the body.
+    blocks: tuple["Block", ...] = ()
+
+    @property
+    def span(self) -> "Span":
+        return self.node.span
+
+
+@dataclass(eq=False)  # identity equality: blocks are used as cache keys
+class Block:
+    """A flat instruction stream with one result value."""
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+    #: Index of the instruction whose value is the block's value.
+    result: int = -1
+    #: Per instruction: the transitive set of environment names its value
+    #: depends on (through operands and nested blocks, shadowing honoured).
+    deps: list[frozenset[str]] = field(default_factory=list)
+    #: Per instruction: indices of the instructions that consume its value.
+    users: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def free_names(self) -> frozenset[str]:
+        """The environment names this block (transitively) reads."""
+        if self.result < 0:
+            return frozenset()
+        return self.deps[self.result]
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def size(self) -> int:
+        """Instruction count including nested blocks."""
+        total = len(self.instrs)
+        for ins in self.instrs:
+            for nested in ins.blocks:
+                total += nested.size()
+        return total
+
+    def finish(self) -> "Block":
+        """Seal the block: set the result and derive the ``users`` edges."""
+        self.result = len(self.instrs) - 1
+        users: list[list[int]] = [[] for _ in self.instrs]
+        for i, ins in enumerate(self.instrs):
+            for operand in ins.operands:
+                users[operand].append(i)
+        self.users = [tuple(u) for u in users]
+        return self

@@ -1,0 +1,44 @@
+"""Textual listings of lowered IR blocks (``%i = op ...`` per line)."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Block, Instr
+
+
+def _operand_list(ins: Instr) -> str:
+    return ", ".join(f"%{i}" for i in ins.operands)
+
+
+def _describe(ins: Instr) -> str:
+    if ins.op == "const":
+        return f"const {getattr(ins.node, 'value', 'nil')}"
+    if ins.op == "prim":
+        return f"prim {ins.node.name}"
+    if ins.op == "load":
+        return f"load {ins.name}"
+    if ins.op == "apply":
+        return f"apply {_operand_list(ins)}"
+    if ins.op == "branch":
+        return f"branch {_operand_list(ins)}"
+    if ins.op == "close":
+        free = ", ".join(ins.names)
+        return f"close λ{ins.param} [{free}] -> {ins.blocks[0].label}"
+    if ins.op == "enter":
+        return f"enter letrec({', '.join(ins.names)}) -> {ins.blocks[-1].label}"
+    return ins.op
+
+
+def pretty_block(block: Block, indent: str = "") -> str:
+    """One block (and, indented, every nested block) as text."""
+    lines = [f"{indent}block {block.label}:"]
+    for i, ins in enumerate(block.instrs):
+        marker = " ; result" if i == block.result else ""
+        lines.append(f"{indent}  %{i} = {_describe(ins)}{marker}")
+    for ins in block.instrs:
+        for nested in ins.blocks:
+            lines.append(pretty_block(nested, indent + "  "))
+    return "\n".join(lines)
+
+
+def pretty_blocks(blocks: dict[str, Block]) -> str:
+    return "\n".join(pretty_block(b) for b in blocks.values()) + "\n"

@@ -64,9 +64,14 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
         "scc_misses",
         "iterations",
         "eval_steps",
-        # store_hits / store_misses / store_writes ride along as optional
-        # extras so pre-store traces keep validating.
+        # store_hits / store_misses / store_writes / worklist_evals ride
+        # along as optional extras so older traces keep validating.
     ),
+    # IR lowering + worklist engine
+    "ir_lower": ("name", "instructions"),
+    "worklist_push": ("name",),
+    "worklist_pop": ("name",),
+    "transfer_eval": ("block", "index", "op", "count"),
     # analysis store (on-disk SCC tier)
     "store_hit": ("digest",),
     "store_miss": ("digest",),

@@ -13,6 +13,9 @@ Everything here consumes a list of decoded events (live from a
   evaluation counts, per-iteration lattice values, convergence), replayed
   from ``fixpoint_iteration`` / ``fixpoint_converged`` /
   ``fixpoint_widened`` events;
+* :func:`worklist_stats` — the worklist engine's per-instruction transfer
+  costs and queue activity, replayed from ``transfer_eval`` /
+  ``worklist_push`` / ``worklist_pop`` / ``ir_lower`` events;
 * :func:`profile_report` — the human-readable roll-up.
 """
 
@@ -58,6 +61,7 @@ def cache_stats(events: Iterable[dict]) -> dict[str, int]:
         "store_hits": 0,
         "store_misses": 0,
         "store_writes": 0,
+        "worklist_evals": 0,
     }
     for event in events:
         etype = event.get("type")
@@ -69,6 +73,8 @@ def cache_stats(events: Iterable[dict]) -> dict[str, int]:
         elif etype == "query_stats":
             out["queries"] += 1
             out["eval_steps"] += event["eval_steps"]
+            # Optional extra (absent in legacy-engine and older traces).
+            out["worklist_evals"] += event.get("worklist_evals", 0)
         elif etype == "store_hit":
             out["store_hits"] += 1
         elif etype == "store_miss":
@@ -127,6 +133,66 @@ def iteration_table(events: Iterable[dict]) -> dict[str, BindingIterations]:
                 if row is not None:
                     row.widened = True
     return table
+
+
+@dataclass
+class InstrCost:
+    """Replayed execution cost of one IR instruction."""
+
+    block: str
+    index: int
+    op: str
+    count: int = 0
+
+
+@dataclass
+class WorklistStats:
+    """The worklist engine's activity, replayed from a trace alone."""
+
+    #: Bindings queued because an input's fingerprint changed.
+    pushes: int = 0
+    #: Bindings taken off the worklist (= binding evaluations + re-checks).
+    pops: int = 0
+    #: Top-level blocks lowered to IR, with instruction counts.
+    lowered: dict[str, int] = field(default_factory=dict)
+    #: Per-instruction transfer-eval counts, keyed ``(block, index)``.
+    instr_costs: dict[tuple, InstrCost] = field(default_factory=dict)
+
+    @property
+    def transfer_evals(self) -> int:
+        return sum(cost.count for cost in self.instr_costs.values())
+
+    def hottest(self, n: int = 10) -> list[InstrCost]:
+        """The ``n`` most-executed instructions, hottest first."""
+        return sorted(
+            self.instr_costs.values(), key=lambda c: c.count, reverse=True
+        )[:n]
+
+
+def worklist_stats(events: Iterable[dict]) -> WorklistStats:
+    """Replay the worklist engine's per-instruction costs from a trace.
+
+    Needs only the trace: ``transfer_eval`` events carry cumulative counts
+    per (block, instruction) flushed at the end of each solve, so the
+    hottest transfer functions are identified without re-running anything.
+    """
+    stats = WorklistStats()
+    for event in events:
+        etype = event.get("type")
+        if etype == "worklist_push":
+            stats.pushes += 1
+        elif etype == "worklist_pop":
+            stats.pops += 1
+        elif etype == "ir_lower":
+            stats.lowered[event["name"]] = event["instructions"]
+        elif etype == "transfer_eval":
+            key = (event["block"], event["index"])
+            cost = stats.instr_costs.get(key)
+            if cost is None:
+                cost = InstrCost(event["block"], event["index"], event["op"])
+                stats.instr_costs[key] = cost
+            cost.count += event["count"]
+    return stats
 
 
 def runtime_stats(events: Iterable[dict]) -> dict[str, int]:
@@ -188,10 +254,13 @@ def profile_report(events: "list[dict]", top: int = 10, total: int | None = None
                 f"  scc:   {caches['scc_hits']}/{scc_total} "
                 f"({caches['scc_hits'] / scc_total:.0%})"
             )
-        lines.append(
+        work_line = (
             f"  {caches['queries']} query(ies), {caches['iterations']} fixpoint "
             f"iteration(s), {caches['eval_steps']} eval step(s)"
         )
+        if caches["worklist_evals"]:
+            work_line += f" ({caches['worklist_evals']} transfer eval(s))"
+        lines.append(work_line)
         store_reads = caches["store_hits"] + caches["store_misses"]
         if store_reads or caches["store_writes"]:
             lines.append(
@@ -211,6 +280,21 @@ def profile_report(events: "list[dict]", top: int = 10, total: int | None = None
             )
             ascent = " → ".join(row.values)
             lines.append(f"  {name}: {row.iterations} ({status})  {ascent}")
+
+    worklist = worklist_stats(events)
+    if worklist.instr_costs or worklist.pops:
+        lines.append(
+            f"worklist: {worklist.pops} pop(s), {worklist.pushes} push(es), "
+            f"{worklist.transfer_evals} transfer eval(s) over "
+            f"{len(worklist.instr_costs)} instruction(s)"
+        )
+        hottest = worklist.hottest(min(top, 5))
+        if hottest:
+            lines.append("  hottest instructions:")
+            for cost in hottest:
+                lines.append(
+                    f"    {cost.block}:%{cost.index} {cost.op:<7} {cost.count}"
+                )
 
     runtime = runtime_stats(events)
     if runtime:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.lang.ast import (
     App,
     Binding,
@@ -68,7 +69,7 @@ def block_allocate_producer(
     program: Program,
     producer: str,
     new_name: str | None = None,
-    analysis: EscapeAnalysis | None = None,
+    analysis: EscapeResults | None = None,
 ) -> BlockAllocResult:
     """Apply §A.3.3 to the program's result expression.
 

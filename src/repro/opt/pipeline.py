@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.robust.errors import Degradation
 from repro.lang.ast import Program
 from repro.lang.prelude import paper_partition_sort, prelude_program
@@ -125,7 +126,7 @@ def paper_block_allocated(n: int = 100) -> BlockAllocResult:
 
 def auto_reuse(
     program: Program,
-    analysis: EscapeAnalysis | None = None,
+    analysis: EscapeResults | None = None,
     session: "AnalysisSession | None" = None,
 ) -> PipelineResult:
     """Generic driver: reuse-specialize every (function, parameter) pair the

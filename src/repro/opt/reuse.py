@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.lang.ast import (
     App,
     Binding,
@@ -139,7 +140,7 @@ def make_reuse_specialization(
     function: str,
     param_index: int,
     new_name: str | None = None,
-    analysis: EscapeAnalysis | None = None,
+    analysis: EscapeResults | None = None,
     force: bool = False,
 ) -> ReuseResult:
     """Build ``f'`` — the §6 transformation — and return a new program with

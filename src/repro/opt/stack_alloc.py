@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.results import EscapeResults
 from repro.lang.ast import App, Expr, Prim, Program, clone_program, uncurry_app
 from repro.lang.errors import OptimizationError
 
@@ -56,7 +57,7 @@ def _annotate_literal_spines(arg: Expr, max_depth: int) -> int:
 
 
 def stack_allocate_body(
-    program: Program, analysis: EscapeAnalysis | None = None
+    program: Program, analysis: EscapeResults | None = None
 ) -> StackAllocResult:
     """Apply §A.3.1 to the program's result expression.
 

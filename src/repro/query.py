@@ -44,6 +44,7 @@ from typing import Iterator
 
 from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
 from repro.escape.domain import EscapeValue
+from repro.escape.engine import default_engine, make_evaluator, validate_engine
 from repro.escape.lattice import BeChain
 from repro.escape.scc import binding_sccs
 from repro.escape.serialize import (
@@ -74,8 +75,8 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Version of the digest derivation itself.  Chained into every SCC digest
 #: together with the value-codec version, so changing either the key
 #: material or the payload representation retires all previously stored
-#: entries at once.
-DIGEST_VERSION = 1
+#: entries at once.  Version 2 added the engine name to the key material.
+DIGEST_VERSION = 2
 
 
 def scc_digest(
@@ -83,6 +84,7 @@ def scc_digest(
     d: int,
     max_iterations: int | None,
     dependencies: dict[str, str],
+    engine: str | None = None,
 ) -> str:
     """The stable provenance digest of one SCC's fixpoint.
 
@@ -91,13 +93,17 @@ def scc_digest(
     share a digest exactly when their typed bindings and the full analysis
     provenance beneath them agree, along with every analysis-relevant
     configuration knob (``d`` and the iteration cap both change abstract
-    values, so they are key material, not metadata).
+    values, so they are key material, not metadata).  The ``engine`` is key
+    material too: legacy and worklist fixpoints must agree extensionally,
+    but a stored entry's closures replay on the engine that produced them,
+    so entries from different engines never collide in the store.
     """
     return stable_digest(
         [
             "scc",
             DIGEST_VERSION,
             _CODEC_VERSION,
+            engine if engine is not None else default_engine(),
             typed_fingerprint,
             d,
             max_iterations,
@@ -164,6 +170,10 @@ class QueryStats:
     store_hits: int = 0
     store_misses: int = 0
     store_writes: int = 0
+    #: Transfer evaluations performed by the worklist engine — equal to
+    #: ``eval_steps`` when the query ran on the worklist engine (the engines
+    #: count different units under the same total), zero under legacy.
+    worklist_evals: int = 0
 
     def add(self, other: "QueryStats") -> None:
         self.solve_hits += other.solve_hits
@@ -175,6 +185,7 @@ class QueryStats:
         self.store_hits += other.store_hits
         self.store_misses += other.store_misses
         self.store_writes += other.store_writes
+        self.worklist_evals += other.worklist_evals
 
     def summary(self) -> str:
         text = (
@@ -183,6 +194,8 @@ class QueryStats:
             f"{self.iterations} fixpoint iteration(s), "
             f"{self.eval_steps} eval step(s)"
         )
+        if self.worklist_evals:
+            text += f" ({self.worklist_evals} transfer eval(s))"
         if self.store_hits or self.store_misses or self.store_writes:
             text += (
                 f", store {self.store_hits} hit(s) / {self.store_misses} miss(es)"
@@ -229,10 +242,15 @@ class AnalysisSession:
         d: int | None = None,
         max_iterations: int | None = None,
         store: "AnalysisStore | None" = None,
+        engine: str | None = None,
     ):
         self.program = program
         self.d_override = d
         self.max_iterations = max_iterations
+        #: The fixpoint engine every evaluator of this session runs on
+        #: (``None`` resolves the process default once, at construction, so
+        #: a session never mixes engines mid-life).
+        self.engine = validate_engine(engine) if engine is not None else default_engine()
         #: Optional on-disk second cache tier (read-through on SCC misses,
         #: write-behind on fresh solves).  Store hits perform no fixpoint
         #: iterations and tick no budget meter.
@@ -308,6 +326,11 @@ class AnalysisSession:
                 steps = sum(e.steps for e in self._evaluators) - self._steps_at_begin
                 current.eval_steps += steps
                 self.stats.eval_steps += steps
+                if self.engine == "worklist":
+                    # Same total, finer unit: every step of a worklist
+                    # evaluator is one transfer eval over the IR.
+                    current.worklist_evals += steps
+                    self.stats.worklist_evals += steps
                 self.stats.last_query = current
                 self._current = None
                 obs.emit(
@@ -321,11 +344,15 @@ class AnalysisSession:
                     store_hits=current.store_hits,
                     store_misses=current.store_misses,
                     store_writes=current.store_writes,
+                    worklist_evals=current.worklist_evals,
                 )
 
     def _new_evaluator(self, chain: BeChain) -> AbstractEvaluator:
-        evaluator = AbstractEvaluator(
-            chain, max_iterations=self.max_iterations, meter=self._active_meter
+        evaluator = make_evaluator(
+            self.engine,
+            chain,
+            max_iterations=self.max_iterations,
+            meter=self._active_meter,
         )
         self._evaluators.append(evaluator)
         return evaluator
@@ -336,6 +363,28 @@ class AnalysisSession:
                 continue
             for name, delta in deltas.items():
                 setattr(target, name, getattr(target, name) + delta)
+
+    def sharing_classes(self) -> dict[str, frozenset[str]]:
+        """May-share name classes from the worklist engine's union-find
+        partitions, merged across every solve this session ran.  Empty
+        under the legacy engine, which tracks no aliasing.
+
+        Merging re-unions each evaluator's classes into one fresh
+        partition, so the result stays a genuine partition (transitively
+        closed) even when different evaluators grouped overlapping names
+        differently."""
+        from repro.escape.worklist import AliasPartition
+
+        merged = AliasPartition()
+        seen = False
+        for evaluator in self._evaluators:
+            classes = getattr(evaluator, "sharing_classes", None)
+            if classes is None:
+                continue
+            for name, names in classes().items():
+                seen = True
+                merged.union(("name", name), *(("name", n) for n in names))
+        return merged.name_classes() if seen else {}
 
     # -- solving -----------------------------------------------------------
 
@@ -438,6 +487,7 @@ class AnalysisSession:
                 d,
                 self.max_iterations,
                 {name: provenance[name] for name in dep_names},
+                engine=self.engine,
             )
             closure = frozenset(scc.names).union(
                 *(transitive[name] for name in dep_names)

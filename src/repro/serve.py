@@ -220,14 +220,17 @@ class AnalysisService:
         return status, doc
 
     def _do_analyze(self, program, payload: dict) -> tuple[int, dict]:
+        from repro.escape.engine import validate_engine
         from repro.escape.report import result_dict, stats_dict
         from repro.robust.engine import HardenedAnalysis
 
+        requested = payload.get("engine")
         engine = HardenedAnalysis(
             program,
             budget=AnalysisBudget(deadline_s=self._deadline_s(payload)),
             d=payload.get("d"),
             store=self.store,
+            engine=validate_engine(requested) if requested is not None else None,
         )
         names = (
             [payload["function"]]
@@ -257,6 +260,7 @@ class AnalysisService:
             "ok": True,
             "degraded": degraded,
             "exit_code": 3 if degraded else 0,
+            "engine": engine.engine,
             "results": results,
             "stats": stats_dict(engine.session.stats),
         }

@@ -1,0 +1,74 @@
+"""Differential properties between the two fixpoint engines.
+
+The legacy AST-walking evaluator is kept as the oracle for the worklist
+engine: the least fixpoint of a monotone system does not depend on the
+order the equations are applied, so on the *same* program both engines
+must produce bit-identical per-binding lattice fingerprints — and with
+them identical escape decisions and identical ``repro check`` findings.
+Any divergence on a hypothesis-generated program is a bug in one engine.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.check import check_program
+from repro.escape.abstract import fingerprint
+from repro.escape.analyzer import EscapeAnalysis
+from repro.escape.engine import use_engine
+from repro.lang.prelude import paper_map_pair, paper_partition_sort
+from repro.types.types import arity
+
+from .strategies import list_function_program
+
+RELAXED = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _engine_facts(program, engine):
+    """(per-binding fingerprint strings, per-function decision strings)."""
+    analysis = EscapeAnalysis(program, engine=engine)
+    solved = analysis.solve(None)
+    chain = solved.evaluator.chain
+    fingerprints = {}
+    decisions = {}
+    for name in program.binding_names():
+        ty = analysis.binding_type(name, solved)
+        fingerprints[name] = str(fingerprint(solved.env[name], ty, chain))
+        if arity(analysis.scheme(name).body):
+            decisions[name] = [str(r.result) for r in analysis.global_all(name)]
+    return fingerprints, decisions
+
+
+def _check_facts(program, engine):
+    """The findings of ``repro check`` run under ``engine``."""
+    with use_engine(engine):
+        report = check_program(program)
+    return sorted(d.format() for d in report.diagnostics), report.pass_errors
+
+
+class TestEngineEquivalence:
+    @RELAXED
+    @given(case=list_function_program())
+    def test_fingerprints_and_decisions_agree(self, case):
+        program, _ = case
+        legacy = _engine_facts(program, "legacy")
+        worklist = _engine_facts(program, "worklist")
+        assert worklist == legacy
+
+    @settings(
+        max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(case=list_function_program())
+    def test_check_findings_agree(self, case):
+        program, _ = case
+        assert _check_facts(program, "worklist") == _check_facts(program, "legacy")
+
+    def test_paper_programs_agree(self):
+        for build in (paper_partition_sort, paper_map_pair):
+            legacy = _engine_facts(build(), "legacy")
+            worklist = _engine_facts(build(), "worklist")
+            assert worklist == legacy
+
+    def test_paper_check_findings_agree(self):
+        program = paper_partition_sort()
+        assert _check_facts(program, "worklist") == _check_facts(program, "legacy")

@@ -32,6 +32,7 @@ from repro.obs.profile import (
     profile_report,
     runtime_stats,
     span_profile,
+    worklist_stats,
 )
 from repro.obs.sinks import replay
 from repro.semantics.interp import Interpreter
@@ -330,6 +331,85 @@ class TestTraceReplay:
         assert "=== profile ===" in report
         assert "cache hit ratios" in report
         assert "append" in report
+
+
+class TestWorklistEvents:
+    """The worklist engine's event vocabulary, and its replay: a trace
+    alone reports the per-instruction transfer costs."""
+
+    def test_new_event_types_validate(self):
+        for payload in (
+            {"type": "ir_lower", "name": "append", "instructions": 12},
+            {"type": "worklist_push", "name": "split"},
+            {"type": "worklist_pop", "name": "split"},
+            {"type": "transfer_eval", "block": "ps", "index": 3, "op": "apply",
+             "count": 7},
+        ):
+            validate_event({"seq": 0, "ts": 0.0, **payload})
+
+    def test_new_event_types_require_their_fields(self):
+        for payload in (
+            {"type": "ir_lower", "name": "append"},
+            {"type": "worklist_push"},
+            {"type": "transfer_eval", "block": "ps", "index": 3, "op": "apply"},
+        ):
+            with pytest.raises(TraceSchemaError, match="missing field"):
+                validate_event({"seq": 0, "ts": 0.0, **payload})
+
+    @pytest.fixture
+    def worklist_trace(self):
+        ring = RingBufferSink(capacity=None)
+        analysis = EscapeAnalysis(paper_partition_sort(), engine="worklist")
+        with activate(Tracer(sinks=[ring])):
+            for name in ("append", "split", "ps"):
+                analysis.global_all(name)
+        return analysis, ring.events
+
+    def test_worklist_engine_emits_the_vocabulary(self, worklist_trace):
+        _, events = worklist_trace
+        types = {e["type"] for e in events}
+        assert {"ir_lower", "worklist_push", "worklist_pop",
+                "transfer_eval"} <= types
+        assert validate_trace(events) == len(events)
+
+    def test_worklist_stats_replay_from_the_trace_alone(self, worklist_trace):
+        analysis, events = worklist_trace
+        stats = worklist_stats(events)
+        # every binding lowered once, with its real instruction count
+        assert set(stats.lowered) >= {"append", "split", "ps"}
+        assert all(n > 0 for n in stats.lowered.values())
+        # each binding is popped at least as often as it is evaluated
+        assert stats.pops >= 3
+        assert stats.pushes >= 1  # self-recursive bindings re-queue
+        assert stats.transfer_evals > 0
+        assert stats.transfer_evals <= analysis.stats.worklist_evals
+        hottest = stats.hottest(3)
+        assert len(hottest) == 3
+        assert hottest[0].count >= hottest[1].count >= hottest[2].count
+
+    def test_cache_stats_fold_worklist_evals(self, worklist_trace):
+        analysis, events = worklist_trace
+        assert cache_stats(events)["worklist_evals"] == (
+            analysis.stats.worklist_evals
+        )
+
+    def test_profile_report_has_a_worklist_section(self, worklist_trace):
+        _, events = worklist_trace
+        report = profile_report(events)
+        assert "worklist:" in report
+        assert "hottest instructions:" in report
+        assert "transfer eval(s)" in report
+
+    def test_legacy_engine_emits_no_worklist_events(self):
+        ring = RingBufferSink()
+        analysis = EscapeAnalysis(paper_partition_sort(), engine="legacy")
+        with activate(Tracer(sinks=[ring])):
+            analysis.global_all("append")
+        types = {e["type"] for e in ring.events}
+        assert not types & {"ir_lower", "worklist_push", "worklist_pop",
+                            "transfer_eval"}
+        stats = worklist_stats(ring.events)
+        assert stats.pops == 0 and not stats.instr_costs
 
 
 class TestRuntimeEvents:
