@@ -51,7 +51,9 @@ from multiprocessing import get_context
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 
+from repro.obs import context as obs_context
 from repro.obs import tracer as obs
+from repro.obs.context import TraceContext
 from repro.robust import faults
 from repro.robust.errors import reason_for
 from repro.robust.resilience import Quarantine, RetryPolicy
@@ -89,6 +91,12 @@ class FileReport:
     quarantined: bool = False
     #: worker attempts consumed (1 = first try succeeded)
     attempts: int = 1
+    #: the file's trace identity (stamped on every event its analysis
+    #: emitted, across driver and worker processes) when tracing was on
+    trace_id: str = ""
+    #: per-file profile summary replayed from the merged trace shards
+    #: (``repro batch --profile --json``), else ``None``
+    profile: "dict | None" = None
 
     def line(self) -> str:
         if self.quarantined:
@@ -268,6 +276,8 @@ class BatchReport:
                     ),
                     **({"quarantined": True} if r.quarantined else {}),
                     **({"attempts": r.attempts} if r.attempts > 1 else {}),
+                    **({"trace_id": r.trace_id} if r.trace_id else {}),
+                    **({"profile": r.profile} if r.profile is not None else {}),
                 }
                 for r in self.reports
             ],
@@ -420,6 +430,8 @@ class _Task:
 
     index: int
     args: tuple
+    #: the file's root trace context — worker attempts run child hops of it
+    ctx: "TraceContext | None" = None
     attempts: int = 0
     errors: list = field(default_factory=list)
 
@@ -438,6 +450,7 @@ def _quarantined_report(task: _Task, reason: str) -> FileReport:
         quarantined=True,
         attempts=task.attempts,
         degradations=[f"quarantined: {reason}"],
+        trace_id=task.ctx.trace_id if task.ctx is not None else "",
     )
 
 
@@ -462,30 +475,77 @@ def _worker_faults_for(plan, launch: int):
     return crash, hang_s, child_plan
 
 
-def _worker_main(args: tuple, plan, crash: bool, hang_s: float, conn) -> None:
+def _worker_main(
+    args: tuple,
+    plan,
+    crash: bool,
+    hang_s: float,
+    conn,
+    ctx_wire: "dict | None" = None,
+    shard_path: "str | None" = None,
+) -> None:
     """Worker-process entry: activate the (stripped) fault plan, honour the
-    supervisor's crash/hang verdicts, analyze, ship the report back."""
-    try:
-        scope = faults.inject(plan) if plan is not None else contextlib.nullcontext()
-        with scope:
-            if crash:
-                os._exit(WORKER_CRASH_EXIT)
-            if hang_s:
-                time.sleep(hang_s)
-            report = analyze_one(*args)
-        conn.send(report)
-    except BaseException as error:  # answer even on unexpected worker errors
-        with contextlib.suppress(Exception):
-            conn.send(
-                FileReport(
-                    path=args[0],
-                    ok=False,
-                    error=f"{type(error).__name__}: {error}",
+    supervisor's crash/hang verdicts, analyze, ship the report back.
+
+    ``ctx_wire`` is the file's trace context carried across the Pipe — the
+    driver's hop, which the worker re-attaches so every event it emits
+    (``transfer_eval``, ``worklist_*``, ``degradation``, ...) is stamped
+    with the originating trace_id.  ``shard_path`` names the worker's own
+    JSONL shard; the driver merges shards after the run.
+    """
+    from repro.obs import tracer as tracer_mod
+    from repro.obs.flight import FlightRecorder, dump_dir_from_env
+    from repro.obs.sinks import JsonlSink
+
+    # Under a fork start method the child inherits the driver's active
+    # tracer — and with it the driver's open trace file.  Events must go
+    # to this worker's own shard, never interleave into the parent's.
+    tracer_mod._active = None
+
+    ctx = TraceContext.from_wire(ctx_wire)
+    with contextlib.ExitStack() as stack:
+        sinks: list = []
+        if shard_path is not None:
+            sink = JsonlSink.open(shard_path)
+            stack.callback(sink.close)
+            sinks.append(sink)
+        flight_dir = dump_dir_from_env()
+        if flight_dir is not None:
+            sinks.append(
+                FlightRecorder(
+                    dump_dir=flight_dir, label=f"worker-flight-{os.getpid()}"
                 )
             )
-    finally:
-        with contextlib.suppress(Exception):
-            conn.close()
+        if sinks:
+            stack.enter_context(tracer_mod.activate(tracer_mod.Tracer(sinks=sinks)))
+        if ctx is not None:
+            stack.enter_context(obs_context.attach(ctx))
+        try:
+            scope = (
+                faults.inject(plan) if plan is not None else contextlib.nullcontext()
+            )
+            with scope:
+                if crash:
+                    os._exit(WORKER_CRASH_EXIT)
+                if hang_s:
+                    time.sleep(hang_s)
+                report = analyze_one(*args)
+            if ctx is not None:
+                report.trace_id = ctx.trace_id
+            conn.send(report)
+        except BaseException as error:  # answer even on unexpected worker errors
+            with contextlib.suppress(Exception):
+                conn.send(
+                    FileReport(
+                        path=args[0],
+                        ok=False,
+                        error=f"{type(error).__name__}: {error}",
+                        trace_id=ctx.trace_id if ctx is not None else "",
+                    )
+                )
+        finally:
+            with contextlib.suppress(Exception):
+                conn.close()
 
 
 @dataclass
@@ -503,35 +563,54 @@ def _run_supervised(
     timeout_s: float | None,
     plan,
     quarantine: Quarantine,
+    contexts: "list[TraceContext] | None" = None,
+    trace_dir: "str | None" = None,
 ) -> list[FileReport]:
     """Process-per-attempt supervision: per-file preemptive timeouts,
-    crash replacement with backoff, quarantine after exhausted attempts."""
+    crash replacement with backoff, quarantine after exhausted attempts.
+
+    With ``contexts`` (one root :class:`TraceContext` per file), every
+    worker attempt runs a child hop of its file's trace, and supervisor
+    events about a file (``retry``, ``timeout``, ``worker_restart``) are
+    stamped with the same trace_id.  With ``trace_dir``, each worker
+    attempt writes its own JSONL shard (``worker-NNNN.jsonl``) there.
+    """
     ctx = get_context()
-    tasks = deque(_Task(index=i, args=args) for i, args in enumerate(work))
+    tasks = deque(
+        _Task(index=i, args=args, ctx=contexts[i] if contexts else None)
+        for i, args in enumerate(work)
+    )
     waiting: list[tuple[float, _Task]] = []  # (ready_at, task) backoff bench
     running: dict[object, _Running] = {}  # sentinel -> running attempt
     reports: dict[int, FileReport] = {}
     launches = 0
 
+    def stamped(task: _Task):
+        return obs_context.attach(task.ctx) if task.ctx is not None else (
+            contextlib.nullcontext()
+        )
+
     def fail(task: _Task, cause_kind: str, cause: str) -> None:
         task.errors.append(cause)
         if retry.should_retry(task.attempts):
             delay = retry.delay(task.path, task.attempts)
-            obs.emit(
-                "retry",
-                key=task.path,
-                attempt=task.attempts,
-                delay_s=round(delay, 9),
-                reason=cause_kind,
-            )
+            with stamped(task):
+                obs.emit(
+                    "retry",
+                    key=task.path,
+                    attempt=task.attempts,
+                    delay_s=round(delay, 9),
+                    reason=cause_kind,
+                )
             waiting.append((time.monotonic() + delay, task))
         else:
-            quarantine.add(
-                task.path,
-                attempts=task.attempts,
-                reason=cause_kind,
-                errors=task.errors,
-            )
+            with stamped(task):  # Quarantine.add emits the quarantine event
+                quarantine.add(
+                    task.path,
+                    attempts=task.attempts,
+                    reason=cause_kind,
+                    errors=task.errors,
+                )
             reports[task.index] = _quarantined_report(task, cause_kind)
 
     while tasks or waiting or running:
@@ -548,9 +627,23 @@ def _run_supervised(
             task.attempts += 1
             crash, hang_s, child_plan = _worker_faults_for(plan, launches)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
+            child_ctx = task.ctx.child() if task.ctx is not None else None
+            shard_path = (
+                os.path.join(trace_dir, f"worker-{launches:04d}.jsonl")
+                if trace_dir is not None
+                else None
+            )
             process = ctx.Process(
                 target=_worker_main,
-                args=(task.args, child_plan, crash, hang_s, child_conn),
+                args=(
+                    task.args,
+                    child_plan,
+                    crash,
+                    hang_s,
+                    child_conn,
+                    child_ctx.to_wire() if child_ctx is not None else None,
+                    shard_path,
+                ),
                 daemon=True,
             )
             process.start()
@@ -581,12 +674,13 @@ def _run_supervised(
                 reports[run.task.index] = report
             else:  # died without an answer: crashed
                 exitcode = run.process.exitcode
-                obs.emit(
-                    "worker_restart",
-                    key=run.task.path,
-                    attempt=run.task.attempts,
-                    cause="worker-crashed",
-                )
+                with stamped(run.task):
+                    obs.emit(
+                        "worker_restart",
+                        key=run.task.path,
+                        attempt=run.task.attempts,
+                        cause="worker-crashed",
+                    )
                 fail(
                     run.task,
                     "worker-crashed",
@@ -602,13 +696,14 @@ def _run_supervised(
                     run.process.kill()
                     run.process.join()
                 run.conn.close()
-                obs.emit("timeout", key=run.task.path, deadline_s=timeout_s)
-                obs.emit(
-                    "worker_restart",
-                    key=run.task.path,
-                    attempt=run.task.attempts,
-                    cause="timeout",
-                )
+                with stamped(run.task):
+                    obs.emit("timeout", key=run.task.path, deadline_s=timeout_s)
+                    obs.emit(
+                        "worker_restart",
+                        key=run.task.path,
+                        attempt=run.task.attempts,
+                        cause="timeout",
+                    )
                 fail(
                     run.task,
                     "timeout",
@@ -622,6 +717,7 @@ def _run_serial(
     retry: RetryPolicy,
     plan,
     quarantine: Quarantine,
+    contexts: "list[TraceContext] | None" = None,
 ) -> list[FileReport]:
     """In-process supervision: no preemption (there is no process to kill),
     but the same retry/backoff/quarantine state machine — injected worker
@@ -629,42 +725,54 @@ def _run_serial(
     reports: list[FileReport] = []
     scope = faults.inject(plan) if plan is not None else contextlib.nullcontext()
     with scope:
-        for args in work:
-            task = _Task(index=len(reports), args=args)
-            while True:
-                task.attempts += 1
-                try:
-                    faults.check_stage("worker")
-                    if faults.take_worker_crash():
-                        raise faults.InjectedFault(
-                            "injected worker crash", stage="worker"
-                        )
-                    report = analyze_one(*args)
-                    report.attempts = task.attempts
-                    reports.append(report)
-                    break
-                except Exception as error:
-                    cause_kind = reason_for(error)
-                    task.errors.append(f"{type(error).__name__}: {error}")
-                    if retry.should_retry(task.attempts):
-                        delay = retry.delay(task.path, task.attempts)
-                        obs.emit(
-                            "retry",
-                            key=task.path,
-                            attempt=task.attempts,
-                            delay_s=round(delay, 9),
+        for index, args in enumerate(work):
+            task = _Task(
+                index=len(reports),
+                args=args,
+                ctx=contexts[index] if contexts else None,
+            )
+            attach_scope = (
+                obs_context.attach(task.ctx)
+                if task.ctx is not None
+                else contextlib.nullcontext()
+            )
+            with attach_scope:
+                while True:
+                    task.attempts += 1
+                    try:
+                        faults.check_stage("worker")
+                        if faults.take_worker_crash():
+                            raise faults.InjectedFault(
+                                "injected worker crash", stage="worker"
+                            )
+                        report = analyze_one(*args)
+                        report.attempts = task.attempts
+                        if task.ctx is not None:
+                            report.trace_id = task.ctx.trace_id
+                        reports.append(report)
+                        break
+                    except Exception as error:
+                        cause_kind = reason_for(error)
+                        task.errors.append(f"{type(error).__name__}: {error}")
+                        if retry.should_retry(task.attempts):
+                            delay = retry.delay(task.path, task.attempts)
+                            obs.emit(
+                                "retry",
+                                key=task.path,
+                                attempt=task.attempts,
+                                delay_s=round(delay, 9),
+                                reason=cause_kind,
+                            )
+                            time.sleep(delay)
+                            continue
+                        quarantine.add(
+                            task.path,
+                            attempts=task.attempts,
                             reason=cause_kind,
+                            errors=task.errors,
                         )
-                        time.sleep(delay)
-                        continue
-                    quarantine.add(
-                        task.path,
-                        attempts=task.attempts,
-                        reason=cause_kind,
-                        errors=task.errors,
-                    )
-                    reports.append(_quarantined_report(task, cause_kind))
-                    break
+                        reports.append(_quarantined_report(task, cause_kind))
+                        break
     return reports
 
 
@@ -680,6 +788,8 @@ def run_batch(
     retry: RetryPolicy | None = None,
     fault_plan=None,
     engine: str | None = None,
+    trace: bool = False,
+    trace_dir: "str | Path | None" = None,
 ) -> BatchReport:
     """Analyze the corpus under supervision, ``jobs``-wide.
 
@@ -687,6 +797,11 @@ def run_batch(
     processes), which is also the fault-injection-friendly path; a
     ``timeout_s`` forces worker processes even single-file-at-a-time,
     because preemption needs something to kill.
+
+    With ``trace`` (or a ``trace_dir``), every file gets its own root
+    :class:`TraceContext`; driver- and worker-side events about a file
+    are stamped with its trace_id, and supervised worker attempts write
+    per-process JSONL shards into ``trace_dir`` for the driver to merge.
     """
     from repro.escape.engine import default_engine, validate_engine
 
@@ -700,12 +815,25 @@ def run_batch(
     work = [
         (str(p), root, d, max_iterations, check, deadline_ms, engine) for p in inputs
     ]
+    shard_dir = str(trace_dir) if trace_dir is not None else None
+    contexts = (
+        [TraceContext.mint() for _ in work] if (trace or shard_dir) else None
+    )
+    if shard_dir is not None:
+        Path(shard_dir).mkdir(parents=True, exist_ok=True)
     if not work:
         reports: list[FileReport] = []
     elif jobs <= 1 and timeout_s is None:
-        reports = _run_serial(work, retry, fault_plan, quarantine)
+        reports = _run_serial(work, retry, fault_plan, quarantine, contexts)
     else:
         reports = _run_supervised(
-            work, max(1, jobs), retry, timeout_s, fault_plan, quarantine
+            work,
+            max(1, jobs),
+            retry,
+            timeout_s,
+            fault_plan,
+            quarantine,
+            contexts,
+            shard_dir,
         )
     return BatchReport(reports=reports, jobs=max(1, jobs), store_root=root)

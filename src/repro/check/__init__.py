@@ -119,6 +119,10 @@ def check_program(
                     "rule": diagnostic.rule.id,
                     "severity": diagnostic.severity.value,
                     "pass": name,
+                    # Provenance extras for `repro explain`.
+                    "message": diagnostic.message,
+                    "span": str(diagnostic.span),
+                    "context": diagnostic.context,
                 },
             )
     return report

@@ -9,7 +9,13 @@ Commands
 * ``observe``  — ground-truth escapement of one call on the instrumented heap
 * ``spines``   — the Figure 1 spine decomposition of a list literal
 * ``optimize`` — apply an optimization and show the transformed program
-* ``trace``    — run the analysis under the tracer and emit the JSONL trace
+* ``trace``    — run the analysis under the tracer and emit the JSONL trace;
+  also ``trace merge`` (combine per-process shards into one causally
+  ordered trace) and ``trace validate`` (schema-check trace files,
+  nonzero exit on an invalid one)
+* ``explain``  — reconstruct the causal chain behind one binding's result
+  from a trace alone: store hit/miss, worklist activity, fixpoint ascent,
+  final fingerprint, optimization decisions, audit rules fired
 * ``batch``    — analyze a corpus of ``.nml`` files in parallel under the
   resilience supervisor (per-file timeouts, crash restarts, quarantine),
   sharing solved SCC fixpoints through a persistent on-disk store
@@ -23,10 +29,17 @@ Programs are read from a file path or, with ``-e``, from the argument
 itself.  Observer arguments are Python literals (``'[1, 2, 3]'``) or nml
 source prefixed with ``@`` for function arguments (``@pair``).
 
-Observability: ``run``/``report``/``analyze``/``optimize`` accept
-``--trace FILE`` (write a JSONL event trace) and ``--profile`` (print a
-profile report to stderr when the command finishes); ``report``,
-``analyze`` and ``observe`` accept ``--json`` for machine-readable output.
+Observability: ``run``/``report``/``analyze``/``optimize``/``batch``
+accept ``--trace FILE`` (write a JSONL event trace; for ``batch`` the
+per-worker shards are merged into one causally ordered trace) and
+``--profile`` (print a profile report to stderr when the command
+finishes); ``report``, ``analyze`` and ``observe`` accept ``--json`` for
+machine-readable output.
+
+Every command runs with the **flight recorder** on: a bounded in-memory
+ring of recent events that auto-dumps a validated black-box trace on
+degradation, quarantine, worker crash, or checker error whenever a dump
+directory is configured (``--flight-dir`` or ``REPRO_FLIGHT_DIR``).
 """
 
 from __future__ import annotations
@@ -132,14 +145,17 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
 def _obs_scope(args: argparse.Namespace):
     """Activate a tracer around a command when ``--trace``/``--profile``
     asked for one.  Commands without those flags pass through untouched
-    (`getattr` defaults), as does ``trace``, which owns its tracer."""
+    (`getattr` defaults), as do ``trace`` and ``batch``, which own their
+    tracers (``batch`` must merge per-worker shards after the run)."""
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if (not trace_path and not profile) or getattr(args, "handler", None) is _cmd_trace:
+    owns_tracer = getattr(args, "handler", None) in (_cmd_trace, _cmd_batch)
+    if (not trace_path and not profile) or owns_tracer:
         yield
         return
 
     from repro.obs import JsonlSink, RingBufferSink, Tracer, activate
+    from repro.obs.flight import recorder
     from repro.obs.profile import profile_report
 
     sinks: list = []
@@ -149,6 +165,9 @@ def _obs_scope(args: argparse.Namespace):
     ring = RingBufferSink() if profile else None
     if ring is not None:
         sinks.append(ring)
+    flight = recorder()
+    if flight is not None:
+        sinks.append(flight)
     try:
         with activate(Tracer(sinks=sinks)):
             yield
@@ -161,6 +180,21 @@ def _obs_scope(args: argparse.Namespace):
                 end="",
                 file=sys.stderr,
             )
+
+
+@contextmanager
+def _flight_scope(args: argparse.Namespace):
+    """The always-on flight recorder: installed process-wide and kept
+    recording for the whole command via a tracer of its own.  Inner
+    scopes (``_obs_scope``, ``trace``, ``batch``) activate richer tracers
+    that *include* the recorder, so the black box never goes dark."""
+    from repro.obs import Tracer, activate
+    from repro.obs.flight import FlightRecorder, dump_dir_from_env, install
+
+    dump_dir = getattr(args, "flight_dir", None) or dump_dir_from_env()
+    flight = install(FlightRecorder(dump_dir=dump_dir))
+    with activate(Tracer(sinks=[flight])):
+        yield flight
 
 
 def _budget_from(args: argparse.Namespace):
@@ -412,19 +446,86 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_merge(args: argparse.Namespace) -> int:
+    """``repro trace merge SHARD... --out FILE``: combine per-process
+    JSONL shards into one schema-valid, causally ordered trace."""
+    from repro.obs.context import merge_trace_files
+    from repro.obs.events import TraceSchemaError, validate_trace_file
+
+    shards = [Path(p) for p in args.extra]
+    if not shards:
+        print("error: trace merge needs at least one shard file", file=sys.stderr)
+        return EXIT_ERROR
+    if not args.out:
+        print("error: trace merge requires --out FILE", file=sys.stderr)
+        return EXIT_ERROR
+    count = merge_trace_files(shards, args.out)
+    try:
+        validate_trace_file(args.out)
+    except TraceSchemaError as error:  # pragma: no cover - merge bug guard
+        print(f"error: merged trace is invalid: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    print(
+        f"merged {len(shards)} shard(s) into {args.out} ({count} event(s))",
+        file=sys.stderr,
+    )
+    return EXIT_OK
+
+
+def _trace_validate(args: argparse.Namespace) -> int:
+    """``repro trace validate FILE...``: schema-check trace files; exit 1
+    naming the offending event index and source line on the first bad
+    one."""
+    from repro.obs.events import TraceSchemaError, validate_trace_file
+
+    if not args.extra:
+        print("error: trace validate needs at least one file", file=sys.stderr)
+        return EXIT_ERROR
+    for path in args.extra:
+        try:
+            count = validate_trace_file(path)
+        except TraceSchemaError as error:
+            print(f"{path}: invalid trace: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            return EXIT_ERROR
+        print(f"{path}: {count} event(s) valid")
+    return EXIT_OK
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run the full analysis (and optionally the program) under the tracer
-    and emit the JSONL event trace — to ``--out`` or stdout."""
+    and emit the JSONL event trace — to ``--out`` or stdout.  The
+    ``merge`` and ``validate`` subactions operate on existing trace files
+    instead (``repro trace merge SHARD... --out FILE``, ``repro trace
+    validate FILE...``)."""
     from repro.escape.report import global_table
     from repro.obs import JsonlSink, RingBufferSink, Tracer, activate
     from repro.obs.profile import profile_report
 
+    if not args.expr:
+        if args.program == "merge":
+            return _trace_merge(args)
+        if args.program == "validate":
+            return _trace_validate(args)
+    if args.extra:
+        print(
+            f"error: unexpected arguments: {' '.join(args.extra)}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
     program = _load_program(args)
     ring = RingBufferSink()
     sinks: list = [ring]
     jsonl = JsonlSink.open(args.out) if args.out else None
     if jsonl is not None:
         sinks.append(jsonl)
+    from repro.obs.flight import recorder
+
+    flight = recorder()
+    if flight is not None:
+        sinks.append(flight)
     try:
         with activate(Tracer(sinks=sinks)):
             global_table(program)
@@ -442,6 +543,36 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.profile:
         print(profile_report(ring.events, total=ring.total), end="", file=sys.stderr)
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct the causal chain behind one binding's result from a
+    trace file alone (no re-analysis)."""
+    from repro.obs.events import TraceSchemaError, validate_trace_file
+    from repro.obs.explain import explain_binding, format_explanation, known_bindings
+    from repro.obs.sinks import read_trace
+
+    try:
+        validate_trace_file(args.trace_file)
+    except TraceSchemaError as error:
+        print(f"{args.trace_file}: invalid trace: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    events = list(read_trace(args.trace_file))
+    explanation = explain_binding(events, args.binding)
+    if args.json:
+        print(json.dumps(explanation.to_json(), indent=2))
+    else:
+        print(format_explanation(explanation), end="")
+    if not explanation.found:
+        names = known_bindings(events)
+        if names:
+            preview = ", ".join(names[:8])
+            print(f"hint: this trace can explain: {preview}", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
 
 
 def _store_from(args: argparse.Namespace):
@@ -481,8 +612,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             base_delay_s=args.backoff_ms / 1000.0,
             seed=args.seed,
         )
-    report = run_batch(
-        args.paths,
+    run_kwargs = dict(
         store_root=store_root,
         jobs=args.jobs,
         d=args.d,
@@ -493,6 +623,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         retry=retry,
         engine=args.engine,
     )
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        report = run_batch(args.paths, **run_kwargs)
+    else:
+        report = _batch_traced(args, run_kwargs, trace_path, profile)
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -507,6 +643,58 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # The documented taxonomy, derived in one place (BatchReport.exit_code):
     # hard failure 1 > checker findings 4 > degraded/quarantined 3 > clean 0.
     return report.exit_code()
+
+
+def _batch_traced(
+    args: argparse.Namespace, run_kwargs: dict, trace_path, profile: bool
+):
+    """Run the batch under a driver tracer with a per-worker shard
+    directory, then merge driver + worker shards into one causally
+    ordered trace (written to ``--trace``; profiled with ``--profile``).
+    Per-file profile summaries land on each report via its trace_id."""
+    import tempfile
+
+    from repro.batch import run_batch
+    from repro.obs import JsonlSink, Tracer, activate
+    from repro.obs.context import merge_traces
+    from repro.obs.flight import recorder
+    from repro.obs.profile import cache_stats, profile_report
+    from repro.obs.sinks import read_trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-batch-trace-") as tmp:
+        driver_shard = Path(tmp) / "driver-0000.jsonl"
+        jsonl = JsonlSink.open(driver_shard)
+        sinks: list = [jsonl]
+        flight = recorder()
+        if flight is not None:
+            sinks.append(flight)
+        try:
+            with activate(Tracer(sinks=sinks)):
+                report = run_batch(args.paths, trace=True, trace_dir=tmp, **run_kwargs)
+        finally:
+            jsonl.close()
+        shard_paths = [driver_shard] + sorted(Path(tmp).glob("worker-*.jsonl"))
+        shards = [list(read_trace(p)) for p in shard_paths]
+        merged = merge_traces(shards, [p.stem for p in shard_paths])
+
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            for event in merged:
+                handle.write(json.dumps(event, default=str) + "\n")
+        print(f"wrote {len(merged)} event(s) to {trace_path}", file=sys.stderr)
+    if profile:
+        by_trace: dict[str, list] = {}
+        for event in merged:
+            trace_id = event.get("trace_id")
+            if trace_id:
+                by_trace.setdefault(trace_id, []).append(event)
+        for file_report in report.reports:
+            if file_report.trace_id:
+                file_report.profile = cache_stats(
+                    by_trace.get(file_report.trace_id, [])
+                )
+        print(profile_report(merged, total=len(merged)), end="", file=sys.stderr)
+    return report
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -586,6 +774,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Escape Analysis on Lists (Park & Goldberg, PLDI 1992)",
         epilog=_EXIT_CODE_HELP,
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        help="where the always-on flight recorder auto-dumps its black box "
+        "on degradation, quarantine, worker crash, or checker error "
+        "(default: $REPRO_FLIGHT_DIR; no dumps when neither is set)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -677,9 +872,16 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.set_defaults(handler=_cmd_optimize)
 
     trace_parser = commands.add_parser(
-        "trace", help="emit a JSONL event trace of the analysis"
+        "trace",
+        help="emit a JSONL event trace of the analysis; also "
+        "'trace merge SHARD... --out FILE' and 'trace validate FILE...'",
     )
     _add_program_arg(trace_parser)
+    trace_parser.add_argument(
+        "extra",
+        nargs="*",
+        help="for 'merge': shard files; for 'validate': trace files",
+    )
     trace_parser.add_argument("--out", metavar="FILE", help="write here instead of stdout")
     trace_parser.add_argument(
         "--run", action="store_true", help="also execute the program under the tracer"
@@ -751,7 +953,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="jitter seed (default: 0)"
     )
     _add_engine_arg(batch_parser)
+    _add_obs_args(batch_parser)
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    explain_parser = commands.add_parser(
+        "explain",
+        help="reconstruct the causal chain behind one binding's result "
+        "from a trace file",
+    )
+    # dest must not be "trace": _obs_scope would read the positional as
+    # the --trace output flag and truncate the input file.
+    explain_parser.add_argument(
+        "trace_file",
+        metavar="TRACE",
+        help="a JSONL trace: an export, a merged batch trace, or "
+        "a flight-recorder dump",
+    )
+    explain_parser.add_argument(
+        "--binding", "-b", required=True, metavar="NAME",
+        help="the binding (function) to explain",
+    )
+    explain_parser.add_argument(
+        "--json", action="store_true", help="emit the schema-stable JSON form"
+    )
+    explain_parser.set_defaults(handler=_cmd_explain)
 
     serve_parser = commands.add_parser(
         "serve",
@@ -838,8 +1063,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _engine_scope(args), _obs_scope(args):
-            return args.handler(args)
+        with _flight_scope(args) as flight, _engine_scope(args), _obs_scope(args):
+            code = args.handler(args)
+            if (
+                code in (EXIT_DEGRADED, EXIT_FINDINGS)
+                and flight.dump_dir is not None
+                and not flight.dumps
+            ):
+                # Belt and braces: some degraded/finding exits surface
+                # only in the code (no trigger event reached this
+                # process) — dump the black box anyway.
+                flight.dump(
+                    flight.dump_dir / f"flight-exit-{code}.jsonl",
+                    reason=f"exit-{code}",
+                )
+            return code
     except NmlError as error:
         print(f"error: {error.format()}", file=sys.stderr)
         return 1

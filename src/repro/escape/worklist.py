@@ -175,7 +175,13 @@ class WorklistEvaluator(AbstractEvaluator):
         if hit is not None:
             return hit[1]
         block = lower_expr(binding.expr, label=binding.name)
-        obs.emit("ir_lower", name=binding.name, instructions=block.size())
+        obs.emit(
+            "ir_lower",
+            name=binding.name,
+            instructions=block.size(),
+            # Definition site, so `repro explain` can point at the source.
+            span=str(binding.span),
+        )
         self._blocks[id(binding.expr)] = (binding.expr, block)
         return block
 

@@ -30,8 +30,11 @@ an exact ``total``; pass ``capacity=None`` only when a run is known to be
 short, as an unbounded buffer grows with the trace.
 """
 
-from repro.obs import events, metrics, profile, sinks
-from repro.obs.events import validate_event, validate_trace
+from repro.obs import context, events, explain, flight, metrics, profile, sinks
+from repro.obs.context import TraceContext, attach, current, merge_traces
+from repro.obs.events import validate_event, validate_trace, validate_trace_file
+from repro.obs.explain import Explanation, explain_binding, format_explanation
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import JsonlSink, MetricsSink, RingBufferSink, read_trace
 from repro.obs.tracer import Span, Tracer, activate, emit, span, tracing
@@ -43,6 +46,14 @@ __all__ = [
     "emit",
     "span",
     "tracing",
+    "TraceContext",
+    "attach",
+    "current",
+    "merge_traces",
+    "FlightRecorder",
+    "Explanation",
+    "explain_binding",
+    "format_explanation",
     "MetricsRegistry",
     "JsonlSink",
     "MetricsSink",
@@ -50,7 +61,11 @@ __all__ = [
     "read_trace",
     "validate_event",
     "validate_trace",
+    "validate_trace_file",
+    "context",
     "events",
+    "explain",
+    "flight",
     "metrics",
     "profile",
     "sinks",

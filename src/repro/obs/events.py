@@ -49,6 +49,8 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     # structure
     "span_start": ("id", "name"),
     "span_end": ("id", "name", "dur_s", "self_s"),
+    # flight recorder (the synthetic header of a black-box dump)
+    "flight_dump": ("reason", "captured", "total"),
     # query engine / fixpoint
     "solve": ("cache",),
     "scc_solve_start": ("names",),
@@ -135,18 +137,52 @@ def validate_event(event: dict) -> None:
         )
 
 
-def validate_trace(events: Iterable[dict]) -> int:
+def validate_trace(events: Iterable[dict], lines: "Iterable[int] | None" = None) -> int:
     """Validate a whole event stream (schema + monotonic ``seq``); returns
-    the number of events checked."""
+    the number of events checked.
+
+    A failure names the offending event's index in the stream — and its
+    source line when ``lines`` supplies one per event (as
+    :func:`validate_trace_file` does for JSONL files) — so a broken trace
+    points at the bad record instead of raising a bare schema error.
+    """
     count = 0
     previous_seq = -1
-    for event in events:
-        validate_event(event)
+    line_of = iter(lines) if lines is not None else None
+    for index, event in enumerate(events):
+        line = next(line_of, None) if line_of is not None else None
+        where = f"event {index}" + (f" (line {line})" if line is not None else "")
+        try:
+            validate_event(event)
+        except TraceSchemaError as error:
+            raise TraceSchemaError(f"{where}: {error}") from None
         seq = event["seq"]
         if not isinstance(seq, int) or seq <= previous_seq:
             raise TraceSchemaError(
-                f"seq must increase monotonically: {seq!r} after {previous_seq}"
+                f"{where}: seq must increase monotonically: "
+                f"{seq!r} after {previous_seq}"
             )
         previous_seq = seq
         count += 1
     return count
+
+
+def validate_trace_file(path) -> int:
+    """Validate a JSONL trace file, reporting the offending event's index
+    *and* source line on failure; returns the number of events checked."""
+    import json
+
+    events: list[dict] = []
+    lines: list[int] = []
+    with open(path, encoding="utf-8") as stream:
+        for lineno, text in enumerate(stream, start=1):
+            if not text.strip():
+                continue
+            try:
+                events.append(json.loads(text))
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(
+                    f"event {len(events)} (line {lineno}): not valid JSON: {error}"
+                ) from None
+            lines.append(lineno)
+    return validate_trace(events, lines)

@@ -1,0 +1,348 @@
+"""``repro explain`` — the causal chain behind one binding's result.
+
+Given a trace (a single-process export, a merged multi-shard trace, or a
+flight-recorder dump) and a binding name, :func:`explain_binding`
+reconstructs — from the events alone, no re-analysis — the derivation
+the paper frames every result as:
+
+1. **resolution** — how the binding's SCC was obtained: memory-cache
+   hit, store hit (with digest), or a fresh fixpoint solve;
+2. **lowering** — the IR block it was lowered to (instruction count,
+   definition span);
+3. **worklist activity** — pushes/pops of the binding and the transfer
+   evaluations charged to its block, hottest instructions first;
+4. **fixpoint ascent** — the per-iteration lattice values
+   (``f⁽¹⁾ → f⁽²⁾ → ...``), convergence/widening, and the **final
+   fingerprint** (the last value in the ascent);
+5. **degradations** — every budget fallback toward W^τ that occurred
+   in the binding's trace, with reason and stage;
+6. **decisions** — the optimization decisions taken for the binding
+   (kind, parameter, justification) and the transforms applied/skipped;
+7. **audit** — the checker rules that fired naming the binding, with
+   severity and source span.
+
+The same structure renders as human-readable text
+(:func:`format_explanation`) and as schema-stable JSON
+(:meth:`Explanation.to_json` — fixed key set, deterministic ordering),
+which is what the CI ``explain-smoke`` job asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .profile import iteration_table
+
+#: Every key ``Explanation.to_json`` emits, in order — the stable schema.
+EXPLANATION_KEYS = (
+    "binding",
+    "found",
+    "trace_ids",
+    "resolution",
+    "lowering",
+    "worklist",
+    "fixpoint",
+    "degradations",
+    "decisions",
+    "transforms",
+    "audit",
+)
+
+
+@dataclass
+class Explanation:
+    """The reconstructed causal chain for one binding."""
+
+    binding: str
+    found: bool = False
+    #: Trace ids of the events that mention the binding (usually one).
+    trace_ids: list[str] = field(default_factory=list)
+    #: How the binding's SCC was resolved, in event order: each entry has
+    #: ``via`` ("memory" | "store" | "solve"), plus digest/iterations.
+    resolution: list[dict] = field(default_factory=list)
+    #: IR lowering: instruction count and definition span, when lowered.
+    lowering: dict | None = None
+    #: Worklist pushes/pops of the binding and its block's transfer evals.
+    worklist: dict = field(default_factory=dict)
+    #: The fixpoint ascent: values, converged/widened, final fingerprint.
+    fixpoint: dict | None = None
+    #: Budget degradations in the binding's trace (reason, stage).
+    degradations: list[dict] = field(default_factory=list)
+    #: Optimization decisions naming the binding.
+    decisions: list[dict] = field(default_factory=list)
+    #: Transforms applied/skipped (program-wide; the plan is per-program).
+    transforms: list[dict] = field(default_factory=list)
+    #: Checker rules fired naming the binding.
+    audit: list[dict] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """The schema-stable JSON form: every key in
+        :data:`EXPLANATION_KEYS`, always present, deterministic order."""
+        return {
+            "binding": self.binding,
+            "found": self.found,
+            "trace_ids": self.trace_ids,
+            "resolution": self.resolution,
+            "lowering": self.lowering,
+            "worklist": self.worklist,
+            "fixpoint": self.fixpoint,
+            "degradations": self.degradations,
+            "decisions": self.decisions,
+            "transforms": self.transforms,
+            "audit": self.audit,
+        }
+
+
+def _names_match(event: dict, binding: str) -> bool:
+    names = event.get("names")
+    return isinstance(names, (list, tuple)) and binding in names
+
+
+def _mentions(text, binding: str) -> bool:
+    return isinstance(text, str) and binding in text
+
+
+def explain_binding(events: Iterable[dict], binding: str) -> Explanation:
+    """Reconstruct the causal chain for ``binding`` from a trace alone."""
+    events = list(events)
+    out = Explanation(binding=binding)
+
+    table = iteration_table(events)
+    pushes = pops = 0
+    instr_costs: dict[tuple, dict] = {}
+    trace_ids: list[str] = []
+
+    def note_trace(event: dict) -> None:
+        trace_id = event.get("trace_id")
+        if trace_id and trace_id not in trace_ids:
+            trace_ids.append(trace_id)
+
+    for event in events:
+        etype = event.get("type")
+        if etype in ("store_hit", "store_miss") and _names_match(event, binding):
+            out.found = True
+            note_trace(event)
+            out.resolution.append(
+                {
+                    "via": "store",
+                    "outcome": "hit" if etype == "store_hit" else "miss",
+                    "digest": event.get("digest"),
+                }
+            )
+        elif etype == "scc_solve_finish" and _names_match(event, binding):
+            out.found = True
+            note_trace(event)
+            if event.get("cache") == "hit":
+                # A store hit directly before this finish means the hit
+                # came from disk; otherwise it was the in-memory tier.
+                prior = out.resolution[-1] if out.resolution else None
+                if not (prior and prior["via"] == "store" and prior["outcome"] == "hit"):
+                    out.resolution.append({"via": "memory", "outcome": "hit"})
+            else:
+                out.resolution.append(
+                    {"via": "solve", "iterations": event.get("iterations", 0)}
+                )
+        elif etype == "ir_lower" and event.get("name") == binding:
+            out.found = True
+            note_trace(event)
+            out.lowering = {
+                "instructions": event.get("instructions"),
+                "span": event.get("span"),
+            }
+        elif etype == "worklist_push" and event.get("name") == binding:
+            out.found = True
+            note_trace(event)
+            pushes += 1
+        elif etype == "worklist_pop" and event.get("name") == binding:
+            out.found = True
+            note_trace(event)
+            pops += 1
+        elif etype == "transfer_eval" and event.get("block") == binding:
+            out.found = True
+            note_trace(event)
+            key = (event["block"], event["index"])
+            cost = instr_costs.setdefault(
+                key, {"index": event["index"], "op": event.get("op"), "count": 0}
+            )
+            cost["count"] += event.get("count", 0)
+        elif etype == "degradation":
+            note_trace(event)
+            if event.get("function") == binding:
+                out.found = True
+            out.degradations.append(
+                {
+                    "reason": event.get("reason"),
+                    "stage": event.get("stage"),
+                    "function": event.get("function"),
+                    "trace_id": event.get("trace_id"),
+                }
+            )
+        elif etype == "decision" and event.get("function") == binding:
+            out.found = True
+            note_trace(event)
+            out.decisions.append(
+                {
+                    "kind": event.get("kind"),
+                    "param": event.get("param"),
+                    "justification": event.get("justification"),
+                }
+            )
+        elif etype in ("transform_applied", "transform_skipped"):
+            detail = event.get("detail") or event.get("reason") or ""
+            entry = {
+                "kind": event.get("kind"),
+                "outcome": "applied" if etype == "transform_applied" else "skipped",
+                "detail": detail,
+            }
+            if _mentions(detail, binding):
+                out.found = True
+                note_trace(event)
+                out.transforms.append(entry)
+        elif etype == "check_rule_fired":
+            message = event.get("message", "")
+            context = event.get("context", "")
+            if _mentions(message, binding) or _mentions(context, binding):
+                out.found = True
+                note_trace(event)
+                out.audit.append(
+                    {
+                        "rule": event.get("rule"),
+                        "severity": event.get("severity"),
+                        "pass": event.get("pass"),
+                        "message": message,
+                        "span": event.get("span"),
+                    }
+                )
+
+    out.worklist = {
+        "pushes": pushes,
+        "pops": pops,
+        "transfer_evals": sum(c["count"] for c in instr_costs.values()),
+        "instructions": sorted(
+            instr_costs.values(), key=lambda c: (-c["count"], c["index"])
+        ),
+    }
+
+    row = table.get(binding)
+    if row is not None:
+        out.found = True
+        out.fixpoint = {
+            "values": list(row.values),
+            "iterations": row.iterations,
+            "converged": row.converged,
+            "widened": row.widened,
+            "final": row.values[-1] if row.values else None,
+        }
+
+    out.trace_ids = trace_ids
+    return out
+
+
+def format_explanation(explanation: Explanation) -> str:
+    """The human-readable rendering of one causal chain."""
+    b = explanation.binding
+    lines = [f"=== explain: {b} ==="]
+    if not explanation.found:
+        lines.append(f"no events mention binding {b!r} in this trace")
+        return "\n".join(lines) + "\n"
+
+    if explanation.trace_ids:
+        lines.append("trace(s): " + ", ".join(explanation.trace_ids))
+
+    if explanation.resolution:
+        lines.append("resolution:")
+        for step in explanation.resolution:
+            if step["via"] == "store":
+                digest = step.get("digest") or "?"
+                lines.append(f"  store {step['outcome']}: {str(digest)[:16]}")
+            elif step["via"] == "memory":
+                lines.append("  memory-cache hit (no re-solve)")
+            else:
+                lines.append(
+                    f"  fresh solve: {step.get('iterations', 0)} fixpoint "
+                    "iteration(s)"
+                )
+
+    if explanation.lowering:
+        span = explanation.lowering.get("span")
+        at = f" at {span}" if span and span != "0:0-0" else ""
+        lines.append(
+            f"lowered to IR: {explanation.lowering['instructions']} "
+            f"instruction(s){at}"
+        )
+
+    wl = explanation.worklist
+    if wl.get("pops") or wl.get("transfer_evals"):
+        lines.append(
+            f"worklist: {wl['pushes']} push(es), {wl['pops']} pop(s), "
+            f"{wl['transfer_evals']} transfer eval(s)"
+        )
+        for cost in wl["instructions"][:5]:
+            lines.append(f"  %{cost['index']} {cost['op']:<7} ×{cost['count']}")
+
+    if explanation.fixpoint:
+        fp = explanation.fixpoint
+        status = "widened" if fp["widened"] else (
+            "converged" if fp["converged"] else "incomplete"
+        )
+        lines.append(
+            f"fixpoint ascent ({fp['iterations']} iteration(s), {status}):"
+        )
+        lines.append("  " + " → ".join(fp["values"]))
+        lines.append(f"final fingerprint: {fp['final']}")
+
+    if explanation.degradations:
+        lines.append("degradations in this trace:")
+        for entry in explanation.degradations:
+            who = f" [{entry['function']}]" if entry.get("function") else ""
+            lines.append(f"  {entry['reason']} (stage: {entry['stage']}){who}")
+
+    if explanation.decisions:
+        lines.append("optimization decisions:")
+        for decision in explanation.decisions:
+            why = decision.get("justification")
+            suffix = f" — {why}" if why else ""
+            lines.append(
+                f"  {decision['kind']} on param {decision['param']}{suffix}"
+            )
+
+    if explanation.transforms:
+        lines.append("transforms:")
+        for transform in explanation.transforms:
+            lines.append(
+                f"  {transform['kind']} {transform['outcome']}: "
+                f"{transform['detail']}"
+            )
+
+    if explanation.audit:
+        lines.append("audit rules fired:")
+        for finding in explanation.audit:
+            span = finding.get("span")
+            at = f" at {span}" if span and span != "0:0-0" else ""
+            lines.append(
+                f"  {finding['rule']} [{finding['severity']}]{at}: "
+                f"{finding['message']}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def known_bindings(events: Iterable[dict]) -> list[str]:
+    """Binding names a trace can explain (for the CLI's error message)."""
+    names: set[str] = set()
+    for event in events:
+        etype = event.get("type")
+        if etype in ("ir_lower", "worklist_push", "worklist_pop"):
+            name = event.get("name")
+            if isinstance(name, str) and not name.startswith("<"):
+                names.add(name)
+        elif etype == "fixpoint_iteration":
+            values = event.get("values")
+            if isinstance(values, dict):
+                names.update(values)
+        elif etype in ("scc_solve_finish", "scc_solve_start"):
+            for name in event.get("names") or ():
+                if isinstance(name, str):
+                    names.add(name)
+    return sorted(names)

@@ -36,31 +36,73 @@ def format_key(key: MetricKey) -> str:
     return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
 
 
+#: Size of the per-histogram sample reservoir backing the percentile
+#: estimates.  512 doubles is ~4 KiB per histogram — bounded memory on a
+#: long-lived daemon — while quantiles over the window stay exact until
+#: the reservoir wraps.
+RESERVOIR_SIZE = 512
+
+#: The percentiles every histogram exports (``/metrics`` latency SLOs).
+PERCENTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+
 @dataclass
 class Histogram:
-    """A bounded summary of observed values (count/sum/min/max)."""
+    """A bounded summary of observed values (count/sum/min/max plus
+    p50/p95/p99 from a fixed-size sample reservoir).
+
+    The reservoir overwrites deterministically at ``count % size`` — no
+    randomness, so two runs observing the same sequence report the same
+    percentiles — keeping a sliding sample of recent observations whose
+    quantiles approximate the stream's once it wraps.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = field(default=float("inf"))
     maximum: float = field(default=float("-inf"))
+    samples: list[float] = field(default_factory=list)
+    reservoir_size: int = RESERVOIR_SIZE
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
+        if len(self.samples) < self.reservoir_size:
+            self.samples.append(value)
+        else:
+            # Round-robin overwrite: observation N lands in slot
+            # (N-1) % size, a deterministic sliding window.
+            self.samples[(self.count - 1) % self.reservoir_size] = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sampled window (nearest-rank,
+        linear interpolation between adjacent samples)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
     def summary(self) -> dict[str, float]:
         if self.count == 0:
             return {"count": 0, "sum": 0.0}
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.total / self.count,
         }
+        for q, label in PERCENTILES:
+            out[label] = self.percentile(q)
+        return out
 
 
 class MetricsRegistry:
@@ -100,17 +142,20 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, float]:
         """Every metric under its ``name{label=value,...}`` key.  Histograms
-        expand to ``name.count`` / ``name.sum`` / ... components."""
+        expand to ``name.count`` / ``name.sum`` / ... components.  Keys are
+        globally sorted — counters, gauges, and histogram components
+        interleaved in one lexicographic order — so two scrapes of the same
+        state are byte-identical and diffable in CI artifacts."""
         out: dict[str, float] = {}
-        for key, value in sorted(self._counters.items()):
+        for key, value in self._counters.items():
             out[format_key(key)] = value
-        for key, value in sorted(self._gauges.items()):
+        for key, value in self._gauges.items():
             out[format_key(key)] = value
-        for key, histogram in sorted(self._histograms.items()):
+        for key, histogram in self._histograms.items():
             name, labels = key
             for part, value in histogram.summary().items():
                 out[format_key((f"{name}.{part}", labels))] = value
-        return out
+        return dict(sorted(out.items()))
 
     # -- legacy-pot adapters ----------------------------------------------
 

@@ -23,6 +23,8 @@ import time
 from contextlib import contextmanager, nullcontext
 from typing import Iterator
 
+from . import context as _context
+
 
 class Span:
     """One open span on the tracer's stack."""
@@ -67,6 +69,10 @@ class Tracer:
         }
         if self._stack:
             event["span"] = self._stack[-1].id
+        ctx = _context.current()
+        if ctx is not None:
+            event["trace_id"] = ctx.trace_id
+            event["hop"] = ctx.hop
         event.update(fields)
         self._seq += 1
         for sink in self.sinks:

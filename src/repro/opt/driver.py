@@ -200,6 +200,7 @@ def _plan_optimizations(
             kind=decision.kind,
             function=decision.function,
             param=decision.param_index,
+            justification=decision.justification,
         )
     return plan
 

@@ -203,8 +203,14 @@ class HardenedAnalysis:
             spent=meter.spent(),
             error=error,
         )
+        # Name the degraded query so `repro explain` can tie the fallback
+        # to its binding even when the solver never got far enough to
+        # emit any solve events of its own.
         obs.emit(
-            "degradation", reason=degradation.reason, stage=degradation.stage
+            "degradation",
+            reason=degradation.reason,
+            stage=degradation.stage,
+            function=function,
         )
         self._charge(meter)
         return [

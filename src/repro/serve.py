@@ -16,8 +16,16 @@ Endpoints (all JSON):
   checker's diagnostics and counts;
 * ``POST /optimize`` — ``{"source": ..., "validate"?, "deadline_ms"?}`` →
   the hardened optimization pipeline's program + degradation report;
-* ``GET /metrics``   — the registry as ``name{label=value} value`` lines;
-* ``GET /healthz``   — liveness.
+* ``GET /metrics``   — the registry as ``name{label=value} value`` lines
+  (histograms include p50/p95/p99, so latency SLOs scrape directly);
+* ``GET /healthz``   — liveness;
+* ``GET /debug/flight`` — the flight recorder's black box right now.
+
+Every request gets a **trace context**: a ``traceparent`` header (W3C
+``00-<trace_id>-<span_id>-01``) is honoured — the response joins the
+caller's trace as a child hop — and absent one a fresh trace is minted.
+Responses echo ``"trace_id"`` so a degraded answer can be correlated with
+the daemon's trace shards and flight dumps (`repro explain`).
 
 The degraded-answer contract mirrors the CLI exit taxonomy: a response the
 engine had to cut short is still HTTP **200** with ``"degraded": true``
@@ -50,7 +58,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.lang.errors import NmlError
 from repro.lang.parser import parse_program
+from repro.obs import context as obs_context
 from repro.obs import tracer as obs
+from repro.obs.context import TraceContext
+from repro.obs.flight import FlightRecorder, dump_dir_from_env
 from repro.obs.metrics import MetricsRegistry
 from repro.robust import faults
 from repro.robust.budget import AnalysisBudget
@@ -102,12 +113,17 @@ class AnalysisService:
         default_deadline_ms: "float | None" = None,
         policy: ResiliencePolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        flight: FlightRecorder | None = None,
     ):
         from repro.store import AnalysisStore
 
         self.store = AnalysisStore(store_root) if store_root else None
         self.default_deadline_ms = default_deadline_ms
         self.metrics = metrics or MetricsRegistry()
+        #: The daemon's black box (always on; ``/debug/flight`` reads it).
+        self.flight = flight or FlightRecorder(
+            dump_dir=dump_dir_from_env(), label="serve-flight"
+        )
         self.resilience = Resilience(
             policy
             or ResiliencePolicy(
@@ -122,37 +138,49 @@ class AnalysisService:
 
     # -- the front door ------------------------------------------------------
 
-    def handle(self, endpoint: str, payload: dict) -> tuple[int, dict]:
+    def handle(
+        self, endpoint: str, payload: dict, traceparent: "str | None" = None
+    ) -> tuple[int, dict]:
         """Answer one request: ``(http_status, response_doc)``.  Never
-        raises — the always-answer invariant starts here."""
+        raises — the always-answer invariant starts here.
+
+        ``traceparent`` (the raw header value, if any) joins the caller's
+        trace as a child hop; otherwise a fresh trace is minted.  The
+        response echoes the request's ``trace_id`` either way.
+        """
         started = time.perf_counter()
-        key = request_digest(endpoint, payload)
-        with self._lock:
-            leader = key not in self._inflight
-            if leader:
-                self._inflight[key] = _InFlight()
-            entry = self._inflight[key]
-        if not leader:
-            entry.event.wait(COALESCE_WAIT_S)
-            doc = dict(entry.doc)
-            doc["coalesced"] = True
-            self._note(endpoint, entry.status, doc, started, coalesced=True)
-            return entry.status, doc
-        try:
-            status, doc = self._execute(endpoint, payload, key)
-        except Exception as error:  # the backstop: still a JSON answer
-            status, doc = 500, {
-                "ok": False,
-                "error": f"{type(error).__name__}: {error}",
-                "exit_code": 1,
-            }
-            self.resilience.breaker.record_failure(key)
-        entry.status, entry.doc = status, doc
-        with self._lock:
-            self._inflight.pop(key, None)
-        entry.event.set()
-        self._note(endpoint, status, doc, started, coalesced=False)
-        return status, doc
+        caller = TraceContext.from_traceparent(traceparent or "")
+        ctx = caller.child() if caller is not None else TraceContext.mint()
+        with obs_context.attach(ctx):
+            key = request_digest(endpoint, payload)
+            with self._lock:
+                leader = key not in self._inflight
+                if leader:
+                    self._inflight[key] = _InFlight()
+                entry = self._inflight[key]
+            if not leader:
+                entry.event.wait(COALESCE_WAIT_S)
+                doc = dict(entry.doc)
+                doc["coalesced"] = True
+                doc["trace_id"] = ctx.trace_id
+                self._note(endpoint, entry.status, doc, started, coalesced=True)
+                return entry.status, doc
+            try:
+                status, doc = self._execute(endpoint, payload, key)
+            except Exception as error:  # the backstop: still a JSON answer
+                status, doc = 500, {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                    "exit_code": 1,
+                }
+                self.resilience.breaker.record_failure(key)
+            doc["trace_id"] = ctx.trace_id
+            entry.status, entry.doc = status, doc
+            with self._lock:
+                self._inflight.pop(key, None)
+            entry.event.set()
+            self._note(endpoint, status, doc, started, coalesced=False)
+            return status, doc
 
     def _note(
         self, endpoint: str, status: int, doc: dict, started: float, coalesced: bool
@@ -314,6 +342,18 @@ class AnalysisService:
         ]
         return "\n".join(lines) + "\n"
 
+    def flight_doc(self) -> dict:
+        """The black box as JSON (``GET /debug/flight``): recorder stats
+        plus the captured window as a validated dump artifact."""
+        return {
+            "ok": True,
+            "captured": len(self.flight.snapshot()),
+            "total": self.flight.total,
+            "triggers": self.flight.triggers,
+            "dumps": [str(path) for path in self.flight.dumps],
+            "events": self.flight.dump_events("debug-endpoint"),
+        }
+
 
 # -- the HTTP layer ----------------------------------------------------------
 
@@ -349,6 +389,8 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/healthz":
             self._respond_json(200, {"ok": True})
+        elif self.path == "/debug/flight":
+            self._respond_json(200, self.service.flight_doc())
         else:
             self._respond_json(404, {"ok": False, "error": f"no route {self.path}"})
 
@@ -368,7 +410,9 @@ class _Handler(BaseHTTPRequestHandler):
                 400, {"ok": False, "error": f"bad JSON body: {error}", "exit_code": 1}
             )
             return
-        status, doc = self.service.handle(endpoint, payload)
+        status, doc = self.service.handle(
+            endpoint, payload, traceparent=self.headers.get("traceparent")
+        )
         self._respond_json(status, doc)
 
 
@@ -400,6 +444,8 @@ def serve(
     default stderr) once the socket is bound, so wrappers can wait for
     readiness, and a shutdown line after the last request drains.
     """
+    from contextlib import ExitStack
+
     stream = ready_stream or sys.stderr
     service = AnalysisService(
         store_root=store_root, default_deadline_ms=default_deadline_ms
@@ -416,11 +462,22 @@ def serve(
         sig: signal.signal(sig, _shutdown) for sig in (signal.SIGTERM, signal.SIGINT)
     }
     print(f"repro serve: listening on http://{bound_host}:{bound_port}", file=stream, flush=True)
-    try:
-        server.serve_forever(poll_interval=0.1)
-    finally:
-        server.server_close()
-        for sig, handler in previous.items():
-            signal.signal(sig, handler)
-        print("repro serve: shut down cleanly", file=stream, flush=True)
+    with ExitStack() as stack:
+        # Always-on flight recording: request/degradation events from
+        # every handler thread land in the service's bounded ring, so a
+        # crash-landing daemon leaves a black box.  If the CLI already
+        # activated a tracer (e.g. --trace), join it instead of replacing.
+        active = obs.tracing()
+        if active is not None:
+            active.sinks.append(service.flight)
+            stack.callback(active.sinks.remove, service.flight)
+        else:
+            stack.enter_context(obs.activate(obs.Tracer(sinks=[service.flight])))
+        try:
+            server.serve_forever(poll_interval=0.1)
+        finally:
+            server.server_close()
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+            print("repro serve: shut down cleanly", file=stream, flush=True)
     return 0

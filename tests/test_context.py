@@ -1,0 +1,224 @@
+"""Trace context propagation (:mod:`repro.obs.context`): minting and
+parsing W3C-style traceparent headers, the ambient thread-local context,
+tracer stamping, and causal shard merging."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RingBufferSink, Tracer, activate, emit
+from repro.obs.context import (
+    TraceContext,
+    attach,
+    current,
+    merge_trace_files,
+    merge_traces,
+)
+from repro.obs.events import validate_trace
+
+
+class TestTraceContext:
+    def test_mint_shapes(self):
+        ctx = TraceContext.mint()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        assert ctx.parent_id is None
+        assert ctx.hop == 0
+
+    def test_mint_is_unique(self):
+        assert TraceContext.mint().trace_id != TraceContext.mint().trace_id
+
+    def test_child_keeps_trace_bumps_hop(self):
+        root = TraceContext.mint()
+        child = root.child()
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert child.parent_id == root.span_id
+        assert child.hop == 1
+        assert child.child().hop == 2
+
+    def test_traceparent_round_trip(self):
+        ctx = TraceContext.mint()
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-abc-def-01",  # wrong lengths
+            "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",  # unknown version
+            "00-" + "g" * 32 + "-" + "b" * 16 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "b" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # all-zero span
+            "00-" + "a" * 32 + "-" + "b" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_traceparent_is_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_traceparent_is_case_insensitive(self):
+        header = "00-" + "AB" * 16 + "-" + "CD" * 8 + "-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+    def test_wire_round_trip(self):
+        ctx = TraceContext.mint().child()
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+
+
+class TestAmbientContext:
+    def test_attach_scopes_nest_and_restore(self):
+        assert current() is None
+        outer = TraceContext.mint()
+        inner = outer.child()
+        with attach(outer):
+            assert current() is outer
+            with attach(inner):
+                assert current() is inner
+            assert current() is outer
+            with attach(None):
+                assert current() is None
+        assert current() is None
+
+    def test_context_is_thread_local(self):
+        ready = threading.Barrier(2)
+        seen = {}
+
+        def worker(name):
+            ctx = TraceContext.mint()
+            with attach(ctx):
+                ready.wait(timeout=5)
+                seen[name] = (ctx.trace_id, current().trace_id)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for minted, observed in seen.values():
+            assert minted == observed
+        assert seen[0][0] != seen[1][0]
+
+    def test_tracer_stamps_events_with_context(self):
+        ring = RingBufferSink()
+        ctx = TraceContext.mint().child()
+        with activate(Tracer(sinks=[ring])):
+            emit("store_reap", count=0)
+            with attach(ctx):
+                emit("store_reap", count=1)
+        unstamped, stamped = ring.events
+        assert "trace_id" not in unstamped
+        assert stamped["trace_id"] == ctx.trace_id
+        assert stamped["hop"] == 1
+
+
+def _shard(ctx_events):
+    """Build a schema-valid shard from (trace_id, hop, type) triples."""
+    shard = []
+    for seq, (trace_id, hop, etype) in enumerate(ctx_events):
+        event = {"seq": seq, "ts": float(seq), "type": etype, "count": 0}
+        if trace_id:
+            event["trace_id"] = trace_id
+            event["hop"] = hop
+        shard.append(event)
+    return shard
+
+
+class TestMergeTraces:
+    def test_causal_order_lower_hops_first(self):
+        driver = _shard([("t1", 0, "store_reap"), ("t2", 0, "store_reap")])
+        worker = _shard([("t1", 1, "cell_reclaim"), ("t2", 1, "cell_reclaim")])
+        # Fix the worker's cell_reclaim required field.
+        for event in worker:
+            event["cause"] = "test"
+        merged = merge_traces([driver, worker], ["driver", "worker"])
+        # Traces keep first-seen order; within a trace the driver's hop-0
+        # event precedes the worker's hop-1 event.
+        kinds = [(e["trace_id"], e["hop"]) for e in merged]
+        assert kinds == [("t1", 0), ("t1", 1), ("t2", 0), ("t2", 1)]
+
+    def test_reseqenced_with_provenance(self):
+        driver = _shard([("t1", 0, "store_reap")])
+        worker = _shard([("t1", 1, "store_reap"), ("t1", 1, "store_reap")])
+        merged = merge_traces([driver, worker], ["driver", "worker"])
+        assert [e["seq"] for e in merged] == [0, 1, 2]
+        assert [e["shard"] for e in merged] == ["driver", "worker", "worker"]
+        assert [e["src_seq"] for e in merged] == [0, 0, 1]
+        validate_trace(merged)
+
+    def test_shard_order_preserved_within_hop(self):
+        shard = _shard(
+            [("t1", 0, "store_reap"), ("t1", 0, "store_reap"), ("t1", 0, "store_reap")]
+        )
+        merged = merge_traces([shard])
+        assert [e["src_seq"] for e in merged] == [0, 1, 2]
+
+    def test_labels_must_match_shards(self):
+        with pytest.raises(ValueError, match="one-to-one"):
+            merge_traces([[]], ["a", "b"])
+
+    def test_merge_trace_files(self, tmp_path):
+        paths = []
+        for name, hop in (("driver", 0), ("worker", 1)):
+            path = tmp_path / f"{name}.jsonl"
+            with open(path, "w") as handle:
+                for event in _shard([("t1", hop, "store_reap")]):
+                    handle.write(json.dumps(event) + "\n")
+            paths.append(path)
+        out = tmp_path / "merged.jsonl"
+        count = merge_trace_files(paths, out)
+        assert count == 2
+        merged = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [e["shard"] for e in merged] == ["driver", "worker"]
+
+
+class TestTraceCli:
+    def _write_shard(self, path, events):
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event) + "\n")
+
+    def test_merge_then_validate(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        self._write_shard(a, _shard([("t1", 0, "store_reap")]))
+        self._write_shard(b, _shard([("t1", 1, "store_reap")]))
+        out = tmp_path / "merged.jsonl"
+        assert main(["trace", "merge", str(a), str(b), "--out", str(out)]) == 0
+        assert "merged 2 shard(s)" in capsys.readouterr().err
+        assert main(["trace", "validate", str(out)]) == 0
+        assert "2 event(s) valid" in capsys.readouterr().out
+
+    def test_validate_invalid_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        self._write_shard(
+            bad, [{"seq": 0, "ts": 0.0, "type": "not_a_real_event"}]
+        )
+        assert main(["trace", "validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "invalid trace" in err
+        assert "event 0 (line 1)" in err
+
+    def test_validate_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["trace", "validate", str(tmp_path / "nope.jsonl")]) == 1
+
+    def test_merge_requires_out(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        self._write_shard(a, _shard([("t1", 0, "store_reap")]))
+        assert main(["trace", "merge", str(a)]) == 1
+        assert "--out" in capsys.readouterr().err

@@ -1,0 +1,194 @@
+"""Schema exhaustiveness and cross-process round-trips.
+
+Two guarantees the observability layer rests on:
+
+* every ``emit("<type>", ...)`` call site anywhere in ``src/`` names an
+  event type registered in :data:`repro.obs.events.EVENT_FIELDS` — a new
+  instrumentation point cannot silently emit events ``validate_trace``
+  would reject (found by scanning the source, so the check covers call
+  sites no test happens to execute);
+* a traced parallel batch run (``--jobs N``) stamps worker-side events
+  with the originating file's trace_id, and the merged shards form one
+  schema-valid, causally ordered trace.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.batch import run_batch
+from repro.cli import main
+from repro.lang.prelude import prelude_source
+from repro.obs import JsonlSink, Tracer, activate
+from repro.obs.context import merge_traces
+from repro.obs.events import EVENT_FIELDS, validate_trace
+from repro.obs.sinks import read_trace
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: ``emit("type", ...)`` / ``tracer.emit('type', ...)`` call sites;
+#: ``\s*`` spans newlines, so wrapped calls with the type on the next
+#: line are matched too.
+EMIT_CALL = re.compile(r"\bemit\(\s*(['\"])([a-z_]+)\1")
+
+
+def _emit_sites():
+    """Every (file, line, event type) emitted anywhere under src/."""
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text()
+        for match in EMIT_CALL.finditer(text):
+            lineno = text.count("\n", 0, match.start()) + 1
+            sites.append((path.relative_to(SRC), lineno, match.group(2)))
+    return sites
+
+
+class TestEmitExhaustiveness:
+    def test_scan_finds_the_instrumentation(self):
+        # Guard the guard: if the regex ever stops matching real call
+        # sites, this test must fail loudly rather than pass vacuously.
+        types = {etype for _, _, etype in _emit_sites()}
+        assert len(types) >= 20
+        assert {"degradation", "quarantine", "worker_restart", "decision"} <= types
+
+    def test_every_emit_site_names_a_schema_event(self):
+        unknown = [
+            f"{path}:{lineno}: emit({etype!r})"
+            for path, lineno, etype in _emit_sites()
+            if etype not in EVENT_FIELDS
+        ]
+        assert not unknown, (
+            "emit() call sites with event types missing from "
+            "repro.obs.events.EVENT_FIELDS:\n" + "\n".join(unknown)
+        )
+
+    def test_dynamic_emit_types_are_not_used(self):
+        # The exhaustiveness scan only works if event types are string
+        # literals at the call site; reject emit(variable, ...) in src/.
+        dynamic = []
+        call = re.compile(r"\bobs\.emit\(\s*([A-Za-z_][A-Za-z0-9_.]*)\s*[,)]")
+        for path in sorted(SRC.rglob("*.py")):
+            text = path.read_text()
+            for match in call.finditer(text):
+                lineno = text.count("\n", 0, match.start()) + 1
+                dynamic.append(
+                    f"{path.relative_to(SRC)}:{lineno}: {match.group(0)}"
+                )
+        assert not dynamic, "non-literal obs.emit() types:\n" + "\n".join(dynamic)
+
+
+APPEND = prelude_source(["append"], "append [1, 2] [3]")
+REV = prelude_source(["append", "rev"], "rev [1, 2, 3]")
+
+
+@pytest.fixture
+def corpus(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    (root / "append.nml").write_text(APPEND)
+    (root / "rev.nml").write_text(REV)
+    return root
+
+
+class TestContextRoundTrip:
+    def test_parallel_workers_stamp_events_with_file_traces(
+        self, corpus, tmp_path
+    ):
+        shard_dir = tmp_path / "shards"
+        driver_shard = shard_dir / "driver.jsonl"
+        shard_dir.mkdir()
+        jsonl = JsonlSink.open(driver_shard)
+        try:
+            with activate(Tracer(sinks=[jsonl])):
+                report = run_batch(
+                    [corpus],
+                    store_root=None,
+                    jobs=2,
+                    timeout_s=30.0,
+                    trace_dir=shard_dir,
+                )
+        finally:
+            jsonl.close()
+        assert report.ok
+        trace_ids = {r.path: r.trace_id for r in report.reports}
+        assert all(trace_ids.values())
+        assert len(set(trace_ids.values())) == len(trace_ids)
+
+        worker_shards = sorted(shard_dir.glob("worker-*.jsonl"))
+        assert worker_shards  # the supervised path actually forked workers
+        worker_events = [e for p in worker_shards for e in read_trace(p)]
+        assert worker_events
+        # Every worker-side event carries the originating file's trace_id
+        # at hop 1 (driver hop 0 → worker hop 1 across the Pipe).
+        for event in worker_events:
+            assert event["trace_id"] in trace_ids.values()
+            assert event["hop"] == 1
+        # Worker solve events exist for both files' traces.
+        solved_traces = {
+            e["trace_id"]
+            for e in worker_events
+            if e["type"] in ("transfer_eval", "scc_solve_finish", "ir_lower")
+        }
+        assert solved_traces == set(trace_ids.values())
+
+        shards = [list(read_trace(p)) for p in [driver_shard, *worker_shards]]
+        merged = merge_traces(shards)
+        validate_trace(merged)
+        # Causal order: within one trace, hops never decrease.
+        last_hop: dict[str, int] = {}
+        for event in merged:
+            trace_id = event.get("trace_id")
+            if not trace_id:
+                continue
+            assert event["hop"] >= last_hop.get(trace_id, 0)
+            last_hop[trace_id] = event["hop"]
+
+    def test_cli_batch_trace_merges_shards_and_reports_trace_ids(
+        self, corpus, tmp_path, capsys
+    ):
+        out = tmp_path / "merged.jsonl"
+        code = main(
+            [
+                "batch",
+                str(corpus),
+                "--no-store",
+                "--jobs",
+                "2",
+                "--timeout-ms",
+                "30000",
+                "--trace",
+                str(out),
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        merged = list(read_trace(out))
+        validate_trace(merged)
+        # A clean supervised run emits only inside the workers (the
+        # driver speaks up on retries/restarts), so worker shards must
+        # dominate the merged trace.
+        shards = {e["shard"] for e in merged}
+        assert any(s.startswith("worker") for s in shards)
+        merged_traces = {e.get("trace_id") for e in merged}
+        for entry in doc["files"]:
+            assert entry["trace_id"] in merged_traces
+
+    def test_cli_batch_profile_adds_per_file_summaries(
+        self, corpus, tmp_path, capsys
+    ):
+        code = main(
+            ["batch", str(corpus), "--no-store", "--profile", "--json"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        for entry in doc["files"]:
+            assert entry["profile"]["iterations"] > 0
+            assert entry["profile"]["eval_steps"] > 0
+        # The merged-trace profile report lands on stderr.
+        assert "profile" in captured.err or "span" in captured.err

@@ -208,6 +208,69 @@ def test_requests_emit_schema_valid_events_and_metrics(service):
 
 
 # ---------------------------------------------------------------------------
+# the service: trace context, flight recorder, latency percentiles
+# ---------------------------------------------------------------------------
+
+
+def test_every_response_echoes_a_trace_id(service):
+    status, doc = service.handle("analyze", {"source": APPEND})
+    assert status == 200
+    assert len(doc["trace_id"]) == 32
+    # A second request is a different causal chain.
+    _, again = service.handle("analyze", {"source": REV})
+    assert again["trace_id"] != doc["trace_id"]
+
+
+def test_traceparent_header_joins_the_callers_trace(service):
+    from repro.obs.context import TraceContext
+
+    caller = TraceContext.mint()
+    status, doc = service.handle(
+        "analyze", {"source": APPEND}, traceparent=caller.to_traceparent()
+    )
+    assert status == 200
+    assert doc["trace_id"] == caller.trace_id
+
+
+def test_malformed_traceparent_mints_a_fresh_trace(service):
+    status, doc = service.handle(
+        "analyze", {"source": APPEND}, traceparent="00-zzz-bad-header"
+    )
+    assert status == 200
+    assert len(doc["trace_id"]) == 32
+
+
+def test_request_events_are_stamped_with_the_request_trace(service):
+    ring = RingBufferSink(capacity=None)
+    with activate(Tracer(sinks=[ring])):
+        _, doc = service.handle("analyze", {"source": APPEND})
+    stamped = [e for e in ring.events if e.get("trace_id") == doc["trace_id"]]
+    assert stamped
+    assert {e["type"] for e in stamped} >= {"serve_request"}
+
+
+def test_flight_doc_snapshots_a_validated_black_box(service):
+    with activate(Tracer(sinks=[service.flight])):
+        service.handle("analyze", {"source": APPEND, "deadline_ms": 0.0001})
+    doc = service.flight_doc()
+    assert doc["ok"] and doc["captured"] > 0
+    assert doc["triggers"] >= 1  # the starved deadline degraded
+    validate_trace(doc["events"])
+    assert doc["events"][0]["type"] == "flight_dump"
+
+
+def test_metrics_expose_latency_percentiles(service):
+    for _ in range(3):
+        service.handle("analyze", {"source": APPEND})
+    text = service.metrics_text()
+    for quantile in ("p50", "p95", "p99"):
+        assert f"serve.latency_s.{quantile}{{endpoint=analyze}}" in text
+    # The scrape is byte-stable: keys arrive sorted.
+    keys = [line.split(" ")[0] for line in text.splitlines() if " " in line]
+    assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
 # over the wire
 # ---------------------------------------------------------------------------
 
@@ -256,6 +319,29 @@ def test_http_healthz_metrics_and_unknown_route(http_server):
         assert False, "expected 404"
     except urllib.error.HTTPError as error:
         assert error.code == 404
+
+
+def test_http_traceparent_and_debug_flight(http_server):
+    from repro.obs.context import TraceContext
+
+    caller = TraceContext.mint()
+    request = urllib.request.Request(
+        f"{http_server}/analyze",
+        data=json.dumps({"source": APPEND}).encode(),
+        headers={
+            "Content-Type": "application/json",
+            "traceparent": caller.to_traceparent(),
+        },
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        doc = json.loads(response.read())
+    assert doc["trace_id"] == caller.trace_id
+
+    with urllib.request.urlopen(f"{http_server}/debug/flight", timeout=30) as response:
+        assert response.status == 200
+        flight = json.loads(response.read())
+    assert flight["ok"]
+    validate_trace(flight["events"])
 
 
 def test_serve_shuts_down_gracefully_on_sigterm(tmp_path):
