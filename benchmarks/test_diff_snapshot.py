@@ -1,0 +1,102 @@
+"""DF1 — the differential harness: snapshot cost and artifact stability.
+
+What ``repro diff`` adds on top of the batch driver is a per-file
+*artifact*; this bench prices it.  A corpus sharing the prelude's
+``append`` knot is snapshotted twice through one store: the cold run pays
+every fixpoint, the warm run decodes everything — and (the property the
+tentpole is built on) **the artifact trees are byte-identical**, because a
+store hit now reproduces the complete analysis result, sharing partition
+included (serialize codec 2).
+
+Exported to ``BENCH_diff.json``: wall-time cold vs warm, artifact bytes
+per file, and the self-compare verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.bench.tables import print_table
+from repro.diff.compare import compare_trees
+from repro.diff.snapshot import INDEX_NAME, snapshot_corpus, tree_digest
+from repro.lang.prelude import prelude_source
+
+CORPUS = {
+    "partition_sort.nml": prelude_source(["ps"], "ps [5, 2, 7, 1, 3, 4]"),
+    "reverse.nml": prelude_source(["append", "rev"], "rev [1, 2, 3, 4]"),
+    "concat.nml": prelude_source(["append", "concat"], "concat [[1], [2, 3]]"),
+    "isort.nml": prelude_source(["isort"], "isort [3, 1, 2]"),
+}
+
+PINNED_D = 2
+
+
+def _write_corpus(root: Path) -> Path:
+    corpus = root / "corpus"
+    corpus.mkdir()
+    for name, source in CORPUS.items():
+        (corpus / name).write_text(source)
+    return corpus
+
+
+def test_df1_snapshot_cost_and_stability(benchmark, tmp_path):
+    corpus = _write_corpus(tmp_path)
+    store = tmp_path / "store"
+    cold_dir, warm_dir = tmp_path / "cold", tmp_path / "warm"
+
+    start = time.perf_counter()
+    cold = snapshot_corpus([corpus], cold_dir, store_root=store, d=PINNED_D)
+    cold_s = time.perf_counter() - start
+    assert cold.ok
+
+    start = time.perf_counter()
+    warm = snapshot_corpus([corpus], warm_dir, store_root=store, d=PINNED_D)
+    warm_s = time.perf_counter() - start
+    assert warm.ok
+
+    # The stability gates: warm bytes == cold bytes, self-compare empty.
+    # (The snapshot worker deliberately reports no session stats — they are
+    # warmth-dependent — so the warm-run gate is byte-identity itself;
+    # ST1 pins the zero-iteration property for the underlying batch.)
+    assert tree_digest(cold_dir) == tree_digest(warm_dir)
+    comparison = compare_trees(cold_dir, warm_dir)
+    assert comparison.empty and comparison.exit_code() == 0
+
+    artifacts = sorted(
+        p for p in cold_dir.rglob("*.json") if p.name != INDEX_NAME
+    )
+    sizes = {p.name: p.stat().st_size for p in artifacts}
+    rows = [
+        [name, f"{size:,} B"] for name, size in sorted(sizes.items())
+    ] + [
+        ["cold snapshot", f"{cold_s * 1000:.1f} ms"],
+        ["warm snapshot", f"{warm_s * 1000:.1f} ms"],
+    ]
+    print_table(["artifact / run", "size / time"], rows, title="DF1: snapshot cost")
+
+    def warm_snapshot():
+        out = tmp_path / "bench-out"
+        snapshot_corpus([corpus], out, store_root=store, d=PINNED_D)
+
+    benchmark(warm_snapshot)
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_diff.json"
+    out.write_text(
+        json.dumps(
+            {
+                "corpus": sorted(CORPUS),
+                "d": PINNED_D,
+                "cold_wall_s": round(cold_s, 6),
+                "warm_wall_s": round(warm_s, 6),
+                "artifact_bytes": sizes,
+                "artifact_bytes_total": sum(sizes.values()),
+                "byte_identical": True,
+                "self_compare_empty": True,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )

@@ -285,19 +285,43 @@ class BatchReport:
         }
 
 
+class BatchInputError(ValueError):
+    """A corpus path is unusable — raised at *collection* time so the CLI
+    can refuse with a clear usage error (exit 2) instead of shipping the
+    bad path into a worker to die as a confusing contained crash."""
+
+
 def collect_inputs(paths: "list[str | Path]") -> list[Path]:
     """Expand paths into the corpus: directories recurse to ``*.nml``,
-    files pass through; order is deterministic and duplicates dropped."""
+    explicit files must exist and be ``.nml``; order is deterministic and
+    duplicates dropped.  Returns **resolved** paths, so the dedup key and
+    the returned entry are the same path (two spellings of one file —
+    ``corpus/a.nml`` and ``./corpus/../corpus/a.nml`` — collapse to one
+    input, and every report names the file unambiguously).
+
+    Raises :class:`BatchInputError` for a nonexistent path or an explicit
+    non-``.nml`` file.
+    """
     inputs: list[Path] = []
     seen: set[Path] = set()
     for raw in paths:
         path = Path(raw)
-        found = sorted(path.rglob("*.nml")) if path.is_dir() else [path]
+        if path.is_dir():
+            found = sorted(path.rglob("*.nml"))
+        elif not path.exists():
+            raise BatchInputError(f"{path}: no such file or directory")
+        elif path.suffix != ".nml":
+            raise BatchInputError(
+                f"{path}: not a .nml program (directories are searched for "
+                "*.nml; explicit files must be .nml)"
+            )
+        else:
+            found = [path]
         for item in found:
             resolved = item.resolve()
             if resolved not in seen:
                 seen.add(resolved)
-                inputs.append(item)
+                inputs.append(resolved)
     return inputs
 
 
@@ -483,6 +507,7 @@ def _worker_main(
     conn,
     ctx_wire: "dict | None" = None,
     shard_path: "str | None" = None,
+    worker=None,
 ) -> None:
     """Worker-process entry: activate the (stripped) fault plan, honour the
     supervisor's crash/hang verdicts, analyze, ship the report back.
@@ -529,7 +554,7 @@ def _worker_main(
                     os._exit(WORKER_CRASH_EXIT)
                 if hang_s:
                     time.sleep(hang_s)
-                report = analyze_one(*args)
+                report = (worker or analyze_one)(*args)
             if ctx is not None:
                 report.trace_id = ctx.trace_id
             conn.send(report)
@@ -565,6 +590,7 @@ def _run_supervised(
     quarantine: Quarantine,
     contexts: "list[TraceContext] | None" = None,
     trace_dir: "str | None" = None,
+    worker=None,
 ) -> list[FileReport]:
     """Process-per-attempt supervision: per-file preemptive timeouts,
     crash replacement with backoff, quarantine after exhausted attempts.
@@ -643,6 +669,7 @@ def _run_supervised(
                     child_conn,
                     child_ctx.to_wire() if child_ctx is not None else None,
                     shard_path,
+                    worker,
                 ),
                 daemon=True,
             )
@@ -718,6 +745,7 @@ def _run_serial(
     plan,
     quarantine: Quarantine,
     contexts: "list[TraceContext] | None" = None,
+    worker=None,
 ) -> list[FileReport]:
     """In-process supervision: no preemption (there is no process to kill),
     but the same retry/backoff/quarantine state machine — injected worker
@@ -745,7 +773,7 @@ def _run_serial(
                             raise faults.InjectedFault(
                                 "injected worker crash", stage="worker"
                             )
-                        report = analyze_one(*args)
+                        report = (worker or analyze_one)(*args)
                         report.attempts = task.attempts
                         if task.ctx is not None:
                             report.trace_id = task.ctx.trace_id
@@ -790,8 +818,18 @@ def run_batch(
     engine: str | None = None,
     trace: bool = False,
     trace_dir: "str | Path | None" = None,
+    worker=None,
+    worker_extra=None,
 ) -> BatchReport:
     """Analyze the corpus under supervision, ``jobs``-wide.
+
+    ``worker`` substitutes the per-file body (default :func:`analyze_one`)
+    — it must be a module-level (picklable) callable returning a
+    :class:`FileReport`; ``worker_extra`` maps each input path to a tuple
+    of extra positional arguments appended to the standard work tuple.
+    This is how ``repro diff snapshot`` rides the same supervision
+    (timeouts, crash restarts, quarantine, shared store) with a different
+    per-file job.
 
     ``jobs <= 1`` without a ``timeout_s`` runs in-process (no worker
     processes), which is also the fault-injection-friendly path; a
@@ -803,7 +841,7 @@ def run_batch(
     are stamped with its trace_id, and supervised worker attempts write
     per-process JSONL shards into ``trace_dir`` for the driver to merge.
     """
-    from repro.escape.engine import default_engine, validate_engine
+    from repro.escape.engine import default_engine, validate_engine, warn_legacy_engine
 
     inputs = collect_inputs(paths)
     root = str(store_root) if store_root is not None else None
@@ -812,8 +850,14 @@ def run_batch(
     # Resolve the engine here: worker processes start fresh and would not
     # see a ``use_engine`` scope installed in this process.
     engine = validate_engine(engine) if engine is not None else default_engine()
+    if engine == "legacy":
+        # Deprecation is a *driver* concern: exactly one warning per
+        # process, however many worker attempts fan out below.
+        warn_legacy_engine()
     work = [
-        (str(p), root, d, max_iterations, check, deadline_ms, engine) for p in inputs
+        (str(p), root, d, max_iterations, check, deadline_ms, engine)
+        + (tuple(worker_extra(p)) if worker_extra is not None else ())
+        for p in inputs
     ]
     shard_dir = str(trace_dir) if trace_dir is not None else None
     contexts = (
@@ -824,7 +868,7 @@ def run_batch(
     if not work:
         reports: list[FileReport] = []
     elif jobs <= 1 and timeout_s is None:
-        reports = _run_serial(work, retry, fault_plan, quarantine, contexts)
+        reports = _run_serial(work, retry, fault_plan, quarantine, contexts, worker)
     else:
         reports = _run_supervised(
             work,
@@ -835,5 +879,6 @@ def run_batch(
             quarantine,
             contexts,
             shard_dir,
+            worker,
         )
     return BatchReport(reports=reports, jobs=max(1, jobs), store_root=root)

@@ -1,0 +1,43 @@
+"""Canonical JSON: one serializer for every machine-readable emission.
+
+Any dict built from set- or hash-ordered iteration serializes in a
+``PYTHONHASHSEED``-dependent key order under a bare ``json.dumps``.  That
+is invisible to a human reader and fatal to artifact diffing: two byte
+levels of the same analysis would differ for no semantic reason.  The
+on-disk store already serializes canonically (``sort_keys=True``, fixed
+separators — :meth:`repro.store.AnalysisStore.write`); this module makes
+that policy reusable so the CLI's ``--json`` outputs, trace exports, and
+the ``repro diff`` artifacts are all byte-stable across processes and
+hash seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+
+def canonical_json(document: Any, indent: int | None = 2,
+                   default: "Callable | None" = None) -> str:
+    """``document`` as deterministic JSON text (no trailing newline).
+
+    Keys are sorted and separators fixed, so equal documents produce equal
+    bytes regardless of insertion order or ``PYTHONHASHSEED``.  ``indent``
+    keeps the CLI outputs human-skimmable; pass ``None`` for compact.
+    """
+    if indent is None:
+        return json.dumps(
+            document, sort_keys=True, separators=(",", ":"), default=default
+        )
+    return json.dumps(document, sort_keys=True, indent=indent, default=default)
+
+
+def canonical_dumps(document: Any, default: "Callable | None" = None) -> str:
+    """Compact canonical form — one JSONL line or a digest preimage."""
+    return canonical_json(document, indent=None, default=default)
+
+
+def canonical_bytes(document: Any) -> bytes:
+    """UTF-8 canonical encoding with a trailing newline — what artifact
+    files contain, so ``cmp``/``diff -r`` over artifact trees is exact."""
+    return (canonical_json(document) + "\n").encode("utf-8")

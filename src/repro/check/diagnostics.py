@@ -114,6 +114,17 @@ class Diagnostic:
             f"{self.rule.id} ({self.rule.name}){where}: {self.message}"
         )
 
+    def span_text(self) -> "str | None":
+        """The span as compact text (``"3:10-21"``), ``None`` for no span —
+        the form snapshot artifacts store and the differ pairs on."""
+        return None if self.span == NO_SPAN else str(self.span)
+
+    def identity(self) -> tuple:
+        """The cross-revision identity of this finding: rule, place, and
+        context — deliberately *not* the message, whose wording may carry
+        engine-internal values that churn without the finding changing."""
+        return (self.rule.id, self.span_text() or "", self.context)
+
     def to_json(self) -> dict:
         return {
             "rule": self.rule.id,

@@ -21,6 +21,12 @@ Commands
   sharing solved SCC fixpoints through a persistent on-disk store
 * ``check``    — the static checker (:mod:`repro.check`): lint, the
   optimization auditor, and the machine-code verifier
+* ``diff``     — the corpus-scale differential regression harness
+  (:mod:`repro.diff`): ``diff snapshot`` writes one canonical JSON
+  artifact per corpus file, ``diff compare`` reports a categorized,
+  lattice-ordered diff of two snapshot trees with per-category gating,
+  ``diff gen-corpus`` materializes the committed generated corpus from
+  its seed manifest
 * ``serve``    — the always-answer analysis daemon (:mod:`repro.serve`):
   analyze/check/optimize over HTTP/JSON with degraded-answer responses,
   in-flight coalescing, and a ``/metrics`` scrape
@@ -46,12 +52,12 @@ from __future__ import annotations
 
 import argparse
 import ast as python_ast
-import json
 import sys
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.analysis.sharing import sharing_global
+from repro.canonical import canonical_dumps, canonical_json
 from repro.escape.analyzer import EscapeAnalysis
 from repro.escape.exact import Source, observe_escape
 from repro.escape.report import analysis_report
@@ -65,18 +71,25 @@ from repro.semantics.interp import Interpreter
 #:
 #: * 0 — ok: the command did what was asked;
 #: * 1 — error: bad input, analysis failure, or crash;
+#: * 2 — usage: the arguments themselves are wrong (a nonexistent input
+#:   path, a non-``.nml`` file, an unknown diff category) — rejected
+#:   before any work starts, matching the shells' usage-error convention;
 #: * 3 — degraded: answered, but via a sound W^tau fallback (so scripts can
 #:   tell a degraded answer from a hard failure);
 #: * 4 — findings: the static checker completed and found error-severity
 #:   diagnostics (the checked artifact is unsound; the checker itself is
 #:   fine — distinct from 1 so CI can gate on findings specifically).
+#:   ``diff compare`` reuses 3/4: benign churn only → 3, gated
+#:   regressions → 4.
 EXIT_OK = 0
 EXIT_ERROR = 1
+EXIT_USAGE = 2
 EXIT_DEGRADED = 3
 EXIT_FINDINGS = 4
 
 _EXIT_CODE_HELP = (
-    "exit codes: 0 ok; 1 error (bad input or crash); 3 degraded "
+    "exit codes: 0 ok; 1 error (bad input or crash); 2 usage "
+    "(invalid arguments or input paths); 3 degraded "
     "(answered via the sound W^tau fallback); 4 findings "
     "(the static checker found error-severity diagnostics)"
 )
@@ -254,7 +267,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.json:
         from repro.escape.report import report_json
 
-        print(json.dumps(report_json(program, include_stats=args.stats), indent=2))
+        print(canonical_json(report_json(program, include_stats=args.stats)))
         return 0
     print(analysis_report(program, include_stats=args.stats), end="")
     return 0
@@ -305,7 +318,7 @@ def _finish_analyze(args: argparse.Namespace, analysis, doc: dict) -> int:
     if args.json:
         if args.stats:
             doc["stats"] = stats_dict(analysis.stats)
-        print(json.dumps(doc, indent=2))
+        print(canonical_json(doc))
     elif args.stats:
         print(f"-- stats: {analysis.stats.summary()}")
     return 0
@@ -350,7 +363,7 @@ def _cmd_analyze_robust(args: argparse.Namespace, program: Program) -> int:
         doc["degraded"] = bool(degraded)
         if args.stats:
             doc["stats"] = stats_dict(engine.session.stats)
-        print(json.dumps(doc, indent=2))
+        print(canonical_json(doc))
     elif args.stats:
         print(f"-- stats: {engine.session.stats.summary()}")
     return _finish_degraded(args, degraded)
@@ -368,15 +381,14 @@ def _cmd_observe(args: argparse.Namespace) -> int:
     observed = observe_escape(program, args.function, call_args, args.index)
     if args.json:
         print(
-            json.dumps(
+            canonical_json(
                 {
                     "function": args.function,
                     "param_index": args.index,
                     "escapement": str(observed.as_escapement()),
                     "escaped": observed.escaped,
                     "escaped_levels": sorted(observed.escaped_levels),
-                },
-                indent=2,
+                }
             )
         )
         return 0
@@ -537,7 +549,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             jsonl.close()
     if jsonl is None:
         for event in ring.events:
-            print(json.dumps(event, separators=(",", ":"), default=str))
+            print(canonical_dumps(event, default=str))
     else:
         print(f"wrote {ring.total} event(s) to {args.out}", file=sys.stderr)
     if args.profile:
@@ -563,7 +575,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     events = list(read_trace(args.trace_file))
     explanation = explain_binding(events, args.binding)
     if args.json:
-        print(json.dumps(explanation.to_json(), indent=2))
+        print(canonical_json(explanation.to_json()))
     else:
         print(format_explanation(explanation), end="")
     if not explanation.found:
@@ -586,9 +598,13 @@ def _store_from(args: argparse.Namespace):
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Analyze a corpus of .nml files in parallel through a shared store."""
-    from repro.batch import collect_inputs, run_batch
+    from repro.batch import BatchInputError, collect_inputs, run_batch
 
-    inputs = collect_inputs(args.paths)
+    try:
+        inputs = collect_inputs(args.paths)
+    except BatchInputError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
     if not inputs:
         print("error: no .nml files found", file=sys.stderr)
         return EXIT_ERROR
@@ -630,7 +646,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     else:
         report = _batch_traced(args, run_kwargs, trace_path, profile)
     if args.json:
-        print(json.dumps(report.to_json(), indent=2))
+        print(canonical_json(report.to_json()))
     else:
         for file_report in report.reports:
             print(file_report.line())
@@ -639,7 +655,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.stats:
             for file_report in report.reports:
                 if file_report.ok:
-                    print(f"-- {file_report.path}: {json.dumps(file_report.stats)}")
+                    print(f"-- {file_report.path}: {canonical_dumps(file_report.stats)}")
     # The documented taxonomy, derived in one place (BatchReport.exit_code):
     # hard failure 1 > checker findings 4 > degraded/quarantined 3 > clean 0.
     return report.exit_code()
@@ -680,7 +696,7 @@ def _batch_traced(
     if trace_path:
         with open(trace_path, "w", encoding="utf-8") as handle:
             for event in merged:
-                handle.write(json.dumps(event, default=str) + "\n")
+                handle.write(canonical_dumps(event, default=str) + "\n")
         print(f"wrote {len(merged)} event(s) to {trace_path}", file=sys.stderr)
     if profile:
         by_trace: dict[str, list] = {}
@@ -695,6 +711,96 @@ def _batch_traced(
                 )
         print(profile_report(merged, total=len(merged)), end="", file=sys.stderr)
     return report
+
+
+def _cmd_diff_snapshot(args: argparse.Namespace) -> int:
+    """``repro diff snapshot CORPUS... --out DIR``: one canonical artifact
+    per corpus file, through the supervised batch workers."""
+    from repro.batch import BatchInputError
+    from repro.diff.snapshot import snapshot_corpus
+
+    store_root: str | None
+    if args.no_store:
+        store_root = None
+    elif args.store:
+        store_root = args.store
+    else:
+        first = Path(args.paths[0])
+        base = first if first.is_dir() else first.parent
+        store_root = str(base / ".repro-store")
+
+    try:
+        report = snapshot_corpus(
+            args.paths,
+            args.out,
+            jobs=args.jobs,
+            store_root=store_root,
+            engine=args.engine,
+            d=args.d,
+            max_iterations=args.max_iterations,
+            timeout_s=args.timeout_ms / 1000.0
+            if args.timeout_ms is not None
+            else None,
+        )
+    except BatchInputError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    failed = [r for r in report.reports if not r.ok]
+    print(
+        f"snapshotted {len(report.reports)} file(s) into {args.out}"
+        + (f" ({len(failed)} failed; error artifacts written)" if failed else ""),
+        file=sys.stderr,
+    )
+    # Failures are *recorded* (error artifacts the differ will surface),
+    # so only infrastructure-level trouble is worth a nonzero exit here.
+    return report.exit_code()
+
+
+def _cmd_diff_compare(args: argparse.Namespace) -> int:
+    """``repro diff compare BASE HEAD``: categorized artifact-tree diff.
+    Exit 0 identical, 3 benign churn only, 4 gated regressions."""
+    from repro.diff.compare import (
+        CATEGORIES,
+        DEFAULT_GATE,
+        CompareError,
+        compare_trees,
+    )
+
+    gate = DEFAULT_GATE
+    if args.fail_on:
+        unknown = sorted(set(args.fail_on) - set(CATEGORIES))
+        if unknown:
+            print(
+                f"error: unknown categories: {', '.join(unknown)}; "
+                f"known: {', '.join(CATEGORIES)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        gate = frozenset(args.fail_on)
+    try:
+        comparison = compare_trees(args.base, args.head, gate=gate)
+    except CompareError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    if args.json:
+        print(canonical_json(comparison.to_json()))
+    else:
+        print(comparison.render(), end="")
+    return comparison.exit_code()
+
+
+def _cmd_diff_gen_corpus(args: argparse.Namespace) -> int:
+    """``repro diff gen-corpus``: materialize (or verify) the generated
+    corpus from the committed seed manifest."""
+    from repro.diff.corpus import CorpusError, generate_corpus
+
+    try:
+        manifest = generate_corpus(args.out, count=args.count, force=args.force)
+    except CorpusError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    print(f"{manifest['count']} generated program(s) in {args.out}")
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -757,7 +863,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 for severity in ("error", "warning", "hint")
             },
         }
-        print(json.dumps(doc, indent=2))
+        print(canonical_json(doc))
     else:
         for report in reports:
             if isinstance(report, dict):
@@ -956,6 +1062,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(batch_parser)
     batch_parser.set_defaults(handler=_cmd_batch)
 
+    diff_parser = commands.add_parser(
+        "diff",
+        help="corpus-scale differential regression harness: snapshot a "
+        "corpus to canonical artifacts, compare two snapshot trees, "
+        "generate the seed-manifested corpus",
+        epilog=_EXIT_CODE_HELP,
+    )
+    diff_commands = diff_parser.add_subparsers(dest="diff_command", required=True)
+
+    snap_parser = diff_commands.add_parser(
+        "snapshot", help="one canonical JSON artifact per corpus file"
+    )
+    snap_parser.add_argument(
+        "paths", nargs="+", help="directories (searched for *.nml) and/or files"
+    )
+    snap_parser.add_argument(
+        "--out", required=True, metavar="DIR", help="artifact tree destination"
+    )
+    snap_parser.add_argument(
+        "--jobs", "-j", type=int, default=1, help="worker processes (default: 1)"
+    )
+    snap_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="analysis store directory (default: <first path>/.repro-store)",
+    )
+    snap_parser.add_argument(
+        "--no-store", action="store_true", help="run without a persistent store"
+    )
+    snap_parser.add_argument("--d", type=int, help="override the B_e chain bound d")
+    snap_parser.add_argument(
+        "--max-iterations", type=int, help="fixpoint iteration cap per solve"
+    )
+    snap_parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        help="per-file wall-clock timeout (forces worker processes)",
+    )
+    _add_engine_arg(snap_parser)
+    snap_parser.set_defaults(handler=_cmd_diff_snapshot)
+
+    compare_parser = diff_commands.add_parser(
+        "compare",
+        help="categorized diff of two snapshot trees "
+        "(exit 0 identical, 3 benign churn, 4 gated regressions)",
+    )
+    compare_parser.add_argument("base", help="baseline snapshot directory")
+    compare_parser.add_argument("head", help="head snapshot directory")
+    compare_parser.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    compare_parser.add_argument(
+        "--fail-on",
+        action="append",
+        metavar="CATEGORY",
+        help="gate on this category instead of the default regression set "
+        "(repeatable; e.g. --fail-on decision_lost --fail-on code_changed)",
+    )
+    compare_parser.set_defaults(handler=_cmd_diff_compare)
+
+    gen_parser = diff_commands.add_parser(
+        "gen-corpus",
+        help="materialize the generated corpus from its seed manifest "
+        "(or draw a fresh one with --force)",
+    )
+    gen_parser.add_argument(
+        "--out",
+        default="examples/generated",
+        metavar="DIR",
+        help="corpus directory (default: examples/generated)",
+    )
+    gen_parser.add_argument(
+        "--count", type=int, default=200, help="distinct programs (default: 200)"
+    )
+    gen_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="draw a fresh corpus and rewrite the manifest instead of "
+        "re-materializing the committed one",
+    )
+    gen_parser.set_defaults(handler=_cmd_diff_gen_corpus)
+
     explain_parser = commands.add_parser(
         "explain",
         help="reconstruct the causal chain behind one binding's result "
@@ -1048,11 +1236,11 @@ def _engine_scope(args: argparse.Namespace):
         yield
         return
     if engine == "legacy":
-        print(
-            "warning: --engine legacy is deprecated; it is kept only as the "
-            "differential-testing oracle for the worklist engine",
-            file=sys.stderr,
-        )
+        # Once per process, whoever gets there first — batch workers and
+        # the driver share the same guard, so `--jobs 8` still warns once.
+        from repro.escape.engine import warn_legacy_engine
+
+        warn_legacy_engine()
     from repro.escape.engine import use_engine
 
     with use_engine(engine):

@@ -1,0 +1,33 @@
+"""``repro.diff`` — the corpus-scale differential regression harness.
+
+The paper's value proposition is that escape facts *license* storage
+optimizations; the scariest regression is therefore a silent one — a
+change that loses a decision, weakens a lattice value, or alters machine
+code on some program nobody hand-tests.  This package turns the repo's
+existing differential methodology (legacy vs. worklist, fact by fact) on
+its third axis: **two git revisions of the whole toolchain**, compared
+over a generated corpus.
+
+* :mod:`repro.diff.snapshot` — run analyze + optimize + check over a
+  corpus and write one canonical JSON artifact per file (lattice
+  fingerprints and values, sharing classes, audit-certified optimization
+  decisions, checker findings, machine-code digest and instruction
+  counts), byte-stable across processes and hash seeds;
+* :mod:`repro.diff.compare` — pair two artifact trees by corpus-relative
+  path and report a categorized summary ordered by the lattice's own ⊑,
+  with per-category gating so CI can fail on "decisions lost" while
+  tolerating benign churn;
+* :mod:`repro.diff.corpus` — materialize the property suite's program
+  distribution into a committed, seed-manifested ``examples/generated/``
+  corpus.
+"""
+
+from repro.diff.compare import Comparison, compare_trees
+from repro.diff.snapshot import snapshot_corpus, snapshot_program
+
+__all__ = [
+    "Comparison",
+    "compare_trees",
+    "snapshot_corpus",
+    "snapshot_program",
+]

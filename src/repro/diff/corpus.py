@@ -1,0 +1,167 @@
+"""Materialize the property suite's program distribution into a corpus.
+
+``tests/strategies.py`` already defines the generator of well-typed list
+programs the differential suites draw from; this module freezes ~200 of
+its draws into ``examples/generated/`` so two *revisions* can be compared
+over the same inputs.  Determinism is belt-and-braces:
+
+* each program is drawn from a **committed seed** (the manifest records
+  ``{seed, file, sha256}`` per program), and
+* regeneration **verifies the sha256** of every materialized file, so a
+  hypothesis upgrade that silently changes the seed→program mapping fails
+  loudly instead of quietly snapshotting a different corpus.
+
+The generator lives in the test tree, so the import is lazy and failure
+is a clear CLI error, not a stack trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.canonical import canonical_bytes
+
+#: Bumped when the manifest layout changes.
+MANIFEST_SCHEMA = 1
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: How many distinct programs ``gen-corpus`` collects by default.
+DEFAULT_COUNT = 200
+
+#: Give up after this many seeds without reaching ``count`` unique
+#: programs (duplicate draws are expected; an infinite loop is not).
+MAX_SEED_FACTOR = 50
+
+
+class CorpusError(RuntimeError):
+    """Corpus generation or verification failed."""
+
+
+class CorpusDriftError(CorpusError):
+    """Materialized programs no longer match the committed manifest —
+    the seed→program mapping changed under us (hypothesis upgrade?)."""
+
+
+def _strategies():
+    try:
+        from tests.strategies import materialize_program
+    except ImportError as error:  # pragma: no cover - environment-dependent
+        raise CorpusError(
+            "corpus generation needs the test suite's program generator "
+            "(tests/strategies.py) and hypothesis on the path; run from a "
+            f"repo checkout with PYTHONPATH including the repo root ({error})"
+        ) from error
+    return materialize_program
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _draw_text(materialize, seed: int) -> "str | None":
+    """One seed's program as pretty-printed source, ``None`` if the draw
+    fails (hypothesis marks some prefixes invalid; we just move on)."""
+    from repro.lang.pretty import pretty_program
+
+    try:
+        program, _values = materialize(seed)
+        return pretty_program(program)
+    except Exception:
+        return None
+
+
+def load_manifest(corpus_dir: "str | Path") -> "dict | None":
+    path = Path(corpus_dir) / MANIFEST_NAME
+    if not path.is_file():
+        return None
+    manifest = json.loads(path.read_text())
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        raise CorpusError(
+            f"{path}: manifest schema {manifest.get('schema')} != "
+            f"{MANIFEST_SCHEMA}"
+        )
+    return manifest
+
+
+def materialize_manifest(corpus_dir: "str | Path", manifest: dict) -> list[Path]:
+    """Re-draw every program the manifest records and write it out,
+    verifying each sha256.  Raises :class:`CorpusDriftError` naming every
+    drifted entry (all of them, not just the first — drift is a
+    diagnosis, not a traceback)."""
+    materialize = _strategies()
+    out = Path(corpus_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    drifted: list[str] = []
+    for entry in manifest["programs"]:
+        text = _draw_text(materialize, entry["seed"])
+        digest = _sha256(text) if text is not None else "<draw failed>"
+        if digest != entry["sha256"]:
+            drifted.append(
+                f"{entry['file']} (seed {entry['seed']}): "
+                f"expected {entry['sha256'][:12]}, got {digest[:12]}"
+            )
+            continue
+        target = out / entry["file"]
+        target.write_text(text)
+        written.append(target)
+    if drifted:
+        raise CorpusDriftError(
+            "generated corpus drifted from its manifest; the seed->program "
+            "mapping changed (hypothesis or strategy update?). Regenerate "
+            "with --force and re-baseline:\n  " + "\n  ".join(drifted)
+        )
+    return written
+
+
+def generate_corpus(
+    corpus_dir: "str | Path",
+    count: int = DEFAULT_COUNT,
+    start_seed: int = 0,
+    force: bool = False,
+) -> dict:
+    """Grow ``corpus_dir`` with ``count`` distinct generated programs.
+
+    With an existing manifest (and not ``force``), this *re-materializes*
+    the committed corpus instead of drawing a new one — the reproducible
+    path CI takes.  Returns the manifest.
+    """
+    out = Path(corpus_dir)
+    existing = None if force else load_manifest(out)
+    if existing is not None:
+        materialize_manifest(out, existing)
+        return existing
+
+    materialize = _strategies()
+    out.mkdir(parents=True, exist_ok=True)
+    seen: set[str] = set()
+    programs: list[dict] = []
+    seed = start_seed
+    limit = start_seed + count * MAX_SEED_FACTOR
+    while len(programs) < count and seed < limit:
+        text = _draw_text(materialize, seed)
+        seed += 1
+        if text is None:
+            continue
+        digest = _sha256(text)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        name = f"gen-{len(programs):04d}.nml"
+        (out / name).write_text(text)
+        programs.append({"seed": seed - 1, "file": name, "sha256": digest})
+    if len(programs) < count:
+        raise CorpusError(
+            f"only {len(programs)} distinct programs in {limit - start_seed} "
+            f"seeds; wanted {count}"
+        )
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "count": len(programs),
+        "programs": programs,
+    }
+    (out / MANIFEST_NAME).write_bytes(canonical_bytes(manifest))
+    return manifest

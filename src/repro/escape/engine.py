@@ -43,6 +43,39 @@ DEFAULT_ENGINE = "worklist"
 
 _current_default = DEFAULT_ENGINE
 
+#: The one deprecation text for the legacy engine, shared by every caller.
+LEGACY_DEPRECATION = (
+    "warning: --engine legacy is deprecated; it is kept only as the "
+    "differential-testing oracle for the worklist engine"
+)
+
+_legacy_warned = False
+
+
+def warn_legacy_engine(stream=None) -> bool:
+    """Emit the legacy-engine deprecation warning **at most once per
+    process** and return whether this call emitted it.
+
+    Every driver-side entry point that resolves ``engine="legacy"`` (the
+    CLI's ``--engine`` scope, the batch driver) funnels through here, so a
+    fan-out over worker processes or repeated engine resolution cannot
+    multiply the warning.  ``stream`` defaults to ``sys.stderr``.
+    """
+    global _legacy_warned
+    if _legacy_warned:
+        return False
+    _legacy_warned = True
+    import sys
+
+    print(LEGACY_DEPRECATION, file=stream if stream is not None else sys.stderr)
+    return True
+
+
+def reset_legacy_warning() -> None:
+    """Forget that the deprecation was emitted (test isolation hook)."""
+    global _legacy_warned
+    _legacy_warned = False
+
 
 def validate_engine(engine: str) -> str:
     if engine not in ENGINES:

@@ -68,7 +68,10 @@ from repro.types.types import TBool, TFun, TInt, TList, TProd, TVar, Type
 #: digest material (:data:`repro.query.DIGEST_VERSION` chains it), so a
 #: codec change silently invalidates every previously stored entry instead
 #: of misreading it.
-CODEC_VERSION = 1
+#:
+#: 2: entries carry the SCC's sharing classes, so a store hit reproduces
+#: the complete analysis result (warm and cold snapshots byte-match).
+CODEC_VERSION = 2
 
 
 class SerializationError(ValueError):
@@ -471,11 +474,15 @@ def encode_entry(
     iterations: int,
     index: NodeIndex,
     env_names: dict[int, str],
+    sharing: "dict[str, list[str]] | None" = None,
 ) -> dict:
     """A solved SCC (cf. :class:`repro.query._SCCEntry`) as a JSON payload."""
     encoder = ValueEncoder(index, env_names)
     doc = {
         "codec": CODEC_VERSION,
+        "sharing": {
+            name: sorted(members) for name, members in sorted((sharing or {}).items())
+        },
         "values": encoder.encode_env(values),
         "base_env": encoder.encode_env(base_env),
         "iterates": [encoder.encode_env(iterate) for iterate in iterates],
@@ -508,6 +515,10 @@ def decode_entry(payload: dict, program: Program, env: AbsEnv, evaluator) -> dic
             )
         decoder = ValueDecoder(payload["objects"], program, env, evaluator)
         return {
+            "sharing": {
+                str(name): [str(n) for n in members]
+                for name, members in payload.get("sharing", {}).items()
+            },
             "values": decoder.env_map(payload["values"]),
             "base_env": decoder.env_map(payload["base_env"]),
             "iterates": [decoder.env_map(doc) for doc in payload["iterates"]],

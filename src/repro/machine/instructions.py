@@ -107,6 +107,30 @@ class RegionClose(Instr):
     stack is the region scope's result (checked for escapes)."""
 
 
+def flatten(code: Code):
+    """Yield every instruction, recursing through nested closure bodies and
+    branch arms — the machine-code footprint of a program, independent of
+    the nesting structure ``disassemble`` shows."""
+    for instr in code:
+        yield instr
+        if isinstance(instr, MakeClosure):
+            yield from flatten(instr.body)
+        elif isinstance(instr, Branch):
+            yield from flatten(instr.then_code)
+            yield from flatten(instr.else_code)
+
+
+def instruction_counts(code: Code) -> dict[str, int]:
+    """Per-opcode instruction counts of ``code``, nested blocks included —
+    the code-size fact snapshot artifacts carry so the corpus differ can
+    report size deltas per opcode (a lost ``dcons`` shows up here too)."""
+    counts: dict[str, int] = {}
+    for instr in flatten(code):
+        name = type(instr).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def disassemble(code: Code, indent: int = 0) -> str:
     """Human-readable listing, nested blocks indented."""
     pad = "  " * indent

@@ -33,7 +33,7 @@ from repro.lang.ast import (
     uncurry_app,
     uncurry_lambda,
 )
-from repro.lang.errors import AnalysisError, NmlError, OptimizationError
+from repro.lang.errors import NO_SPAN, AnalysisError, NmlError, OptimizationError, SourceSpan
 from repro.obs import tracer as obs
 from repro.opt.reuse import make_reuse_specialization, redirect_body_calls, select_reuse_sites
 from repro.robust.errors import BudgetExceeded
@@ -54,6 +54,11 @@ class Decision:
     param_index: int
     justification: str
     obligation: str = ""  # what a caller must still establish (sharing)
+    #: where the decision lands in the source: the first DCONS site for
+    #: *reuse*, the argument expression for *stack*/*block* — the same span
+    #: the auditor reports against, so a lost decision and the finding that
+    #: killed it point at one place
+    span: SourceSpan = NO_SPAN
 
     def __str__(self) -> str:
         text = f"[{self.kind}] {self.function} param {self.param_index}: {self.justification}"
@@ -148,6 +153,7 @@ def _plan_optimizations(
                         f"the actual argument's top spine is unshared "
                         f"(Theorem 2 or freshness)"
                     ),
+                    span=sites[0].span,
                 )
             )
 
@@ -173,6 +179,7 @@ def _plan_optimizations(
                             f"literal argument; top {result.non_escaping_spines} "
                             f"spine(s) die with the call (L = {result.result})"
                         ),
+                        span=arg.span,
                     )
                 )
                 continue
@@ -191,6 +198,7 @@ def _plan_optimizations(
                             f"produced list's top {result.non_escaping_spines} "
                             f"spine(s) die with the consumer (L = {result.result})"
                         ),
+                        span=arg.span,
                     )
                 )
 

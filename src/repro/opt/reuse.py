@@ -105,13 +105,22 @@ def _is_descendant(node: Expr, ancestor: Expr) -> bool:
     return any(child.uid == node.uid for child in walk(ancestor))
 
 
-def select_reuse_sites(body: Expr, param: str, donor_type=None) -> list[App]:
+def select_reuse_sites(
+    body: Expr, param: str, donor_type=None, unsafe: bool = False
+) -> list[App]:
     """Eligible, pairwise path-disjoint cons sites for donor ``param``.
 
     Pre-order greedy: keep a site if the donor is dead after it, the list it
     builds has the donor's own type (a donor cell can only stand in for a
     cons cell of the same list type — ``dcons`` is typed), and it is neither
     nested in, nor on the same execution path as, a kept site.
+
+    ``unsafe`` drops the liveness and path-disjointness gates (the typing
+    gate stays — an ill-typed ``dcons`` would not even compile) and keeps
+    *every* same-typed saturated cons site.  Only the injected-compiler-bug
+    path (:class:`~repro.robust.faults.FaultPlan` ``unsound_reuse_at``)
+    passes it: the point is to bake a genuinely unsound site selection into
+    the program for the static auditor and the snapshot differ to catch.
     """
     parents = _parent_map(body)
     kept: list[App] = []
@@ -119,6 +128,9 @@ def select_reuse_sites(body: Expr, param: str, donor_type=None) -> list[App]:
         if not _is_saturated_cons(node):
             continue
         if donor_type is not None and node.ty is not None and node.ty != donor_type:
+            continue
+        if unsafe:
+            kept.append(node)
             continue
         if var_used_after(body, node.uid, param) is not False:
             continue
@@ -155,9 +167,12 @@ def make_reuse_specialization(
     if new_name in program.binding_names():
         raise OptimizationError(f"{new_name!r} already exists in the program")
 
-    if faults.take_unsound_reuse():
-        # Injected compiler bug: skip the safety gate entirely, producing a
-        # genuinely unsound specialization for the static auditor to catch.
+    unsound = faults.take_unsound_reuse()
+    if unsound:
+        # Injected compiler bug: skip the escape gate below *and* the
+        # liveness/path-disjointness site gates, producing a genuinely
+        # unsound specialization for the static auditor to catch — even
+        # when the escape facts alone would have licensed the decision.
         force = True
 
     analysis = analysis or EscapeAnalysis(program)
@@ -186,7 +201,7 @@ def make_reuse_specialization(
     # The specialization recurses into itself (APPEND' calls APPEND').
     body = rename_var(body, function, new_name)
 
-    sites = select_reuse_sites(body, param, donor_type=test.param_type)
+    sites = select_reuse_sites(body, param, donor_type=test.param_type, unsafe=unsound)
     if not sites and not force:
         raise OptimizationError(
             f"no eligible cons site in {function} for donor {param!r} "

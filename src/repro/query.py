@@ -225,6 +225,10 @@ class _SCCEntry:
     iterates: list[AbsEnv]
     base_env: AbsEnv
     iterations: int
+    #: the worklist engine's may-share classes for this component
+    #: (name -> sorted members), persisted with the fixpoint so a store
+    #: hit reproduces the complete result, sharing partition included
+    sharing: dict = field(default_factory=dict)
 
 
 class AnalysisSession:
@@ -271,6 +275,9 @@ class AnalysisSession:
         #: values tick their *creating* evaluator, so a query's meter must
         #: be installed on all of them, and cleared afterwards.
         self._evaluators: list[AbstractEvaluator] = []
+        #: sharing classes of every SCC entry a solve touched (cache and
+        #: store hits included) — merged by :meth:`sharing_classes`
+        self._scc_sharing: list[dict] = []
         self._active_meter: "BudgetMeter | None" = None
         self._query_depth = 0
         self._current: QueryStats | None = None
@@ -382,6 +389,10 @@ class AnalysisSession:
             if classes is None:
                 continue
             for name, names in classes().items():
+                seen = True
+                merged.union(("name", name), *(("name", n) for n in names))
+        for classes in self._scc_sharing:
+            for name, names in classes.items():
                 seen = True
                 merged.union(("name", name), *(("name", n) for n in names))
         return merged.name_classes() if seen else {}
@@ -519,12 +530,21 @@ class AnalysisSession:
                         scc_evaluator = self._new_evaluator(chain)
                         knot = Letrec(bindings=scc.bindings, body=program.body)
                         solved_env = scc_evaluator.solve_bindings(knot, env)
+                        classes = getattr(
+                            scc_evaluator, "sharing_classes", None
+                        )
                         entry = _SCCEntry(
                             values={name: solved_env[name] for name in scc.names},
                             traces=list(scc_evaluator.traces),
                             iterates=[dict(it) for it in scc_evaluator.iterates],
                             base_env={name: env[name] for name in dep_names},
                             iterations=max(0, len(scc_evaluator.iterates) - 1),
+                            sharing={
+                                name: sorted(members)
+                                for name, members in (
+                                    classes().items() if classes else ()
+                                )
+                            },
                         )
                     self._scc_cache[digest] = entry
                     self._tally(iterations=entry.iterations)
@@ -535,6 +555,8 @@ class AnalysisSession:
                         iterations=entry.iterations,
                     )
                     self._store_write(digest, scc.names, entry, env, closure)
+            if entry.sharing:
+                self._scc_sharing.append(entry.sharing)
             for name in scc.names:
                 env[name] = entry.values[name]
                 provenance[name] = digest
@@ -577,6 +599,7 @@ class AnalysisSession:
                     iterates=decoded["iterates"],
                     base_env=decoded["base_env"],
                     iterations=decoded["iterations"],
+                    sharing=decoded["sharing"],
                 )
             except SerializationError:
                 payload = None
@@ -619,6 +642,7 @@ class AnalysisSession:
                 entry.iterations,
                 self._node_index,
                 env_names,
+                sharing=entry.sharing,
             )
         except SerializationError:
             return

@@ -177,3 +177,27 @@ def list_function_program(draw) -> tuple[Program, list[int]]:
     resolved = resolve_expr(letrec)
     assert isinstance(resolved, Letrec)
     return Program(letrec=resolved), values
+
+
+def draw_seeded(strategy, seed: int):
+    """One deterministic draw from ``strategy``: the same ``seed`` always
+    yields the same value (on a fixed hypothesis version).
+
+    This is what lets ``repro diff gen-corpus`` *materialize* the property
+    suite's program distribution into a committed corpus: each manifest
+    entry is a seed, and the corpus file is the pretty-printed program that
+    seed draws.  The manifest also records each file's content hash, so a
+    hypothesis upgrade that shifts the distribution is detected loudly
+    instead of silently changing the corpus.
+    """
+    from random import Random
+
+    from hypothesis.internal.conjecture.data import ConjectureData
+
+    return ConjectureData(random=Random(seed)).draw(strategy)
+
+
+def materialize_program(seed: int):
+    """The generated corpus program for ``seed``: ``(program, values)``
+    from one deterministic :func:`list_function_program` draw."""
+    return draw_seeded(list_function_program(), seed)

@@ -288,3 +288,66 @@ class TestExitCodeTaxonomy:
         (corpus / "bad.nml").write_text("][")
         args = ["batch", str(corpus), "--no-store", "--deadline-ms", "0.0001"]
         assert main(args) == 1
+
+
+class TestInputValidation:
+    """collect_inputs rejects bad paths loudly (exit 2 at the CLI) instead
+    of silently analyzing an empty or aliased corpus."""
+
+    def test_nonexistent_path_raises(self, tmp_path):
+        from repro.batch import BatchInputError
+
+        with pytest.raises(BatchInputError, match="no such file"):
+            collect_inputs([tmp_path / "ghost"])
+
+    def test_non_nml_explicit_file_raises(self, tmp_path):
+        from repro.batch import BatchInputError
+
+        readme = tmp_path / "README.md"
+        readme.write_text("not a program")
+        with pytest.raises(BatchInputError, match="not a .nml program"):
+            collect_inputs([readme])
+
+    def test_returns_resolved_paths_deduped_across_aliases(self, corpus):
+        # The same file via its directory and via a ./-style alias must
+        # collapse to ONE resolved entry, not two spellings of it.
+        alias = corpus / "nested" / ".." / "append.nml"
+        found = collect_inputs([alias, corpus])
+        assert [p.name for p in found] == ["append.nml", "rev.nml"]
+        assert all(p.is_absolute() and ".." not in p.parts for p in found)
+
+    def test_cli_exits_2_on_bad_input(self, tmp_path, capsys):
+        assert main(["batch", str(tmp_path / "ghost")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestLegacyDeprecationWarning:
+    """The legacy-engine warning is a driver concern: exactly once per
+    run, regardless of --jobs N (each worker used to re-print it)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.escape.engine import reset_legacy_warning
+
+        reset_legacy_warning()
+        yield
+        reset_legacy_warning()
+
+    def test_parallel_batch_warns_exactly_once(self, corpus, capfd):
+        from repro.escape.engine import LEGACY_DEPRECATION
+
+        args = ["batch", str(corpus), "--no-store", "--jobs", "2",
+                "--engine", "legacy"]
+        assert main(args) == 0
+        err = capfd.readouterr().err
+        assert err.count(LEGACY_DEPRECATION) == 1
+
+    def test_serial_batch_warns_exactly_once(self, corpus, capfd):
+        from repro.escape.engine import LEGACY_DEPRECATION
+
+        assert main(["batch", str(corpus), "--no-store", "--engine", "legacy"]) == 0
+        assert capfd.readouterr().err.count(LEGACY_DEPRECATION) == 1
+
+    def test_worklist_engine_does_not_warn(self, corpus, capfd):
+        assert main(["batch", str(corpus), "--no-store", "--engine", "worklist"]) == 0
+        assert "deprecated" not in capfd.readouterr().err

@@ -412,3 +412,62 @@ class TestExitCodeTaxonomy:
         source = "f x = dcons (cons 1 nil) 2 x; f [1]"
         assert main(["check", "-e", source]) == 4
         capsys.readouterr()
+
+
+class TestCanonicalJson:
+    """Every machine-readable emission is canonical: sorted keys, stable
+    bytes.  The cross-seed test runs real subprocesses because
+    PYTHONHASHSEED is frozen at interpreter start."""
+
+    def test_json_outputs_have_sorted_keys(self, append_file, capsys):
+        for args in (
+            ["report", append_file, "--json"],
+            ["analyze", append_file, "--json"],
+            ["check", append_file, "--json"],
+            ["batch", append_file, "--no-store", "--json"],
+        ):
+            assert main(args) in (0, 4)
+            doc = json.loads(capsys.readouterr().out)
+            assert list(doc) == sorted(doc)
+
+    def test_observe_json_sorted(self, append_file, capsys):
+        assert main(["observe", append_file, "append", "[1]", "[2]"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["observe", append_file, "append", "[1]", "[2]", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert list(doc) == sorted(doc)
+
+    # check/batch --json carry wall-clock timings, so full byte identity
+    # is only demanded of the timing-free outputs (snapshot artifacts pin
+    # the corpus-scale version of this property in test_diff.py).
+    @pytest.mark.parametrize(
+        "args",
+        [
+            ["report", "{path}", "--json"],
+            ["analyze", "{path}", "--json"],
+        ],
+        ids=["report", "analyze"],
+    )
+    def test_byte_identical_across_hash_seeds(self, append_file, args):
+        import os
+        import subprocess
+        import sys
+
+        outputs = []
+        for seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            result = subprocess.run(
+                [sys.executable, "-m", "repro"]
+                + [a.format(path=append_file) for a in args],
+                capture_output=True,
+                env=env,
+                cwd=os.getcwd(),
+            )
+            assert result.returncode == 0, result.stderr.decode()
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1]
