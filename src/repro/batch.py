@@ -97,6 +97,9 @@ class FileReport:
     #: per-file profile summary replayed from the merged trace shards
     #: (``repro batch --profile --json``), else ``None``
     profile: "dict | None" = None
+    #: execution-under-GC summary when the batch ran ``--gc`` (collector
+    #: name, gc counters, sanitizer verdict), else ``None``
+    gc: "dict | None" = None
 
     def line(self) -> str:
         if self.quarantined:
@@ -124,6 +127,15 @@ class FileReport:
                 f"{self.check.get('warning', 0)} warning(s) / "
                 f"{self.check.get('hint', 0)} hint(s)"
             )
+        if self.gc is not None:
+            if self.gc.get("error"):
+                text += f", gc[{self.gc.get('collector')}] ERROR {self.gc['error']}"
+            else:
+                text += (
+                    f", gc[{self.gc.get('collector')}] "
+                    f"{self.gc.get('marked', 0)} marked / "
+                    f"{self.gc.get('swept', 0)} swept"
+                )
         return text
 
 
@@ -278,6 +290,7 @@ class BatchReport:
                     **({"attempts": r.attempts} if r.attempts > 1 else {}),
                     **({"trace_id": r.trace_id} if r.trace_id else {}),
                     **({"profile": r.profile} if r.profile is not None else {}),
+                    **({"gc": r.gc} if r.gc is not None else {}),
                 }
                 for r in self.reports
             ],
@@ -325,6 +338,49 @@ def collect_inputs(paths: "list[str | Path]") -> list[Path]:
     return inputs
 
 
+def execute_under_collector(
+    program, collector: str, gc_threshold: int = 256
+) -> dict:
+    """Execute ``program`` under ``collector`` with the sanitizer armed and
+    a tight allocation trigger; returns a picklable summary (never raises —
+    runtime errors are contained in the ``error`` key).
+
+    The liveness collector's budgets come from a fresh
+    :func:`repro.analysis.heap_liveness.analyze_program` pass; degraded
+    facts run as full-reachability marking (the summary records it).
+    """
+    from repro.semantics.interp import Interpreter
+
+    summary: dict = {"collector": collector, "ok": True}
+    budgets = None
+    if collector == "liveness":
+        from repro.analysis.heap_liveness import analyze_program
+
+        facts = analyze_program(program)
+        summary["facts_degraded"] = facts.degraded
+        budgets = None if facts.degraded else facts.budget_map()
+    try:
+        interp = Interpreter(
+            auto_gc=True,
+            gc_threshold=gc_threshold,
+            sanitize=True,
+            collector=collector,
+            liveness=budgets,
+        )
+        interp.run(program)
+    except Exception as error:
+        summary["ok"] = False
+        summary["error"] = f"{type(error).__name__}: {error}"
+        return summary
+    summary.update(
+        runs=interp.metrics.gc_runs,
+        marked=interp.metrics.gc_marked,
+        swept=interp.metrics.gc_swept,
+        sanitizer_clean=interp.sanitizer.clean if interp.sanitizer else True,
+    )
+    return summary
+
+
 def analyze_one(
     path: str,
     store_root: str | None,
@@ -333,6 +389,8 @@ def analyze_one(
     check: bool = False,
     deadline_ms: float | None = None,
     engine: str | None = None,
+    collector: str | None = None,
+    gc_threshold: int = 256,
 ) -> FileReport:
     """Worker body: fully analyze one file (every function, every
     parameter — the same questions ``repro report`` asks), sharing SCC
@@ -385,6 +443,10 @@ def analyze_one(
                 report.check = check_program(program, path=str(path)).counts()
             except Exception as error:  # contained like an analysis error
                 report.check_error = f"{type(error).__name__}: {error}"
+        if collector is not None:
+            report.gc = execute_under_collector(
+                program, collector, gc_threshold=gc_threshold
+            )
         return report
     except Exception as error:  # a bad corpus file must not sink the batch
         return FileReport(
@@ -816,6 +878,8 @@ def run_batch(
     retry: RetryPolicy | None = None,
     fault_plan=None,
     engine: str | None = None,
+    collector: str | None = None,
+    gc_threshold: int = 256,
     trace: bool = False,
     trace_dir: "str | Path | None" = None,
     worker=None,
@@ -856,6 +920,7 @@ def run_batch(
         warn_legacy_engine()
     work = [
         (str(p), root, d, max_iterations, check, deadline_ms, engine)
+        + ((collector, gc_threshold) if worker is None else ())
         + (tuple(worker_extra(p)) if worker_extra is not None else ())
         for p in inputs
     ]

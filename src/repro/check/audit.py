@@ -201,6 +201,8 @@ def audit_program(program: Program) -> list[Diagnostic]:
     param_index: dict[str, dict[str, int]] = {}
     #: function -> cached global test results (None = analysis failed)
     global_cache: dict[str, list | None] = {}
+    #: lazily computed interprocedural heap-liveness facts (False = failed)
+    liveness_cache: list = []
 
     def global_results(name: str):
         # Any engine failure — typed AnalysisError or an internal crash on
@@ -215,11 +217,44 @@ def audit_program(program: Program) -> list[Diagnostic]:
                 global_cache[name] = None
         return global_cache[name]
 
+    def donor_dead_after(fn_name: str, site_uid: int, donor: str) -> bool:
+        # Interprocedural sharpening of the AUD004 liveness justification:
+        # heap-liveness facts (repro.analysis.heap_liveness) can certify a
+        # donor dead past the reuse even when the syntactic scan sees a
+        # later occurrence (e.g. a null test, or a call whose summary never
+        # reads that parameter's cells).  Certifications only ever compose
+        # by OR with the syntactic answer, so the audit never certifies
+        # *fewer* decisions than before; any failure keeps the
+        # conservative answer.
+        if not liveness_cache:
+            try:
+                from repro.analysis.heap_liveness import analyze_program
+
+                liveness_cache.append(analyze_program(program))
+            except Exception:
+                liveness_cache.append(None)
+        facts = liveness_cache[0]
+        if facts is None or facts.degraded:
+            return False
+        from repro.analysis.heap_liveness import donor_live_after
+
+        try:
+            return donor_live_after(program, fn_name, site_uid, donor, facts) is False
+        except Exception:
+            return False
+
     for binding in program.bindings:
         params, body = uncurry_lambda(binding.expr)
         param_index[binding.name] = {p: i for i, p in enumerate(params, start=1)}
         _audit_dcons_sites(
-            binding.name, params, body, analysis, global_results, donors_by_function, out
+            binding.name,
+            params,
+            body,
+            analysis,
+            global_results,
+            donor_dead_after,
+            donors_by_function,
+            out,
         )
         # Hints scan the erased body: a dcons the function already does is
         # not a missed opportunity, and fresh cons sites read identically.
@@ -241,6 +276,7 @@ def _audit_dcons_sites(
     body: Expr,
     analysis: EscapeResults,
     global_results,
+    donor_dead_after,
     donors_by_function: dict[str, set[str]],
     out: list[Diagnostic],
 ) -> None:
@@ -318,9 +354,12 @@ def _audit_dcons_sites(
                 )
 
         # -- liveness justification (§6): no further use of the donor after
-        #    the reuse site, on any path.
+        #    the reuse site, on any path — certified either by the
+        #    syntactic scan or by the interprocedural heap-liveness facts.
         for site in donor_sites:
-            if var_used_after(body, site.uid, donor) is not False:
+            if var_used_after(body, site.uid, donor) is not False and not (
+                donor_dead_after(name, site.uid, donor)
+            ):
                 out.append(
                     Diagnostic(
                         AUD004,

@@ -1,8 +1,11 @@
 """The nml lint pass: source-level hygiene over resolved ASTs.
 
-Purely syntactic — no type inference, no abstract interpretation — so it
-runs on any program that parses, and every finding anchors to the
-:class:`~repro.lang.errors.SourceSpan` the parser attached.  The rules:
+Rules LNT001–LNT005 are purely syntactic — no type inference, no abstract
+interpretation — so they run on any program that parses, and every finding
+anchors to the :class:`~repro.lang.errors.SourceSpan` the parser attached.
+LNT006 is the one analysis-backed rule: it consults the interprocedural
+heap-liveness facts (:mod:`repro.analysis.heap_liveness`) and silently
+skips when the analysis is unavailable or degraded.  The rules:
 
 * **LNT001** shadowing — a ``lambda`` parameter or ``letrec`` binding
   rebinds a name already bound in an enclosing scope;
@@ -13,7 +16,11 @@ runs on any program that parses, and every finding anchors to the
 * **LNT004** non-productive recursion — a recursive binding every one of
   whose execution paths immediately recurses (no base case: ``f x = f x``);
 * **LNT005** primitive misuse — a primitive applied to more arguments than
-  its arity.
+  its arity;
+* **LNT006** dead-after-bind — a top-level value binding allocates cons
+  cells whose contents the heap-liveness facts prove nothing ever reads
+  (use depth 0): the allocation is pure heap pressure a liveness-directed
+  collector will reclaim, but not allocating is better still.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from repro.lang.ast import (
     Var,
     uncurry_app,
     uncurry_lambda,
+    walk,
 )
 from repro.opt.liveness import uses_var
 
@@ -69,6 +77,13 @@ LNT005 = rule(
     "lint",
     "a primitive is applied to more arguments than its arity",
 )
+LNT006 = rule(
+    "LNT006",
+    "dead-after-bind",
+    CheckSeverity.HINT,
+    "lint",
+    "a binding allocates cons cells no use ever reads",
+)
 
 
 def lint_program(program: Program) -> list[Diagnostic]:
@@ -79,7 +94,46 @@ def lint_program(program: Program) -> list[Diagnostic]:
         _lint_expr(binding.expr, top_names, binding.name, out)
         _check_productive(binding.name, binding.expr, binding.span, out)
     _lint_expr(top.body, top_names, "<body>", out)
+    _check_dead_after_bind(program, out)
     return out
+
+
+def _check_dead_after_bind(program: Program, out: list[Diagnostic]) -> None:
+    """LNT006: a non-function top-level binding that builds cons cells but
+    whose heap-liveness use depth is 0 — every later occurrence is a
+    depth-0 use (a bare ``null`` test, or a call whose summary never
+    touches that parameter's cells), or there is no use at all."""
+    candidates = [
+        b
+        for b in program.bindings
+        if not isinstance(b.expr, Lambda)
+        and any(
+            isinstance(n, Prim) and n.name in ("cons", "dcons")
+            for n in walk(b.expr)
+        )
+    ]
+    if not candidates:
+        return
+    try:
+        from repro.analysis.heap_liveness import analyze_program
+
+        facts = analyze_program(program)
+    except Exception:
+        return
+    if facts.degraded:
+        return
+    for binding in candidates:
+        if facts.use_depth(binding.name) == 0:
+            out.append(
+                Diagnostic(
+                    LNT006,
+                    f"{binding.name!r} allocates cons cells, but no use ever "
+                    "reads them (heap-liveness depth 0); the allocation is "
+                    "dead weight",
+                    span=binding.span,
+                    context=binding.name,
+                )
+            )
 
 
 def _lint_expr(

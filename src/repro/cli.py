@@ -154,6 +154,51 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_gc_arg(parser: argparse.ArgumentParser, help_prefix: str = "") -> None:
+    """The ``--gc [COLLECTOR]`` flag: bare ``--gc`` keeps the historical
+    mark-sweep default, ``--gc liveness|copying`` picks a zoo member."""
+    from repro.semantics.gc import COLLECTORS
+
+    parser.add_argument(
+        "--gc",
+        nargs="?",
+        const="mark-sweep",
+        default=None,
+        choices=COLLECTORS,
+        metavar="COLLECTOR",
+        help=f"{help_prefix}enable GC; optionally pick the collector "
+        f"({', '.join(COLLECTORS)}; bare --gc means mark-sweep)",
+    )
+
+
+def _liveness_budgets(program) -> "dict[str, int | None] | None":
+    """Per-binder live-depth budgets for the liveness collector; ``None``
+    (full marking) when the static analysis cannot promise anything."""
+    from repro.analysis.heap_liveness import analyze_program
+
+    facts = analyze_program(program)
+    if facts.degraded:
+        print(
+            "warning: heap-liveness analysis degraded; the liveness "
+            "collector falls back to full-reachability marking",
+            file=sys.stderr,
+        )
+        return None
+    return facts.budget_map()
+
+
+def _runtime_gc_kwargs(args: argparse.Namespace, program) -> dict:
+    """Collector construction kwargs shared by ``run`` and ``trace``."""
+    collector = args.gc or "mark-sweep"
+    return dict(
+        auto_gc=args.gc is not None,
+        collector=collector,
+        liveness=(
+            _liveness_budgets(program) if collector == "liveness" else None
+        ),
+    )
+
+
 @contextmanager
 def _obs_scope(args: argparse.Namespace):
     """Activate a tracer around a command when ``--trace``/``--profile``
@@ -243,15 +288,16 @@ def _finish_degraded(args: argparse.Namespace, messages: list[str]) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args)
+    gc_kwargs = _runtime_gc_kwargs(args, program)
     if args.machine:
         from repro.machine.machine import Machine
 
         runtime = Machine(
-            auto_gc=args.gc, gc_threshold=args.gc_threshold, sanitize=args.sanitize
+            gc_threshold=args.gc_threshold, sanitize=args.sanitize, **gc_kwargs
         )
     else:
         runtime = Interpreter(
-            auto_gc=args.gc, gc_threshold=args.gc_threshold, sanitize=args.sanitize
+            gc_threshold=args.gc_threshold, sanitize=args.sanitize, **gc_kwargs
         )
     value = runtime.run(program)
     print(runtime.to_python(value))
@@ -542,7 +588,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         with activate(Tracer(sinks=sinks)):
             global_table(program)
             if args.run:
-                runtime = Interpreter(auto_gc=args.gc)
+                runtime = Interpreter(**_runtime_gc_kwargs(args, program))
                 runtime.run(program)
     finally:
         if jsonl is not None:
@@ -638,6 +684,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         timeout_s=args.timeout_ms / 1000.0 if args.timeout_ms is not None else None,
         retry=retry,
         engine=args.engine,
+        collector=args.gc,
+        gc_threshold=args.gc_threshold,
     )
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
@@ -813,6 +861,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_root=args.store,
         default_deadline_ms=args.deadline_ms,
         quiet=not args.verbose,
+        collector=args.gc,
     )
 
 
@@ -893,7 +942,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = commands.add_parser("run", help="evaluate a program")
     _add_program_arg(run_parser)
     run_parser.add_argument("--metrics", action="store_true", help="print storage counters")
-    run_parser.add_argument("--gc", action="store_true", help="enable the mark-sweep GC")
+    _add_gc_arg(run_parser)
     run_parser.add_argument("--gc-threshold", type=int, default=10_000)
     run_parser.add_argument(
         "--machine", action="store_true", help="run on the compiled abstract machine"
@@ -992,7 +1041,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--run", action="store_true", help="also execute the program under the tracer"
     )
-    trace_parser.add_argument("--gc", action="store_true", help="with --run: enable GC")
+    _add_gc_arg(trace_parser, help_prefix="with --run: ")
     trace_parser.add_argument(
         "--profile", action="store_true", help="print a profile report to stderr"
     )
@@ -1057,6 +1106,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--seed", type=int, default=0, help="jitter seed (default: 0)"
+    )
+    _add_gc_arg(
+        batch_parser, help_prefix="also execute each file under this collector: "
+    )
+    batch_parser.add_argument(
+        "--gc-threshold",
+        type=int,
+        default=256,
+        help="with --gc: allocation-budget trigger per execution (default: 256)",
     )
     _add_engine_arg(batch_parser)
     _add_obs_args(batch_parser)
@@ -1188,6 +1246,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log each request to stderr"
+    )
+    _add_gc_arg(
+        serve_parser, help_prefix="default collector for validated optimize requests: "
     )
     _add_engine_arg(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)

@@ -8,6 +8,10 @@ Artifacts are paired by corpus-relative path and compared *semantically*:
   above the base value is a **weakening** (the analysis claims less), one
   strictly below is a strengthening; string equality would miscount both
   directions as the same kind of churn;
+* heap-liveness facts through the live-depth order ``0 ⊑ 1 ⊑ … ⊑ ⊤``: a
+  binder whose joined use depth goes up — or a fact set that degrades to
+  all-``⊤`` — is a **weakening** (the liveness-directed collector loses
+  reclaim opportunities), a depth that goes down is a strengthening;
 * diagnostics by :meth:`repro.check.diagnostics.Diagnostic.identity`
   (rule + span + context, not message wording);
 * machine code by listing digest, with per-opcode size deltas.
@@ -42,6 +46,8 @@ CATEGORIES = (
     "decision_decertified",
     "lattice_weakened",
     "lattice_strengthened",
+    "liveness_weakened",
+    "liveness_strengthened",
     "binding_changed",
     "sharing_changed",
     "diagnostic_new_error",
@@ -59,6 +65,7 @@ DEFAULT_GATE = frozenset(
         "decision_lost",
         "decision_decertified",
         "lattice_weakened",
+        "liveness_weakened",
         "diagnostic_new_error",
     }
 )
@@ -293,6 +300,45 @@ def _compare_bindings(rel: str, base: dict, head: dict, out: Comparison) -> None
         out.add("sharing_changed", path=rel, bindings=changed)
 
 
+def _depth_leq(a: "int | None", b: "int | None") -> bool:
+    """``a ⊑ b`` in the live-depth order (``None`` is ``⊤``)."""
+    if b is None:
+        return True
+    if a is None:
+        return False
+    return a <= b
+
+
+def _decode_depth(text: str) -> "int | None":
+    return None if text == "top" else int(text)
+
+
+def _compare_liveness(rel: str, base: dict, head: dict, out: Comparison) -> None:
+    base_live = base.get("liveness", {})
+    head_live = head.get("liveness", {})
+    if base_live == head_live:
+        return
+    if not base_live.get("degraded") and head_live.get("degraded"):
+        out.add("liveness_weakened", path=rel, change="facts degraded to ⊤")
+        return
+    if base_live.get("degraded") and not head_live.get("degraded"):
+        out.add("liveness_strengthened", path=rel, change="facts recovered")
+        return
+    base_use = base_live.get("use", {})
+    head_use = head_live.get("use", {})
+    for name in sorted(set(base_use) & set(head_use)):
+        if base_use[name] == head_use[name]:
+            continue
+        b, h = _decode_depth(base_use[name]), _decode_depth(head_use[name])
+        out.add(
+            "liveness_weakened" if _depth_leq(b, h) else "liveness_strengthened",
+            path=rel,
+            binding=name,
+            base=base_use[name],
+            head=head_use[name],
+        )
+
+
 def _finding_key(finding: dict) -> tuple:
     return (finding["rule"], finding["span"] or "", finding["context"])
 
@@ -376,6 +422,7 @@ def compare_artifacts(rel: str, base: dict, head: dict, out: Comparison) -> None
             head=head.get("provenance"),
         )
     _compare_bindings(rel, base, head, out)
+    _compare_liveness(rel, base, head, out)
     _compare_decisions(rel, base, head, out)
     _compare_diagnostics(rel, base, head, out)
     _compare_machine(rel, base, head, out)

@@ -8,6 +8,10 @@ form:
   lattice **values** ``{escapes, spines}`` so the differ can apply the
   ``B_e`` order rather than string equality;
 * **sharing classes** from the worklist engine's union-find partition;
+* per-binding **heap-liveness facts** (:mod:`repro.analysis.heap_liveness`):
+  the interprocedural summaries and the joined per-binder use depths the
+  liveness-directed collector budgets on — a depth that goes *up* (or a
+  fact set that degrades to ``⊤``) is a weakening the differ gates on;
 * **optimization decisions** with justification, obligation, and span —
   but only *audit-certified* ones: a decision whose specialization the
   independent auditor (:mod:`repro.check.audit`) condemns is recorded
@@ -40,7 +44,8 @@ from repro.lang.errors import NO_SPAN
 
 #: Bumped whenever the artifact layout changes incompatibly; compare
 #: refuses to pair artifacts across schema versions.
-ARTIFACT_SCHEMA = 1
+#: 2: artifacts carry a canonical per-binding heap-liveness section.
+ARTIFACT_SCHEMA = 2
 
 #: The snapshot tree's index file (not a per-file artifact).
 INDEX_NAME = "_snapshot.json"
@@ -145,6 +150,16 @@ def snapshot_program(program, rel: str, store=None, engine: "str | None" = None,
         for name, members in analysis.sharing_classes().items()
     }
 
+    # Heap-liveness facts ride the session's SCC-memoized summaries, so a
+    # warm snapshot decodes exactly what the cold one computed — the
+    # section is byte-stable across store warmth, hash seeds, and --jobs.
+    from repro.analysis.heap_liveness import degraded_facts
+
+    try:
+        liveness = analysis.heap_liveness().to_json()
+    except Exception:
+        liveness = degraded_facts(program, cap=solved.d + 1).to_json()
+
     plan = plan_optimizations(program, session=analysis.session)
     optimized, steps = apply_plan(plan)
     report = check_program(optimized, path=rel)
@@ -216,6 +231,7 @@ def snapshot_program(program, rel: str, store=None, engine: "str | None" = None,
         },
         "bindings": bindings,
         "sharing": sharing,
+        "liveness": liveness,
         "decisions": decisions,
         "decertified": decertified,
         "optimize_log": list(steps),

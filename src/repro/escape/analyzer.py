@@ -270,3 +270,22 @@ class EscapeAnalysis:
         Theorem-2 top-spine bound."""
         self.solve(None)
         return self.session.sharing_classes()
+
+    def heap_liveness(self):
+        """Interprocedural heap-liveness facts
+        (:class:`repro.analysis.heap_liveness.HeapLivenessFacts`) from the
+        session's SCC-memoized summaries — warm solves decode the same
+        facts the cold solve computed.  Degraded (all-⊤) when any
+        binding's summary is unavailable."""
+        from repro.analysis.heap_liveness import facts_from_summaries
+
+        solved = self.solve(None)
+        decoded = {}
+        from repro.analysis.heap_liveness import decode_summary
+
+        for name, payload in solved.liveness.items():
+            try:
+                decoded[name] = decode_summary(payload)
+            except Exception:
+                continue
+        return facts_from_summaries(solved.program, decoded, cap=solved.d + 1)

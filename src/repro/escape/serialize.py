@@ -71,7 +71,11 @@ from repro.types.types import TBool, TFun, TInt, TList, TProd, TVar, Type
 #:
 #: 2: entries carry the SCC's sharing classes, so a store hit reproduces
 #: the complete analysis result (warm and cold snapshots byte-match).
-CODEC_VERSION = 2
+#:
+#: 3: entries carry the SCC's heap-liveness summaries
+#: (:mod:`repro.analysis.heap_liveness`), so warm solves reproduce the
+#: liveness facts the collector zoo and the diff artifacts consume.
+CODEC_VERSION = 3
 
 
 class SerializationError(ValueError):
@@ -475,6 +479,7 @@ def encode_entry(
     index: NodeIndex,
     env_names: dict[int, str],
     sharing: "dict[str, list[str]] | None" = None,
+    liveness: "dict[str, dict] | None" = None,
 ) -> dict:
     """A solved SCC (cf. :class:`repro.query._SCCEntry`) as a JSON payload."""
     encoder = ValueEncoder(index, env_names)
@@ -482,6 +487,9 @@ def encode_entry(
         "codec": CODEC_VERSION,
         "sharing": {
             name: sorted(members) for name, members in sorted((sharing or {}).items())
+        },
+        "liveness": {
+            name: summary for name, summary in sorted((liveness or {}).items())
         },
         "values": encoder.encode_env(values),
         "base_env": encoder.encode_env(base_env),
@@ -518,6 +526,10 @@ def decode_entry(payload: dict, program: Program, env: AbsEnv, evaluator) -> dic
             "sharing": {
                 str(name): [str(n) for n in members]
                 for name, members in payload.get("sharing", {}).items()
+            },
+            "liveness": {
+                str(name): dict(summary)
+                for name, summary in payload.get("liveness", {}).items()
             },
             "values": decoder.env_map(payload["values"]),
             "base_env": decoder.env_map(payload["base_env"]),

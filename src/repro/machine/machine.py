@@ -37,7 +37,7 @@ from repro.machine.instructions import (
     Store,
 )
 from repro.robust import faults
-from repro.semantics.gc import MarkSweepGC
+from repro.semantics.gc import make_collector
 from repro.semantics.heap import AllocKind, Heap, Region, StorageSanitizer
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.prims import exec_prim
@@ -73,11 +73,15 @@ class Machine:
         gc_threshold: int = 10_000,
         auto_gc: bool = False,
         sanitize: bool = False,
+        collector: str = "mark-sweep",
+        liveness: "dict[str, int | None] | None" = None,
     ):
         self.metrics = StorageMetrics()
         self.sanitizer = StorageSanitizer() if sanitize else None
         self.heap = Heap(self.metrics, sanitizer=self.sanitizer)
-        self.gc = MarkSweepGC(self.heap, threshold=gc_threshold)
+        self.gc = make_collector(
+            collector, self.heap, threshold=gc_threshold, budgets=liveness
+        )
         self.auto_gc = auto_gc
         self.stack: list[Value] = []
         self.frames: list[Frame] = []

@@ -42,6 +42,12 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.analysis.heap_liveness import (
+    LivenessSummary,
+    decode_summary,
+    encode_summary,
+    summarize_scc,
+)
 from repro.escape.abstract import AbsEnv, AbstractEvaluator, FixpointTrace
 from repro.escape.domain import EscapeValue
 from repro.escape.engine import default_engine, make_evaluator, validate_engine
@@ -135,6 +141,12 @@ class SolvedProgram:
     #: Per-binding provenance digest of the component that solved it — the
     #: key its fixpoint is cached (and stored) under.
     scc_digests: dict[str, str] = field(default_factory=dict)
+    #: Per-binding heap-liveness summaries (encoded,
+    #: cf. :func:`repro.analysis.heap_liveness.encode_summary`), collected
+    #: from the same SCC entries as the lattice values so warm and cold
+    #: solves expose identical facts.  Empty for bindings whose summary
+    #: could not be computed — consumers degrade to ``⊤``.
+    liveness: dict[str, dict] = field(default_factory=dict)
 
     def trace(self, name: str) -> FixpointTrace:
         for t in self.traces:
@@ -229,6 +241,10 @@ class _SCCEntry:
     #: (name -> sorted members), persisted with the fixpoint so a store
     #: hit reproduces the complete result, sharing partition included
     sharing: dict = field(default_factory=dict)
+    #: the component's heap-liveness summaries (name -> encoded summary),
+    #: persisted alongside so the collector zoo and diff artifacts see the
+    #: same facts warm and cold
+    liveness: dict = field(default_factory=dict)
 
 
 class AnalysisSession:
@@ -465,7 +481,9 @@ class AnalysisSession:
         )
         chain = BeChain(d)
         evaluator = self._new_evaluator(chain)
-        env, traces, scc_iterates, scc_digests = self._solve_sccs(program, d, chain)
+        env, traces, scc_iterates, scc_digests, liveness = self._solve_sccs(
+            program, d, chain
+        )
         return SolvedProgram(
             inference=inference,
             evaluator=evaluator,
@@ -475,14 +493,26 @@ class AnalysisSession:
             traces=traces,
             scc_iterates=scc_iterates,
             scc_digests=scc_digests,
+            liveness=liveness,
         )
 
     def _solve_sccs(
         self, program: Program, d: int, chain: BeChain
-    ) -> tuple[AbsEnv, list[FixpointTrace], dict[str, list[AbsEnv]], dict[str, str]]:
+    ) -> tuple[
+        AbsEnv,
+        list[FixpointTrace],
+        dict[str, list[AbsEnv]],
+        dict[str, str],
+        dict[str, dict],
+    ]:
         if self._node_index is not None:
             self._node_index.add_program(program)
         env: AbsEnv = {}
+        #: decoded heap-liveness summaries of every binding solved so far
+        #: (the dependency scope for later SCCs' summaries)
+        liveness_env: dict[str, LivenessSummary] = {}
+        #: the encoded form, accumulated for :attr:`SolvedProgram.liveness`
+        liveness_out: dict[str, dict] = {}
         #: binding name -> digest of the component that solved it
         provenance: dict[str, str] = {}
         #: binding name -> every name in its transitive dependency cone
@@ -533,6 +563,18 @@ class AnalysisSession:
                         classes = getattr(
                             scc_evaluator, "sharing_classes", None
                         )
+                        try:
+                            summaries = summarize_scc(
+                                scc.bindings, dict(liveness_env), cap=d + 1
+                            )
+                            scc_liveness = {
+                                name: encode_summary(summary)
+                                for name, summary in sorted(summaries.items())
+                            }
+                        except Exception:
+                            # No summary beats a wrong one: consumers treat
+                            # the missing entry as ⊤ (degraded facts).
+                            scc_liveness = {}
                         entry = _SCCEntry(
                             values={name: solved_env[name] for name in scc.names},
                             traces=list(scc_evaluator.traces),
@@ -545,6 +587,7 @@ class AnalysisSession:
                                     classes().items() if classes else ()
                                 )
                             },
+                            liveness=scc_liveness,
                         )
                     self._scc_cache[digest] = entry
                     self._tally(iterations=entry.iterations)
@@ -557,6 +600,12 @@ class AnalysisSession:
                     self._store_write(digest, scc.names, entry, env, closure)
             if entry.sharing:
                 self._scc_sharing.append(entry.sharing)
+            for name, payload in sorted(entry.liveness.items()):
+                try:
+                    liveness_env[name] = decode_summary(payload)
+                except Exception:
+                    continue
+                liveness_out[name] = payload
             for name in scc.names:
                 env[name] = entry.values[name]
                 provenance[name] = digest
@@ -567,7 +616,7 @@ class AnalysisSession:
             traces.extend(entry.traces)
         order = {name: i for i, name in enumerate(program.binding_names())}
         traces.sort(key=lambda t: order[t.name])
-        return env, traces, scc_iterates, provenance
+        return env, traces, scc_iterates, provenance, liveness_out
 
     # -- the on-disk tier ---------------------------------------------------
 
@@ -600,6 +649,7 @@ class AnalysisSession:
                     base_env=decoded["base_env"],
                     iterations=decoded["iterations"],
                     sharing=decoded["sharing"],
+                    liveness=decoded["liveness"],
                 )
             except SerializationError:
                 payload = None
@@ -643,6 +693,7 @@ class AnalysisSession:
                 self._node_index,
                 env_names,
                 sharing=entry.sharing,
+                liveness=entry.liveness,
             )
         except SerializationError:
             return

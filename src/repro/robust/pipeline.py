@@ -80,11 +80,18 @@ def harden_optimize(
     program: Program,
     budget: AnalysisBudget | None = None,
     validate: bool = False,
+    collector: "str | None" = None,
 ) -> HardenedPipelineResult:
     """Plan and apply every licensed optimization, degrading soundly.
 
     Fatal errors (untypeable program, tripped soundness tripwires outside
     the validation run) propagate; everything else is recorded and skipped.
+
+    With ``collector`` set, the validation run executes the optimized
+    program under that zoo member (:mod:`repro.semantics.gc`) with the GC
+    armed — a collector-induced misbehaviour (wrong result, sanitizer
+    halt) discards the transforms exactly like any other validation
+    failure.
     """
     meter = (budget or AnalysisBudget()).start()
     result = HardenedPipelineResult(program=program)
@@ -136,9 +143,19 @@ def harden_optimize(
         from repro.semantics.interp import run_program
 
         faults.check_stage("validate")
+        run_kwargs: dict = {"sanitize": True}
+        if collector is not None:
+            run_kwargs.update(auto_gc=True, gc_threshold=64, collector=collector)
+            if collector == "liveness":
+                from repro.analysis.heap_liveness import analyze_program
+
+                facts = analyze_program(current)
+                run_kwargs["liveness"] = (
+                    None if facts.degraded else facts.budget_map()
+                )
         baseline, _ = run_program(program)  # failures here are the program's own
         try:
-            optimized, _ = run_program(current, sanitize=True)
+            optimized, _ = run_program(current, **run_kwargs)
         except Exception as error:
             # Anything wrong with the *transformed* program — including a
             # tripped UseAfterFreeError — discards the transforms.

@@ -41,7 +41,7 @@ from repro.lang.errors import EvalError
 from repro.lang.parser import parse_expr
 from repro.obs import tracer as obs
 from repro.robust import faults
-from repro.semantics.gc import MarkSweepGC
+from repro.semantics.gc import make_collector
 from repro.semantics.heap import AllocKind, Heap, StorageSanitizer
 from repro.semantics.metrics import StorageMetrics
 from repro.semantics.values import (
@@ -74,6 +74,8 @@ class Interpreter:
         auto_gc: bool = False,
         recursion_limit: int = 100_000,
         sanitize: bool = False,
+        collector: str = "mark-sweep",
+        liveness: "dict[str, int | None] | None" = None,
     ):
         self.metrics = StorageMetrics()
         #: opt-in storage-safety sanitizer: detects use-after-reuse through
@@ -81,7 +83,9 @@ class Interpreter:
         #: reclamation of cells still reachable from live roots
         self.sanitizer = StorageSanitizer() if sanitize else None
         self.heap = Heap(self.metrics, sanitizer=self.sanitizer)
-        self.gc = MarkSweepGC(self.heap, threshold=gc_threshold)
+        self.gc = make_collector(
+            collector, self.heap, threshold=gc_threshold, budgets=liveness
+        )
         self.auto_gc = auto_gc
         self.recursion_limit = recursion_limit
         # GC roots: the envs of all active eval frames plus the temporary

@@ -114,11 +114,21 @@ class AnalysisService:
         policy: ResiliencePolicy | None = None,
         metrics: MetricsRegistry | None = None,
         flight: FlightRecorder | None = None,
+        collector: "str | None" = None,
     ):
+        from repro.semantics.gc import COLLECTORS
         from repro.store import AnalysisStore
 
         self.store = AnalysisStore(store_root) if store_root else None
         self.default_deadline_ms = default_deadline_ms
+        #: default collector for validated optimize requests (requests may
+        #: override via their ``gc`` field)
+        if collector is not None and collector not in COLLECTORS:
+            raise ValueError(
+                f"unknown collector {collector!r}; expected one of "
+                f"{', '.join(COLLECTORS)}"
+            )
+        self.collector = collector
         self.metrics = metrics or MetricsRegistry()
         #: The daemon's black box (always on; ``/debug/flight`` reads it).
         self.flight = flight or FlightRecorder(
@@ -310,11 +320,20 @@ class AnalysisService:
     def _do_optimize(self, program, payload: dict) -> tuple[int, dict]:
         from repro.lang.pretty import pretty_program
         from repro.robust.pipeline import harden_optimize
+        from repro.semantics.gc import COLLECTORS
 
+        collector = payload.get("gc", self.collector)
+        if collector is not None and collector not in COLLECTORS:
+            return 400, {
+                "ok": False,
+                "error": f"unknown collector {collector!r}; expected one of "
+                f"{', '.join(COLLECTORS)}",
+            }
         outcome = harden_optimize(
             program,
             budget=AnalysisBudget(deadline_s=self._deadline_s(payload)),
             validate=bool(payload.get("validate")),
+            collector=collector,
         )
         degraded = outcome.degraded
         return 200, {
@@ -437,6 +456,7 @@ def serve(
     default_deadline_ms: "float | None" = None,
     quiet: bool = True,
     ready_stream=None,
+    collector: "str | None" = None,
 ) -> int:
     """Run the daemon until SIGTERM/SIGINT; returns 0 on graceful exit.
 
@@ -448,7 +468,9 @@ def serve(
 
     stream = ready_stream or sys.stderr
     service = AnalysisService(
-        store_root=store_root, default_deadline_ms=default_deadline_ms
+        store_root=store_root,
+        default_deadline_ms=default_deadline_ms,
+        collector=collector,
     )
     server = make_server(host, port, service, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]

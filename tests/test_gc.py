@@ -71,6 +71,46 @@ class TestCollect:
         assert heap.metrics.gc_runs == 2
 
 
+class TestSharedSpineMarkWork:
+    """Regression: the mark loop must deduplicate at *push* time — a cell
+    shared by several parents (diamond sharing) costs one push and one
+    unit of mark work, not one per incoming edge."""
+
+    def test_diamond_shared_tail_counted_once(self):
+        heap = Heap()
+        tail = alloc_list(heap, [1, 2])
+        left = VCons(heap.allocate(VInt(0), tail))
+        right = VCons(heap.allocate(VInt(9), tail))
+        gc = MarkSweepGC(heap)
+        stats = gc.collect([left, right])
+        assert stats.marked == 4  # 2 heads + 2 shared tail cells
+        assert gc.mark_pushes == 4
+        assert stats.swept == 0
+
+    def test_wide_diamond_mark_work_is_linear_in_distinct_cells(self):
+        heap = Heap()
+        shared = alloc_list(heap, list(range(50)))
+        roots = [VCons(heap.allocate(VInt(i), shared)) for i in range(10)]
+        gc = MarkSweepGC(heap)
+        stats = gc.collect(roots)
+        assert stats.marked == 60  # 50 shared + 10 heads, never re-pushed
+        assert gc.mark_pushes == 60
+
+    def test_copying_evacuation_also_dedups_shared_cells(self):
+        from repro.semantics.gc import CopyingGC
+
+        heap = Heap()
+        tail = alloc_list(heap, [1, 2, 3])
+        roots = [
+            VCons(heap.allocate(VInt(0), tail)),
+            VCons(heap.allocate(VInt(9), tail)),
+        ]
+        gc = CopyingGC(heap)
+        stats = gc.collect(roots)
+        assert stats.marked == 5
+        assert gc.mark_pushes == 5
+
+
 class TestThreshold:
     def test_maybe_collect_below_threshold_is_noop(self):
         heap = Heap()

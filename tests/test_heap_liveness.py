@@ -1,0 +1,272 @@
+"""The interprocedural heap-liveness analysis (`repro.analysis.heap_liveness`).
+
+Unit tests for the live-depth lattice and per-binding summaries, the
+whole-program facts (standalone and through the session/store-memoized
+facade), the AUD004/LNT006 consumers, and the serialization round trip.
+"""
+
+import pytest
+
+from repro.analysis.heap_liveness import (
+    DEFAULT_CAP,
+    HeapLivenessFacts,
+    LivenessResults,
+    analyze_program,
+    decode_summary,
+    degraded_facts,
+    donor_live_after,
+    encode_summary,
+)
+from repro.lang.parser import parse_program
+
+
+def facts_for(source: str) -> HeapLivenessFacts:
+    return analyze_program(parse_program(source))
+
+
+class TestUseDepths:
+    def test_dead_binding_has_depth_zero(self):
+        facts = facts_for("xs = [1, 2, 3];\n7")
+        assert facts.use_depth("xs") == 0
+        assert not facts.degraded
+
+    def test_null_only_use_has_depth_zero(self):
+        facts = facts_for("f l = if null l then 1 else 2;\nxs = [1, 2];\nf xs")
+        assert facts.use_depth("xs") == 0
+        # ... and the interprocedural summary records why: f never reads
+        # its parameter's cells.
+        summary = facts.binding_fact("f")
+        assert summary is not None and summary.params == (0,)
+
+    def test_spine_walk_has_depth_one(self):
+        facts = facts_for(
+            "length l = if null l then 0 else 1 + length (cdr l);\n"
+            "xs = [1, 2, 3];\nlength xs"
+        )
+        assert facts.binding_fact("length").params == (1,)
+        assert facts.use_depth("xs") == 1
+
+    def test_direct_car_use_is_at_least_depth_one(self):
+        facts = facts_for("xs = [1, 2];\ncar xs")
+        depth = facts.use_depth("xs")
+        assert depth is None or depth >= 1
+
+    def test_unknown_name_is_top(self):
+        facts = facts_for("xs = [1];\ncar xs")
+        assert facts.use_depth("no-such-binder") is None
+
+    def test_budget_map_covers_every_binder(self):
+        facts = facts_for("f l = cdr l;\nxs = [1, 2];\nf xs")
+        budgets = facts.budget_map()
+        assert "f" in budgets and "l" in budgets and "xs" in budgets
+
+    def test_facts_satisfy_the_results_protocol(self):
+        assert isinstance(facts_for("xs = [1];\n7"), LivenessResults)
+
+
+class TestInterproceduralSummaries:
+    def test_callee_summary_flows_to_caller_argument(self):
+        # g only null-tests, h walks the spine: the same literal bound to
+        # two names gets two different budgets.
+        facts = facts_for(
+            "g l = if null l then 1 else 2;\n"
+            "h l = if null l then 0 else 1 + h (cdr l);\n"
+            "dead = [1, 2, 3];\nlive = [4, 5, 6];\n"
+            "(g dead) + (h live)"
+        )
+        assert facts.use_depth("dead") == 0
+        assert facts.use_depth("live") == 1
+
+    def test_mutual_recursion_converges(self):
+        facts = facts_for(
+            "even l = if null l then true else odd (cdr l);\n"
+            "odd l = if null l then false else even (cdr l);\n"
+            "xs = [1, 2, 3, 4];\neven xs"
+        )
+        assert not facts.degraded
+        assert facts.binding_fact("even").params == (1,)
+        assert facts.use_depth("xs") == 1
+
+    def test_unknown_application_degrades_argument_to_top(self):
+        # Applying a parameter: no summary to consult, so the argument's
+        # cells must stay unbounded.
+        facts = facts_for("apply f x = f x;\nxs = [1, 2];\napply car xs")
+        assert facts.use_depth("xs") is None
+
+
+class TestDegradation:
+    def test_budget_exhaustion_degrades_not_raises(self):
+        program = parse_program(
+            "length l = if null l then 0 else 1 + length (cdr l);\n"
+            "xs = [1, 2, 3];\nlength xs"
+        )
+        facts = analyze_program(program, max_steps=1)
+        assert facts.degraded
+        assert facts.use_depth("xs") is None
+        assert facts.budget_map() == {}
+
+    def test_degraded_facts_answer_top_for_everything(self):
+        facts = degraded_facts(parse_program("xs = [1];\ncar xs"))
+        assert facts.degraded
+        assert facts.use_depth("xs") is None
+        assert facts.budget_map() == {}
+
+
+class TestSerialization:
+    def test_summary_round_trip(self):
+        facts = facts_for(
+            "length l = if null l then 0 else 1 + length (cdr l);\n"
+            "xs = [1, 2];\nlength xs"
+        )
+        summary = facts.binding_fact("length")
+        assert decode_summary(encode_summary(summary)) == summary
+
+    def test_to_json_is_stable_across_runs(self):
+        src = (
+            "g l = if null l then 1 else 2;\n"
+            "h l = if null l then 0 else 1 + h (cdr l);\n"
+            "xs = [1, 2, 3];\n(g xs) + (h xs)"
+        )
+        import json
+
+        a = json.dumps(facts_for(src).to_json(), sort_keys=True)
+        b = json.dumps(facts_for(src).to_json(), sort_keys=True)
+        assert a == b
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(Exception):
+            decode_summary({"names": "nonsense"})
+
+
+class TestSessionFacade:
+    def test_warm_store_decodes_identical_facts(self, tmp_path):
+        from repro.escape.analyzer import EscapeAnalysis
+        from repro.store import AnalysisStore
+
+        src = (
+            "length l = if null l then 0 else 1 + length (cdr l);\n"
+            "xs = [1, 2, 3];\nlength xs"
+        )
+        cold = EscapeAnalysis(
+            parse_program(src), store=AnalysisStore(tmp_path)
+        ).heap_liveness()
+        warm = EscapeAnalysis(
+            parse_program(src), store=AnalysisStore(tmp_path)
+        ).heap_liveness()
+        assert not cold.degraded
+        assert cold.to_json() == warm.to_json()
+
+    def test_facade_matches_standalone_budgets(self, tmp_path):
+        from repro.escape.analyzer import EscapeAnalysis
+
+        src = "f l = if null l then 1 else 2;\nxs = [1, 2];\nf xs"
+        program = parse_program(src)
+        session_facts = EscapeAnalysis(program).heap_liveness()
+        assert session_facts.use_depth("xs") == 0
+
+
+class TestDonorLiveAfter:
+    def test_certifies_null_only_continuation(self):
+        # After the dcons, the donor is only null-tested — the syntactic
+        # scan sees a use, the interprocedural facts certify it dead.
+        src = "f l = if null (dcons l 1 []) then (if null l then 1 else 2) else 3;\nf [9]"
+        program = parse_program(src)
+        facts = analyze_program(program)
+        sites = [
+            n
+            for n in _walk_dcons(program.binding("f").expr)
+        ]
+        assert sites, "test program must contain a dcons site"
+        assert (
+            donor_live_after(program, "f", sites[0].uid, "l", facts) is False
+        )
+
+    def test_live_continuation_stays_live(self):
+        src = "f l = if null (dcons l 1 []) then car l else 3;\nf [9]"
+        program = parse_program(src)
+        facts = analyze_program(program)
+        sites = _walk_dcons(program.binding("f").expr)
+        assert (
+            donor_live_after(program, "f", sites[0].uid, "l", facts) is not False
+        )
+
+    def test_degraded_facts_answer_none(self):
+        src = "f l = if null (dcons l 1 []) then 1 else 2;\nf [9]"
+        program = parse_program(src)
+        sites = _walk_dcons(program.binding("f").expr)
+        assert (
+            donor_live_after(
+                program, "f", sites[0].uid, "l", degraded_facts(program)
+            )
+            is None
+        )
+
+
+def _walk_dcons(expr):
+    from repro.lang.ast import App, Prim, uncurry_app, walk
+
+    return [
+        node
+        for node in walk(expr)
+        if isinstance(node, App)
+        and isinstance(uncurry_app(node)[0], Prim)
+        and uncurry_app(node)[0].name == "dcons"
+        and len(uncurry_app(node)[1]) == 3
+    ]
+
+
+class TestCheckConsumers:
+    def test_audit_certifies_null_only_donor(self):
+        from repro.check.audit import audit_program
+
+        src = "f l = if null (dcons l 1 []) then (if null l then 1 else 2) else 3;\nf [9]"
+        diags = audit_program(parse_program(src))
+        assert not any(d.rule.id == "AUD004" for d in diags)
+
+    def test_audit_still_flags_genuinely_live_donor(self):
+        from repro.check.audit import audit_program
+
+        src = "f l = if null (dcons l 1 []) then car l else 3;\nf [9]"
+        diags = audit_program(parse_program(src))
+        assert any(d.rule.id == "AUD004" for d in diags)
+
+    def test_lint_hints_dead_after_bind(self):
+        from repro.check.lint import lint_program
+
+        src = "xs = [1, 2, 3];\nf l = if null l then 1 else 2;\nf xs"
+        diags = lint_program(parse_program(src))
+        hits = [d for d in diags if d.rule.id == "LNT006"]
+        assert len(hits) == 1 and hits[0].context == "xs"
+
+    def test_lint_silent_on_live_binding(self):
+        from repro.check.lint import lint_program
+
+        src = "xs = [1, 2, 3];\ncar xs"
+        diags = lint_program(parse_program(src))
+        assert not any(d.rule.id == "LNT006" for d in diags)
+
+
+class TestCollectorBudgetsEndToEnd:
+    def test_liveness_collector_reclaims_dead_binding(self):
+        from repro.semantics.interp import run_program
+
+        src = "junk = [1, 2, 3, 4, 5, 6, 7, 8];\nf l = if null l then 10 else 20;\nf junk"
+        program = parse_program(src)
+        budgets = analyze_program(program).budget_map()
+        assert budgets["junk"] == 0
+        base, base_metrics = run_program(
+            program, auto_gc=True, gc_threshold=4, sanitize=True
+        )
+        live, live_metrics = run_program(
+            program,
+            auto_gc=True,
+            gc_threshold=4,
+            sanitize=True,
+            collector="liveness",
+            liveness=budgets,
+        )
+        assert base == live == 20
+        assert live_metrics.gc_swept > base_metrics.gc_swept
+
+    def test_default_cap_is_sane(self):
+        assert DEFAULT_CAP >= 2
